@@ -1,0 +1,22 @@
+//! # pcr-autotune
+//!
+//! Scan-group tuning policies from the paper's section 4.5 and Appendix
+//! A.6: loss-plateau detection (the dynamic tuning trigger), selection
+//! rules (gradient-cosine threshold, MSSIM-predicted accuracy, score
+//! clustering), and mixture training distributions over scan groups.
+//!
+//! These are pure policies over numbers; the training loops that consult
+//! them live in `pcr-sim` so the policies stay independently testable.
+
+#![warn(missing_docs)]
+
+pub mod mixture;
+pub mod plateau;
+pub mod select;
+
+pub use mixture::MixturePolicy;
+pub use plateau::PlateauDetector;
+pub use select::{
+    cluster_representatives, select_by_predicted_accuracy, select_lowest_qualifying,
+    DEFAULT_COSINE_THRESHOLD, DEFAULT_MSSIM_THRESHOLD,
+};

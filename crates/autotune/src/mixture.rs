@@ -1,0 +1,148 @@
+//! Mixture training (Appendix A.6.3): instead of a hard scan-group choice,
+//! draw each record's quality from a probability simplex over groups —
+//! "hedging" across qualities with fine-grained bandwidth control.
+
+use rand::Rng;
+
+/// A probability distribution over scan groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixturePolicy {
+    groups: Vec<usize>,
+    weights: Vec<f64>,
+}
+
+impl MixturePolicy {
+    /// Uniform mixture over `groups`.
+    pub fn uniform(groups: &[usize]) -> Self {
+        Self::from_weights(groups, &vec![1.0; groups.len()])
+    }
+
+    /// Degenerate (non-mixed) policy: always `group`.
+    pub fn fixed(group: usize) -> Self {
+        Self { groups: vec![group], weights: vec![1.0] }
+    }
+
+    /// The paper's mixtures: the selected group gets weight `w`, every
+    /// other group weight 1 (w=10 -> ~50% selected over 10 groups; w=100
+    /// -> ~85%... with normalization over 10 groups w=10 gives 10/19).
+    pub fn selected(groups: &[usize], selected: usize, weight: f64) -> Self {
+        let weights: Vec<f64> =
+            groups.iter().map(|&g| if g == selected { weight } else { 1.0 }).collect();
+        Self::from_weights(groups, &weights)
+    }
+
+    /// Arbitrary weights (normalized internally).
+    pub fn from_weights(groups: &[usize], weights: &[f64]) -> Self {
+        assert_eq!(groups.len(), weights.len(), "length mismatch");
+        assert!(!groups.is_empty(), "empty mixture");
+        assert!(weights.iter().all(|&w| w >= 0.0), "negative weight");
+        let sum: f64 = weights.iter().sum();
+        assert!(sum > 0.0, "zero total weight");
+        Self {
+            groups: groups.to_vec(),
+            weights: weights.iter().map(|w| w / sum).collect(),
+        }
+    }
+
+    /// Probability assigned to `group`.
+    pub fn probability(&self, group: usize) -> f64 {
+        self.groups
+            .iter()
+            .zip(&self.weights)
+            .find(|(&g, _)| g == group)
+            .map(|(_, &w)| w)
+            .unwrap_or(0.0)
+    }
+
+    /// Draws a scan group.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let x: f64 = rng.gen();
+        let mut acc = 0.0;
+        for (&g, &w) in self.groups.iter().zip(&self.weights) {
+            acc += w;
+            if x < acc {
+                return g;
+            }
+        }
+        *self.groups.last().expect("nonempty")
+    }
+
+    /// Expected bytes per image under this mixture, given per-group mean
+    /// sizes — the "bandwidth is now a continuous variable" property.
+    pub fn expected_bytes(&self, mean_bytes: &[(usize, f64)]) -> f64 {
+        self.groups
+            .iter()
+            .zip(&self.weights)
+            .map(|(&g, &w)| {
+                let b = mean_bytes
+                    .iter()
+                    .find(|&&(gg, _)| gg == g)
+                    .map(|&(_, b)| b)
+                    .unwrap_or(0.0);
+                w * b
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const GROUPS: [usize; 10] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+
+    #[test]
+    fn selected_weight_10_gives_paper_probability() {
+        let m = MixturePolicy::selected(&GROUPS, 5, 10.0);
+        // 10 / (10 + 9) = 10/19 ~ 52.6%.
+        assert!((m.probability(5) - 10.0 / 19.0).abs() < 1e-12);
+        assert!((m.probability(1) - 1.0 / 19.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selected_weight_100_gives_85_percent() {
+        let m = MixturePolicy::selected(&GROUPS, 2, 100.0);
+        assert!((m.probability(2) - 100.0 / 109.0).abs() < 1e-12);
+        assert!(m.probability(2) > 0.85);
+    }
+
+    #[test]
+    fn sampling_matches_distribution() {
+        let m = MixturePolicy::selected(&GROUPS, 5, 10.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let hits = (0..n).filter(|_| m.sample(&mut rng) == 5).count();
+        let frac = hits as f64 / n as f64;
+        assert!((frac - 10.0 / 19.0).abs() < 0.02, "sampled {frac}");
+    }
+
+    #[test]
+    fn fixed_always_samples_same() {
+        let m = MixturePolicy::fixed(7);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 7);
+        }
+    }
+
+    #[test]
+    fn expected_bytes_interpolates() {
+        let sizes: Vec<(usize, f64)> = GROUPS.iter().map(|&g| (g, g as f64 * 10.0)).collect();
+        let uni = MixturePolicy::uniform(&GROUPS);
+        assert!((uni.expected_bytes(&sizes) - 55.0).abs() < 1e-9);
+        let hard = MixturePolicy::fixed(1);
+        assert!((hard.expected_bytes(&sizes) - 10.0).abs() < 1e-9);
+        // Mixture bandwidth sits strictly between the extremes.
+        let mix = MixturePolicy::selected(&GROUPS, 1, 10.0);
+        let e = mix.expected_bytes(&sizes);
+        assert!(e > 10.0 && e < 55.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero total weight")]
+    fn zero_weights_rejected() {
+        let _ = MixturePolicy::from_weights(&[1, 2], &[0.0, 0.0]);
+    }
+}

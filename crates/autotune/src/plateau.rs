@@ -1,0 +1,100 @@
+//! Loss-plateau detection: the trigger for the paper's dynamic tuning
+//! phase (section 4.5 — "training starts at full image quality and
+//! proceeds until learning is detected to plateau, which initiates the
+//! tuning phase").
+
+/// Detects when a loss series has stopped improving.
+#[derive(Debug, Clone)]
+pub struct PlateauDetector {
+    /// Epochs to look back.
+    pub window: usize,
+    /// Minimum relative improvement over the window to count as progress.
+    pub min_rel_improvement: f64,
+    history: Vec<f64>,
+}
+
+impl PlateauDetector {
+    /// Creates a detector; `window` >= 2.
+    pub fn new(window: usize, min_rel_improvement: f64) -> Self {
+        Self { window: window.max(2), min_rel_improvement, history: Vec::new() }
+    }
+
+    /// Records a new loss value; returns true if learning has plateaued.
+    pub fn push(&mut self, loss: f64) -> bool {
+        self.history.push(loss);
+        self.is_plateaued()
+    }
+
+    /// True when the best loss in the recent window improved on the
+    /// preceding best by less than the threshold.
+    pub fn is_plateaued(&self) -> bool {
+        if self.history.len() < 2 * self.window {
+            return false;
+        }
+        let n = self.history.len();
+        let recent = &self.history[n - self.window..];
+        let prior = &self.history[..n - self.window];
+        let best_recent = recent.iter().cloned().fold(f64::INFINITY, f64::min);
+        let best_prior = prior.iter().cloned().fold(f64::INFINITY, f64::min);
+        if best_prior <= 0.0 {
+            return true;
+        }
+        (best_prior - best_recent) / best_prior < self.min_rel_improvement
+    }
+
+    /// Clears history (e.g. after a tuning phase changes the data).
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+
+    /// Observed losses so far.
+    pub fn history(&self) -> &[f64] {
+        &self.history
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improving_loss_is_not_plateaued() {
+        let mut d = PlateauDetector::new(3, 0.02);
+        for i in 0..12 {
+            let plateaued = d.push(10.0 * 0.8f64.powi(i));
+            assert!(!plateaued, "still improving at step {i}");
+        }
+    }
+
+    #[test]
+    fn flat_loss_plateaus() {
+        let mut d = PlateauDetector::new(3, 0.02);
+        let mut hit = false;
+        for i in 0..12 {
+            let loss = if i < 4 { 5.0 - i as f64 } else { 1.0 + 0.001 * (i % 2) as f64 };
+            hit = d.push(loss);
+        }
+        assert!(hit, "flat tail must plateau");
+    }
+
+    #[test]
+    fn needs_enough_history() {
+        let mut d = PlateauDetector::new(4, 0.02);
+        for _ in 0..7 {
+            assert!(!d.push(1.0), "insufficient history");
+        }
+        assert!(d.push(1.0), "8th identical point plateaus");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut d = PlateauDetector::new(2, 0.01);
+        for _ in 0..4 {
+            d.push(1.0);
+        }
+        assert!(d.is_plateaued());
+        d.reset();
+        assert!(!d.is_plateaued());
+        assert!(d.history().is_empty());
+    }
+}

@@ -1,0 +1,68 @@
+//! Huffman ablation: optimized table construction cost and the size win of
+//! optimized vs standard tables (the choice `jpegtran -optimize` makes and
+//! progressive encoding requires).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pcr_jpeg::huffman::{gen_optimal_table, HuffDecoder, HuffEncoder, HuffTable};
+use pcr_jpeg::{encode, EncodeConfig, ImageBuf};
+
+fn test_image(side: u32) -> ImageBuf {
+    let mut data = Vec::with_capacity((side * side * 3) as usize);
+    for y in 0..side {
+        for x in 0..side {
+            let v = ((x * 3 + y * 5) % 251) as u8;
+            data.push(v);
+            data.push(v.wrapping_add(60));
+            data.push(200u8.wrapping_sub(v));
+        }
+    }
+    ImageBuf::from_raw(side, side, 3, data).expect("valid")
+}
+
+fn bench_table_generation(c: &mut Criterion) {
+    // A realistic skewed AC-symbol distribution.
+    let mut freq = vec![0u32; 256];
+    for (i, f) in freq.iter_mut().enumerate() {
+        *f = (100_000 / (i + 1)) as u32;
+    }
+    c.bench_function("gen_optimal_table_256", |b| b.iter(|| gen_optimal_table(&freq).unwrap()));
+    c.bench_function("huff_encoder_from_table", |b| {
+        let t = HuffTable::std_ac_luma();
+        b.iter(|| HuffEncoder::from_table(&t).unwrap())
+    });
+    c.bench_function("huff_decoder_from_table", |b| {
+        let t = HuffTable::std_ac_luma();
+        b.iter(|| HuffDecoder::from_table(&t).unwrap())
+    });
+}
+
+fn bench_optimized_vs_standard_size(c: &mut Criterion) {
+    let img = test_image(96);
+    let std_size = encode(&img, &EncodeConfig::baseline(85)).unwrap().len();
+    let opt_size = encode(
+        &img,
+        &EncodeConfig { optimize_huffman: true, ..EncodeConfig::baseline(85) },
+    )
+    .unwrap()
+    .len();
+    eprintln!(
+        "# huffman ablation: standard tables {std_size} B, optimized {opt_size} B \
+         ({:.1}% smaller)",
+        100.0 * (1.0 - opt_size as f64 / std_size as f64)
+    );
+    let mut g = c.benchmark_group("encode_table_mode");
+    g.sample_size(20);
+    g.bench_function("standard_tables", |b| {
+        b.iter(|| encode(&img, &EncodeConfig::baseline(85)).unwrap())
+    });
+    g.bench_function("optimized_tables", |b| {
+        b.iter(|| {
+            encode(&img, &EncodeConfig { optimize_huffman: true, ..EncodeConfig::baseline(85) })
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_generation, bench_optimized_vs_standard_size);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Reader/loader benchmarks: wall-clock cost of planning + running a
+//! simulated epoch at different scan groups, and of real decode loading.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcr_datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+use pcr_loader::{populate_store, DecodeMode, LoaderConfig, PcrLoader};
+use pcr_storage::{DeviceProfile, ObjectStore};
+
+fn setup() -> (ObjectStore, pcr_core::MetaDb) {
+    let ds = SyntheticDataset::generate(&DatasetSpec::celebahq_smile_like(Scale::Tiny));
+    let (pcr, _) = to_pcr_dataset(&ds, 8);
+    let store = ObjectStore::new(DeviceProfile::ssd_sata());
+    populate_store(&store, &pcr);
+    (store, pcr.db)
+}
+
+fn bench_epoch_simulation(c: &mut Criterion) {
+    let (store, db) = setup();
+    let mut g = c.benchmark_group("loader_epoch_sim");
+    g.sample_size(40);
+    for group in [1usize, 5, 10] {
+        g.bench_with_input(BenchmarkId::new("skip_decode", group), &group, |b, &group| {
+            b.iter(|| {
+                store.device().reset();
+                let cfg = LoaderConfig {
+                    threads: 8,
+                    scan_group: group,
+                    shuffle: true,
+                    seed: 1,
+                    decode: DecodeMode::Skip,
+                };
+                PcrLoader::new(&store, &db, cfg).run_epoch(0, 0.0)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_real_decode_epoch(c: &mut Criterion) {
+    let (store, db) = setup();
+    let mut g = c.benchmark_group("loader_epoch_real_decode");
+    g.sample_size(10);
+    for group in [1usize, 10] {
+        g.bench_with_input(BenchmarkId::new("real", group), &group, |b, &group| {
+            b.iter(|| {
+                store.device().reset();
+                let cfg = LoaderConfig {
+                    threads: 8,
+                    scan_group: group,
+                    shuffle: false,
+                    seed: 0,
+                    decode: DecodeMode::Real,
+                };
+                PcrLoader::new(&store, &db, cfg).run_epoch(0, 0.0)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_epoch_simulation, bench_real_decode_epoch);
+criterion_main!(benches);

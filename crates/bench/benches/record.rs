@@ -1,0 +1,63 @@
+//! PCR record-format benchmarks: build, parse, prefix assembly, and the
+//! images-per-record layout ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pcr_core::{PcrRecord, PcrRecordBuilder, SampleMeta};
+use pcr_jpeg::{encode, EncodeConfig, ImageBuf};
+
+fn test_image(seed: u32) -> ImageBuf {
+    let side = 48u32;
+    let mut data = Vec::with_capacity((side * side * 3) as usize);
+    for y in 0..side {
+        for x in 0..side {
+            let v = ((x * 7 + y * 3 + seed * 13) % 256) as u8;
+            data.push(v);
+            data.push(v.wrapping_add(50));
+            data.push(255 - v);
+        }
+    }
+    ImageBuf::from_raw(side, side, 3, data).expect("valid")
+}
+
+fn progressive_jpegs(n: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| encode(&test_image(i as u32), &EncodeConfig::progressive(85)).unwrap())
+        .collect()
+}
+
+fn build_record(jpegs: &[Vec<u8>]) -> Vec<u8> {
+    let mut b = PcrRecordBuilder::with_default_groups();
+    for (i, j) in jpegs.iter().enumerate() {
+        b.add_progressive_jpeg(SampleMeta { label: i as u32, id: format!("i{i}") }, j.clone())
+            .unwrap();
+    }
+    b.build().unwrap()
+}
+
+fn bench_build_and_parse(c: &mut Criterion) {
+    let jpegs = progressive_jpegs(16);
+    let mut g = c.benchmark_group("record");
+    g.sample_size(30);
+    g.bench_function("build_16_images", |b| b.iter(|| build_record(&jpegs)));
+    let bytes = build_record(&jpegs);
+    g.bench_function("parse_16_images", |b| b.iter(|| PcrRecord::parse(&bytes).unwrap()));
+    let rec = PcrRecord::parse(&bytes).unwrap();
+    g.bench_function("jpeg_at_group_2", |b| b.iter(|| rec.jpeg_at_group(7, 2).unwrap()));
+    g.bench_function("jpeg_at_group_10", |b| b.iter(|| rec.jpeg_at_group(7, 10).unwrap()));
+    g.finish();
+}
+
+fn bench_images_per_record(c: &mut Criterion) {
+    let mut g = c.benchmark_group("record_size_ablation");
+    g.sample_size(15);
+    for n in [4usize, 16, 64] {
+        let jpegs = progressive_jpegs(n);
+        g.bench_with_input(BenchmarkId::new("build", n), &jpegs, |b, jpegs| {
+            b.iter(|| build_record(jpegs))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_build_and_parse, bench_images_per_record);
+criterion_main!(benches);

@@ -1,0 +1,123 @@
+//! Extension experiment (paper section 1 motivation): "even for a fixed
+//! training task, the ratio of compute to storage in the underlying system
+//! may fluctuate over time (e.g., cross-datacenter training, multi-tenant
+//! cloud computing), reducing the effectiveness of statically chosen
+//! compression parameters."
+//!
+//! We run the same training job under a bandwidth schedule that drops to
+//! 30% mid-run and compare: the full-quality baseline, a statically tuned
+//! scan group, and the dynamic gradient-cosine controller. PCRs let the
+//! dynamic run keep training at speed through the bandwidth trough.
+
+use crate::context::{banner, Ctx};
+use pcr_autotune::select_lowest_qualifying;
+use pcr_nn::ModelSpec;
+use pcr_sim::Trainer;
+
+/// Bandwidth schedule: nominal, 30% trough, nominal again.
+fn bandwidth_at(epoch: usize, epochs: usize) -> f64 {
+    let third = epochs / 3;
+    if epoch >= third && epoch < 2 * third {
+        0.3
+    } else {
+        1.0
+    }
+}
+
+/// Runs the fluctuation comparison on the ImageNet-like dataset.
+pub fn fluctuate(ctx: &Ctx) {
+    let ds = ctx.dataset("imagenet");
+    let model = ModelSpec::resnet_like();
+    let (feats, pcr) = ctx.prepare(&ds, &model);
+    let cfg = ctx.train_config(&ds);
+    let epochs = cfg.epochs;
+    banner(
+        "fluctuate",
+        &[
+            ("dataset", ds.spec.name.clone()),
+            ("schedule", "1.0 / 0.3 / 1.0 bandwidth by thirds".into()),
+            ("columns", "strategy,epoch,bandwidth,group,img_per_s,time_s".into()),
+        ],
+    );
+
+    // Static strategies: always group 10, always group 5.
+    for (label, group) in [("static-baseline", 10usize), ("static-g5", 5)] {
+        let mut trainer = Trainer::new(&feats, &pcr, model.clone(), cfg.clone());
+        for e in 0..epochs {
+            trainer.set_bandwidth_scale(bandwidth_at(e, epochs));
+            let pt = trainer.train_epoch(group);
+            println!(
+                "{label},{},{:.2},{},{:.0},{:.2}",
+                pt.epoch,
+                bandwidth_at(e, epochs),
+                pt.scan_group,
+                pt.images_per_sec,
+                pt.time
+            );
+        }
+        println!(
+            "# {label}: total {:.2}s final_acc {:.4}",
+            trainer.now(),
+            trainer.eval()
+        );
+    }
+
+    // Dynamic: every 4 epochs pick the cheapest group whose gradients pass
+    // the cosine threshold; bandwidth changes shift how much that choice
+    // is worth, but the controller needs no reconfiguration.
+    let mut trainer = Trainer::new(&feats, &pcr, model.clone(), cfg.clone());
+    let mut current = 10usize;
+    for e in 0..epochs {
+        trainer.set_bandwidth_scale(bandwidth_at(e, epochs));
+        if e >= 2 && e % 4 == 2 {
+            let sims = trainer.gradient_similarities(4);
+            current = select_lowest_qualifying(&sims, 0.9);
+            trainer.charge_probe_time(sims.len() * 4);
+        }
+        let pt = trainer.train_epoch(current);
+        println!(
+            "dynamic,{},{:.2},{},{:.0},{:.2}",
+            pt.epoch,
+            bandwidth_at(e, epochs),
+            pt.scan_group,
+            pt.images_per_sec,
+            pt.time
+        );
+    }
+    println!("# dynamic: total {:.2}s final_acc {:.4}", trainer.now(), trainer.eval());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_datasets::Scale;
+
+    #[test]
+    fn schedule_shape() {
+        assert_eq!(bandwidth_at(0, 30), 1.0);
+        assert_eq!(bandwidth_at(10, 30), 0.3);
+        assert_eq!(bandwidth_at(19, 30), 0.3);
+        assert_eq!(bandwidth_at(20, 30), 1.0);
+    }
+
+    #[test]
+    fn bandwidth_trough_slows_full_quality_epochs() {
+        let ctx = Ctx { scale: Scale::Tiny };
+        let ds = ctx.dataset("imagenet");
+        let model = ModelSpec::resnet_like();
+        let (feats, pcr) = ctx.prepare(&ds, &model);
+        let cfg = ctx.train_config(&ds);
+        let trainer = Trainer::new(&feats, &pcr, model, cfg);
+        let nominal = trainer.simulate_epoch_timing(10).duration;
+        trainer.set_bandwidth_scale(0.3);
+        let trough = trainer.simulate_epoch_timing(10).duration;
+        assert!(
+            trough > nominal * 1.5,
+            "trough epoch {trough:.4}s should be much slower than nominal {nominal:.4}s"
+        );
+        // Low scan groups are less affected (compute floor).
+        trainer.set_bandwidth_scale(0.3);
+        let trough_g1 = trainer.simulate_epoch_timing(1).duration;
+        assert!(trough_g1 < trough);
+    }
+}

@@ -1,0 +1,195 @@
+//! Time-to-accuracy experiments: Figures 4, 5, 6 and the full-suite
+//! Figures 23-30 (accuracy/loss vs time, accuracy vs epoch, Cars label
+//! coarsening).
+
+use crate::context::{banner, Ctx, STANDARD_GROUPS};
+use pcr_datasets::{LabelMap, SyntheticDataset};
+use pcr_nn::ModelSpec;
+use pcr_sim::{train_fixed_group, TrainingTrace};
+
+/// Runs the standard scan-group sweep for one dataset/model/labeling.
+pub fn sweep(
+    ctx: &Ctx,
+    ds: &SyntheticDataset,
+    model: &ModelSpec,
+    label_map: LabelMap,
+) -> Vec<TrainingTrace> {
+    let (feats, pcr) = ctx.prepare(ds, model);
+    let mut cfg = ctx.train_config(ds);
+    cfg.label_map = label_map;
+    STANDARD_GROUPS
+        .iter()
+        .map(|&g| train_fixed_group(&feats, &pcr, model, &cfg, g, &ds.spec.name))
+        .collect()
+}
+
+/// Prints traces as `group,epoch,time_s,test_acc,train_loss,img_per_s`.
+pub fn print_traces(id: &str, traces: &[TrainingTrace]) {
+    for t in traces {
+        banner(
+            id,
+            &[
+                ("dataset", t.dataset.clone()),
+                ("model", t.model.clone()),
+                ("group", label_for_group(t.scan_group)),
+                ("final_acc", format!("{:.4}", t.final_acc)),
+                ("total_time_s", format!("{:.1}", t.total_time)),
+            ],
+        );
+        println!("epoch,time_s,test_acc,train_loss,img_per_s,stall_frac,group");
+        for p in &t.points {
+            println!(
+                "{},{:.2},{},{:.4},{:.0},{:.3},{}",
+                p.epoch,
+                p.time,
+                if p.test_acc.is_nan() { "-".to_string() } else { format!("{:.4}", p.test_acc) },
+                p.train_loss,
+                p.images_per_sec,
+                p.stall_fraction,
+                p.scan_group,
+            );
+        }
+    }
+}
+
+fn label_for_group(g: usize) -> String {
+    match g {
+        0 => "Dynamic".to_string(),
+        10 => "Baseline".to_string(),
+        g => format!("Group_{g}"),
+    }
+}
+
+/// Summarizes the headline comparison: time for each group to first reach
+/// (within tolerance) the baseline's final accuracy.
+pub fn print_speedup_summary(id: &str, traces: &[TrainingTrace], tolerance: f64) {
+    let baseline = traces
+        .iter()
+        .find(|t| t.scan_group == 10)
+        .expect("baseline trace present");
+    let target = baseline.final_acc - tolerance;
+    banner(
+        &format!("{id}-speedup"),
+        &[
+            ("target_acc", format!("{target:.4}")),
+            ("columns", "group,time_to_target_s,speedup_vs_baseline,final_acc".into()),
+        ],
+    );
+    let base_time = time_to_accuracy(baseline, target);
+    for t in traces {
+        let tt = time_to_accuracy(t, target);
+        let speedup = match (tt, base_time) {
+            (Some(t), Some(b)) => format!("{:.2}", b / t),
+            _ => "-".to_string(),
+        };
+        println!(
+            "{},{},{},{:.4}",
+            label_for_group(t.scan_group),
+            tt.map_or("-".to_string(), |t| format!("{t:.1}")),
+            speedup,
+            t.final_acc
+        );
+    }
+}
+
+/// First virtual time a trace reaches `target` test accuracy.
+pub fn time_to_accuracy(trace: &TrainingTrace, target: f64) -> Option<f64> {
+    trace
+        .points
+        .iter()
+        .find(|p| !p.test_acc.is_nan() && p.test_acc >= target)
+        .map(|p| p.time)
+}
+
+/// Figure 4: ImageNet-like and CelebAHQ-like on both models.
+pub fn fig4(ctx: &Ctx) {
+    for ds_name in ["imagenet", "celebahq"] {
+        let ds = ctx.dataset(ds_name);
+        for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+            let traces = sweep(ctx, &ds, &model, LabelMap::Identity);
+            print_traces("fig4", &traces);
+            print_speedup_summary("fig4", &traces, 0.02);
+        }
+    }
+}
+
+/// Figure 5: HAM10000-like on both models.
+pub fn fig5(ctx: &Ctx) {
+    let ds = ctx.dataset("ham10000");
+    for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+        let traces = sweep(ctx, &ds, &model, LabelMap::Identity);
+        print_traces("fig5", &traces);
+        print_speedup_summary("fig5", &traces, 0.02);
+    }
+}
+
+/// Figure 6: Cars-like original multiclass vs binary Is-Corvette (ResNet).
+pub fn fig6(ctx: &Ctx) {
+    let ds = ctx.dataset("cars");
+    let model = ModelSpec::resnet_like();
+    for map in [LabelMap::Identity, LabelMap::is_corvette()] {
+        let traces = sweep(ctx, &ds, &model, map);
+        let id = format!("fig6-{}", map.name());
+        print_traces(&id, &traces);
+        print_speedup_summary(&id, &traces, 0.02);
+    }
+}
+
+/// Figures 23/24 (accuracy vs time), 25/26 (loss vs time), 27/28 (accuracy
+/// vs epoch): all datasets on one model. The same trace data serves all
+/// three views; epoch is printed alongside time in every row.
+pub fn fig23_28(ctx: &Ctx, model_name: &str) {
+    let model = match model_name {
+        "shufflenet" => ModelSpec::shufflenet_like(),
+        _ => ModelSpec::resnet_like(),
+    };
+    for ds in ctx.suite() {
+        let traces = sweep(ctx, &ds, &model, LabelMap::Identity);
+        print_traces(&format!("fig23-28-{model_name}"), &traces);
+        print_speedup_summary(&format!("fig23-28-{model_name}"), &traces, 0.02);
+    }
+}
+
+/// Figures 29/30: Cars label coarsening (Original / Make-Only /
+/// Is-Corvette) on both models.
+pub fn fig29_30(ctx: &Ctx) {
+    let ds = ctx.dataset("cars");
+    for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+        for map in [LabelMap::Identity, LabelMap::cars_make_only(), LabelMap::is_corvette()] {
+            let traces = sweep(ctx, &ds, &model, map);
+            print_traces(&format!("fig29-30-{}", map.name()), &traces);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_datasets::Scale;
+
+    #[test]
+    fn tta_sweep_tiny_celebahq_shows_ordering() {
+        let ctx = Ctx { scale: Scale::Tiny };
+        let ds = ctx.dataset("celebahq");
+        let traces = sweep(&ctx, &ds, &ModelSpec::resnet_like(), LabelMap::Identity);
+        assert_eq!(traces.len(), 4);
+        // Lower groups must take (weakly) less total time.
+        let t = |g: usize| traces.iter().find(|t| t.scan_group == g).unwrap().total_time;
+        assert!(t(1) < t(10), "group1 {:.2} vs baseline {:.2}", t(1), t(10));
+        assert!(t(2) <= t(5) + 1e-9);
+        // And the binary low-frequency task retains accuracy even at g1.
+        let a = |g: usize| traces.iter().find(|t| t.scan_group == g).unwrap().final_acc;
+        assert!(a(1) > a(10) - 0.15, "g1 acc {} vs baseline {}", a(1), a(10));
+    }
+
+    #[test]
+    fn time_to_accuracy_finds_crossing() {
+        let ctx = Ctx { scale: Scale::Tiny };
+        let ds = ctx.dataset("celebahq");
+        let traces = sweep(&ctx, &ds, &ModelSpec::resnet_like(), LabelMap::Identity);
+        let baseline = traces.iter().find(|t| t.scan_group == 10).unwrap();
+        let tt = time_to_accuracy(baseline, baseline.final_acc - 0.05);
+        assert!(tt.is_some());
+        assert!(tt.unwrap() <= baseline.total_time);
+    }
+}

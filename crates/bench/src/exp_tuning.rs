@@ -1,0 +1,156 @@
+//! Tuning experiments: Figure 7 (MSSIM regression), Figure 8 (loss-probe
+//! adaptive tuning), Figure 19 (gradient cosine distances incl. mixtures),
+//! Figures 20-22 (cosine dynamic tuning and its rate trace).
+
+use crate::context::{banner, Ctx, STANDARD_GROUPS};
+use pcr_metrics::linear_regression;
+use pcr_nn::ModelSpec;
+use pcr_sim::{
+    train_dynamic_cosine, train_dynamic_loss, train_fixed_group, DynamicConfig, Trainer,
+};
+
+/// Figure 7: MSSIM vs final accuracy on Cars-like with ShuffleNet, with and
+/// without crop augmentation, plus the linear fits.
+pub fn fig7(ctx: &Ctx) {
+    let model = ModelSpec::shufflenet_like();
+    banner("fig7", &[("columns", "variant,group,mssim,final_acc".into())]);
+    for crop in [false, true] {
+        let mut ds = ctx.dataset("cars");
+        if crop {
+            for s in ds.train.iter_mut().chain(ds.test.iter_mut()) {
+                let w = s.image.width() * 3 / 4;
+                let h = s.image.height() * 3 / 4;
+                s.image = s.image.center_crop(w, h);
+            }
+        }
+        let variant = if crop { "crop" } else { "no-crop" };
+        let (feats, pcr) = ctx.prepare(&ds, &model);
+        let cfg = ctx.train_config(&ds);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for &g in &STANDARD_GROUPS {
+            let trace = train_fixed_group(&feats, &pcr, &model, &cfg, g, &ds.spec.name);
+            let m = feats.mean_mssim[&g];
+            println!("{variant},{g},{m:.4},{:.4}", trace.final_acc);
+            xs.push(m);
+            ys.push(trace.final_acc * 100.0);
+        }
+        let fit = linear_regression(&xs, &ys);
+        println!(
+            "# {variant} fit: y={:.1}x{:+.1} r2={:.3} p={:.2e}",
+            fit.slope, fit.intercept, fit.r2, fit.p_value
+        );
+    }
+}
+
+/// Figure 8: loss-probe adaptive tuning on HAM10000-like, both models,
+/// versus the all-scans baseline.
+pub fn fig8(ctx: &Ctx) {
+    let ds = ctx.dataset("ham10000");
+    for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+        let (feats, pcr) = ctx.prepare(&ds, &model);
+        let cfg = ctx.train_config(&ds);
+        let dyn_cfg = DynamicConfig::default();
+        let dynamic = train_dynamic_loss(&feats, &pcr, &model, &cfg, &dyn_cfg, &ds.spec.name);
+        let baseline = train_fixed_group(&feats, &pcr, &model, &cfg, 10, &ds.spec.name);
+        crate::exp_tta::print_traces("fig8-dynamic", std::slice::from_ref(&dynamic));
+        crate::exp_tta::print_traces("fig8-baseline", std::slice::from_ref(&baseline));
+        println!(
+            "# fig8 {}: dynamic {:.1}s acc {:.4} | baseline {:.1}s acc {:.4}",
+            model.name, dynamic.total_time, dynamic.final_acc, baseline.total_time, baseline.final_acc
+        );
+    }
+}
+
+/// Figure 19: gradient cosine similarity per scan group over training,
+/// with hard selection and the 50% / 85% mixtures.
+pub fn fig19(ctx: &Ctx) {
+    let ds = ctx.dataset("ham10000");
+    let model = ModelSpec::shufflenet_like();
+    let (feats, pcr) = ctx.prepare(&ds, &model);
+    let cfg = ctx.train_config(&ds);
+    banner("fig19", &[("columns", "epoch,group,cosine_similarity".into())]);
+    let mut trainer = Trainer::new(&feats, &pcr, model, cfg.clone());
+    let checkpoints = [0usize, 4, 8, 12];
+    let mut next = 0usize;
+    for e in 0..=*checkpoints.last().unwrap() {
+        if next < checkpoints.len() && e == checkpoints[next] {
+            for (g, c) in trainer.gradient_similarities(4) {
+                println!("{e},{g},{c:.4}");
+            }
+            next += 1;
+        }
+        trainer.train_epoch(10);
+    }
+    // Mixture tolerance: expected bytes per mixture (the continuum).
+    banner("fig19-mixtures", &[("columns", "policy,selected,expected_bytes".into())]);
+    let sizes: Vec<(usize, f64)> = STANDARD_GROUPS
+        .iter()
+        .map(|&g| (g, feats.mean_bytes[&g]))
+        .collect();
+    for (label, w) in [("hard", f64::INFINITY), ("mix85", 100.0), ("mix50", 10.0)] {
+        for &g in &STANDARD_GROUPS {
+            let policy = if w.is_infinite() {
+                pcr_autotune::MixturePolicy::fixed(g)
+            } else {
+                pcr_autotune::MixturePolicy::selected(&STANDARD_GROUPS, g, w)
+            };
+            println!("{label},{g},{:.0}", policy.expected_bytes(&sizes));
+        }
+    }
+}
+
+/// Figures 20-22: cosine-distance dynamic tuning (HAM + CelebA), with
+/// mixtures, plus the per-epoch training-rate trace of the CelebA run.
+pub fn fig20_22(ctx: &Ctx) {
+    // Fig 20: HAM on both models with no-mix / 50% / 85% mixtures.
+    let ham = ctx.dataset("ham10000");
+    for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+        let (feats, pcr) = ctx.prepare(&ham, &model);
+        let cfg = ctx.train_config(&ham);
+        for (label, w) in [("no-mix", None), ("mix50", Some(10.0)), ("mix85", Some(100.0))] {
+            let dyn_cfg = DynamicConfig { mixture_weight: w, ..Default::default() };
+            let trace = train_dynamic_cosine(&feats, &pcr, &model, &cfg, &dyn_cfg, &ham.spec.name);
+            crate::exp_tta::print_traces(&format!("fig20-{label}"), &[trace]);
+        }
+        let baseline = train_fixed_group(&feats, &pcr, &model, &cfg, 10, &ham.spec.name);
+        crate::exp_tta::print_traces("fig20-baseline", &[baseline]);
+    }
+    // Fig 21/22: CelebA dynamic (no mix) vs baseline; rate trace printed
+    // in the trace rows (img_per_s column = Figure 22).
+    let celeb = ctx.dataset("celebahq");
+    for model in [ModelSpec::resnet_like(), ModelSpec::shufflenet_like()] {
+        let (feats, pcr) = ctx.prepare(&celeb, &model);
+        let cfg = ctx.train_config(&celeb);
+        let dyn_cfg = DynamicConfig {
+            tune_every: 6,
+            initial_tune_epoch: 2,
+            ..Default::default()
+        };
+        let trace = train_dynamic_cosine(&feats, &pcr, &model, &cfg, &dyn_cfg, &celeb.spec.name);
+        let baseline = train_fixed_group(&feats, &pcr, &model, &cfg, 10, &celeb.spec.name);
+        crate::exp_tta::print_traces("fig21-22-dynamic", &[trace]);
+        crate::exp_tta::print_traces("fig21-22-baseline", &[baseline]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_datasets::Scale;
+
+    #[test]
+    fn fig19_mixture_bytes_are_continuum() {
+        // Mixture expected bytes must sit strictly between hard choices.
+        let ctx = Ctx { scale: Scale::Tiny };
+        let ds = ctx.dataset("celebahq");
+        let (feats, _) = ctx.prepare(&ds, &ModelSpec::resnet_like());
+        let sizes: Vec<(usize, f64)> =
+            STANDARD_GROUPS.iter().map(|&g| (g, feats.mean_bytes[&g])).collect();
+        let hard1 = pcr_autotune::MixturePolicy::fixed(1).expected_bytes(&sizes);
+        let hard10 = pcr_autotune::MixturePolicy::fixed(10).expected_bytes(&sizes);
+        let mix = pcr_autotune::MixturePolicy::selected(&STANDARD_GROUPS, 1, 10.0)
+            .expected_bytes(&sizes);
+        assert!(hard1 < mix && mix < hard10);
+    }
+}

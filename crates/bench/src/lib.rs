@@ -1,0 +1,18 @@
+//! # pcr-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! PCR paper (see `DESIGN.md` for the experiment index). The `experiments`
+//! binary dispatches to the modules here; Criterion microbenchmarks live
+//! under `benches/`.
+
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod exp_fluctuate;
+pub mod exp_micro;
+pub mod exp_sizes;
+pub mod exp_tables;
+pub mod exp_tta;
+pub mod exp_tuning;
+
+pub use context::{Ctx, STANDARD_GROUPS};

@@ -1,0 +1,64 @@
+//! Error types for the PCR storage format.
+
+use std::fmt;
+
+/// Errors from PCR encoding, decoding, or metadata handling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The byte stream does not start with the PCR magic number.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u16),
+    /// The stream ended before a complete structure was read.
+    Truncated {
+        /// What was being parsed.
+        context: &'static str,
+    },
+    /// Structural inconsistency in a record.
+    Malformed(String),
+    /// Requested scan group is not present in the bytes supplied.
+    GroupUnavailable {
+        /// The group that was requested.
+        requested: usize,
+        /// Groups actually available.
+        available: usize,
+    },
+    /// An underlying JPEG codec failure.
+    Jpeg(pcr_jpeg::Error),
+    /// Encoder input invalid.
+    BadInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::BadMagic => write!(f, "not a PCR stream (bad magic)"),
+            Error::BadVersion(v) => write!(f, "unsupported PCR version {v}"),
+            Error::Truncated { context } => write!(f, "truncated PCR stream while reading {context}"),
+            Error::Malformed(s) => write!(f, "malformed PCR record: {s}"),
+            Error::GroupUnavailable { requested, available } => {
+                write!(f, "scan group {requested} unavailable (have {available})")
+            }
+            Error::Jpeg(e) => write!(f, "jpeg error: {e}"),
+            Error::BadInput(s) => write!(f, "bad input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Jpeg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<pcr_jpeg::Error> for Error {
+    fn from(e: pcr_jpeg::Error) -> Self {
+        Error::Jpeg(e)
+    }
+}
+
+/// Result alias for PCR operations.
+pub type Result<T> = std::result::Result<T, Error>;

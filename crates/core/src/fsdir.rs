@@ -1,0 +1,174 @@
+//! Filesystem persistence for PCR datasets: the paper's encoder "transforms
+//! a set of JPEG files into a directory, which contains: a database for PCR
+//! metadata, and at least one .pcr file".
+//!
+//! Layout on disk:
+//!
+//! ```text
+//! <dir>/
+//!   metadata.pcdb          # serialized MetaDb
+//!   <prefix>-00000.pcr     # records, named as in the MetaDb
+//!   <prefix>-00001.pcr
+//!   ...
+//! ```
+
+use crate::dataset::{MetaDb, PcrDataset};
+use crate::error::{Error, Result};
+use std::fs;
+use std::io::Read;
+use std::path::Path;
+
+/// File name of the metadata database inside a PCR directory.
+pub const DB_FILE: &str = "metadata.pcdb";
+
+impl PcrDataset {
+    /// Writes the dataset as a directory of `.pcr` files plus the metadata
+    /// database. Creates the directory if needed; refuses to overwrite an
+    /// existing metadata file.
+    pub fn write_to_dir(&self, dir: &Path) -> Result<()> {
+        fs::create_dir_all(dir).map_err(io_err("create directory"))?;
+        let db_path = dir.join(DB_FILE);
+        if db_path.exists() {
+            return Err(Error::BadInput(format!(
+                "{} already contains a PCR dataset",
+                dir.display()
+            )));
+        }
+        for (meta, bytes) in self.db.records.iter().zip(&self.records) {
+            fs::write(dir.join(&meta.name), bytes).map_err(io_err("write record"))?;
+        }
+        fs::write(db_path, self.db.to_bytes()).map_err(io_err("write metadata db"))?;
+        Ok(())
+    }
+
+    /// Loads a dataset from a directory written by [`PcrDataset::write_to_dir`].
+    pub fn load_from_dir(dir: &Path) -> Result<PcrDataset> {
+        let db_bytes = fs::read(dir.join(DB_FILE)).map_err(io_err("read metadata db"))?;
+        let db = MetaDb::from_bytes(&db_bytes)?;
+        let mut records = Vec::with_capacity(db.records.len());
+        for meta in &db.records {
+            let path = dir.join(&meta.name);
+            let mut f = fs::File::open(&path).map_err(io_err("open record"))?;
+            let mut bytes = Vec::with_capacity(meta.total_len() as usize);
+            f.read_to_end(&mut bytes).map_err(io_err("read record"))?;
+            if bytes.len() as u64 != meta.total_len() {
+                return Err(Error::Malformed(format!(
+                    "{}: {} bytes on disk, metadata says {}",
+                    meta.name,
+                    bytes.len(),
+                    meta.total_len()
+                )));
+            }
+            records.push(bytes);
+        }
+        Ok(PcrDataset { records, db })
+    }
+
+    /// Reads only the byte prefix of one on-disk record needed for scan
+    /// group `g` — the partial-read a production loader would issue with
+    /// a ranged read / `pread`.
+    pub fn read_record_prefix_from_dir(dir: &Path, db: &MetaDb, record: usize, g: usize) -> Result<Vec<u8>> {
+        let meta = &db.records[record];
+        let len = meta.group_offsets[g.min(meta.group_offsets.len() - 1)] as usize;
+        let mut f = fs::File::open(dir.join(&meta.name)).map_err(io_err("open record"))?;
+        let mut buf = vec![0u8; len];
+        f.read_exact(&mut buf).map_err(io_err("read record prefix"))?;
+        Ok(buf)
+    }
+}
+
+fn io_err(context: &'static str) -> impl Fn(std::io::Error) -> Error {
+    move |e| Error::BadInput(format!("{context}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PcrDatasetBuilder;
+    use crate::record::{PcrRecord, SampleMeta};
+    use pcr_jpeg::ImageBuf;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcr-fsdir-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build() -> PcrDataset {
+        let mut b = PcrDatasetBuilder::new(3, 10).with_name_prefix("train");
+        for i in 0..7u32 {
+            let mut data = Vec::new();
+            for y in 0..24u32 {
+                for x in 0..24u32 {
+                    data.push(((x * 5 + y * 3 + i * 11) % 256) as u8);
+                    data.push(((x + y) % 256) as u8);
+                    data.push((x % 256) as u8);
+                }
+            }
+            let img = ImageBuf::from_raw(24, 24, 3, data).unwrap();
+            b.add_image(SampleMeta { label: i % 2, id: format!("f{i}") }, &img, 85).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = tmpdir("roundtrip");
+        let ds = build();
+        ds.write_to_dir(&dir).unwrap();
+        let back = PcrDataset::load_from_dir(&dir).unwrap();
+        assert_eq!(back.db, ds.db);
+        assert_eq!(back.records, ds.records);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refuses_double_write() {
+        let dir = tmpdir("double");
+        let ds = build();
+        ds.write_to_dir(&dir).unwrap();
+        assert!(ds.write_to_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prefix_read_from_disk_decodes() {
+        let dir = tmpdir("prefix");
+        let ds = build();
+        ds.write_to_dir(&dir).unwrap();
+        for g in [1usize, 5] {
+            let prefix =
+                PcrDataset::read_record_prefix_from_dir(&dir, &ds.db, 0, g).unwrap();
+            let rec = PcrRecord::parse(&prefix).unwrap();
+            assert_eq!(rec.available_groups(), g);
+            assert_eq!(rec.decode_image(0, g).unwrap().width(), 24);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn detects_truncated_record_on_disk() {
+        let dir = tmpdir("trunc");
+        let ds = build();
+        ds.write_to_dir(&dir).unwrap();
+        // Truncate the first record file.
+        let name = &ds.db.records[0].name;
+        let path = dir.join(name);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(PcrDataset::load_from_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_db_is_clean_error() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(PcrDataset::load_from_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,480 @@
+//! The `.pcr` record format: label metadata, per-image JPEG headers, then
+//! scan groups — deltas of the same quality from every image stored
+//! together so a single sequential read of a byte *prefix* yields the whole
+//! record at a chosen quality (paper section 3).
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! magic "PCR1" | version u16 | num_images u32 | num_groups u16 | index_len u64
+//! index: per image {
+//!     label u32 | id bytes (u32-prefixed) | header_len u32 |
+//!     group_len u32 x num_groups
+//! }
+//! headers: concatenated JPEG header chunks (SOI..SOF, global tables)
+//! group 1: image 0 scan-1 chunk | image 1 scan-1 chunk | ...
+//! group 2: ...
+//! ...
+//! group N
+//! ```
+//!
+//! Reading quality `g` = reading bytes `[0, offset_for_group(g))` — strictly
+//! sequential I/O, no holes, no duplication.
+
+use crate::error::{Error, Result};
+use crate::wire::{put_bytes, put_u16, put_u32, put_u64, Reader};
+use pcr_jpeg::scansplit::{scan_chunks, split_scans};
+use pcr_jpeg::{EncodeConfig, ImageBuf};
+
+/// Magic prefix of every `.pcr` stream.
+pub const MAGIC: &[u8; 4] = b"PCR1";
+/// Current format version.
+pub const VERSION: u16 = 1;
+/// Scan groups produced by the default progressive script for color images.
+pub const DEFAULT_NUM_GROUPS: usize = 10;
+
+/// Per-sample metadata stored in the record index ("scan group 0").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleMeta {
+    /// Class label.
+    pub label: u32,
+    /// Free-form sample identifier (e.g. original file name).
+    pub id: String,
+}
+
+/// Index entry: metadata plus the byte sizes of every per-image chunk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexEntry {
+    meta: SampleMeta,
+    header_len: u32,
+    group_lens: Vec<u32>,
+}
+
+/// Builds a `.pcr` record from progressive JPEG images.
+#[derive(Debug)]
+pub struct PcrRecordBuilder {
+    num_groups: usize,
+    entries: Vec<(SampleMeta, Vec<u8>, pcr_jpeg::ScanLayout)>,
+}
+
+impl PcrRecordBuilder {
+    /// Creates a builder with the given number of scan groups (each scan of
+    /// the default script maps to one group).
+    pub fn new(num_groups: usize) -> Self {
+        Self { num_groups: num_groups.max(1), entries: Vec::new() }
+    }
+
+    /// Builder with the standard 10 groups.
+    pub fn with_default_groups() -> Self {
+        Self::new(DEFAULT_NUM_GROUPS)
+    }
+
+    /// Adds an already-progressive JPEG byte stream.
+    pub fn add_progressive_jpeg(&mut self, meta: SampleMeta, jpeg: Vec<u8>) -> Result<()> {
+        let layout = split_scans(&jpeg)?;
+        if layout.num_scans() > self.num_groups {
+            return Err(Error::BadInput(format!(
+                "image has {} scans but record has {} groups",
+                layout.num_scans(),
+                self.num_groups
+            )));
+        }
+        self.entries.push((meta, jpeg, layout));
+        Ok(())
+    }
+
+    /// Encodes raw pixels as progressive JPEG at `quality` and adds them.
+    pub fn add_image(&mut self, meta: SampleMeta, img: &ImageBuf, quality: u8) -> Result<()> {
+        let jpeg = pcr_jpeg::encode(img, &EncodeConfig::progressive(quality))?;
+        self.add_progressive_jpeg(meta, jpeg)
+    }
+
+    /// Adds a sequential (baseline) JPEG by losslessly transcoding it to
+    /// progressive first — the `jpegtran` conversion step of the paper.
+    pub fn add_baseline_jpeg(&mut self, meta: SampleMeta, jpeg: &[u8]) -> Result<()> {
+        let prog = pcr_jpeg::to_progressive(jpeg)?;
+        self.add_progressive_jpeg(meta, prog)
+    }
+
+    /// Number of images added so far.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no images were added.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the record.
+    pub fn build(self) -> Result<Vec<u8>> {
+        if self.entries.is_empty() {
+            return Err(Error::BadInput("record needs at least one image".into()));
+        }
+        let num_groups = self.num_groups;
+
+        // Index section.
+        let mut index = Vec::new();
+        for (meta, jpeg, layout) in &self.entries {
+            put_u32(&mut index, meta.label);
+            put_bytes(&mut index, meta.id.as_bytes());
+            put_u32(&mut index, layout.header_len as u32);
+            let _ = jpeg;
+            for g in 0..num_groups {
+                let len = if g < layout.num_scans() { layout.scan_size(g) as u32 } else { 0 };
+                put_u32(&mut index, len);
+            }
+        }
+
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u16(&mut out, VERSION);
+        put_u32(&mut out, self.entries.len() as u32);
+        put_u16(&mut out, num_groups as u16);
+        put_u64(&mut out, index.len() as u64);
+        out.extend_from_slice(&index);
+
+        // Headers.
+        for (_, jpeg, layout) in &self.entries {
+            out.extend_from_slice(&jpeg[..layout.header_len]);
+        }
+        // Scan groups.
+        for g in 0..num_groups {
+            for (_, jpeg, layout) in &self.entries {
+                if g < layout.num_scans() {
+                    let chunks = scan_chunks(jpeg, layout);
+                    out.extend_from_slice(chunks[g]);
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// A parsed `.pcr` record over a (possibly prefix-truncated) byte buffer.
+#[derive(Debug, Clone)]
+pub struct PcrRecord<'a> {
+    data: &'a [u8],
+    num_groups: usize,
+    entries: Vec<IndexEntry>,
+    /// Byte offset where the headers section begins.
+    headers_start: usize,
+}
+
+impl<'a> PcrRecord<'a> {
+    /// Parses a record from bytes. The buffer may be a prefix of the full
+    /// record (the PCR partial-read path) as long as the index section is
+    /// complete; [`PcrRecord::available_groups`] reports how much quality
+    /// the prefix actually covers.
+    pub fn parse(data: &'a [u8]) -> Result<Self> {
+        let mut r = Reader::new(data);
+        if r.bytes(4, "magic")? != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = r.u16("version")?;
+        if version != VERSION {
+            return Err(Error::BadVersion(version));
+        }
+        let num_images = r.u32("num_images")? as usize;
+        let num_groups = r.u16("num_groups")? as usize;
+        let index_len = r.u64("index_len")? as usize;
+        let index_start = r.pos();
+        if num_groups == 0 {
+            return Err(Error::Malformed("zero scan groups".into()));
+        }
+        let mut entries = Vec::with_capacity(num_images);
+        for _ in 0..num_images {
+            let label = r.u32("label")?;
+            let id = String::from_utf8(r.prefixed_bytes("sample id")?.to_vec())
+                .map_err(|_| Error::Malformed("sample id not UTF-8".into()))?;
+            let header_len = r.u32("header_len")?;
+            let mut group_lens = Vec::with_capacity(num_groups);
+            for _ in 0..num_groups {
+                group_lens.push(r.u32("group_len")?);
+            }
+            entries.push(IndexEntry { meta: SampleMeta { label, id }, header_len, group_lens });
+        }
+        if r.pos() != index_start + index_len {
+            return Err(Error::Malformed(format!(
+                "index length {} != declared {}",
+                r.pos() - index_start,
+                index_len
+            )));
+        }
+        Ok(Self { data, num_groups, entries, headers_start: r.pos() })
+    }
+
+    /// Number of images in the record.
+    pub fn num_images(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of scan groups the record was built with.
+    pub fn num_groups(&self) -> usize {
+        self.num_groups
+    }
+
+    /// Metadata of image `i`.
+    pub fn meta(&self, i: usize) -> &SampleMeta {
+        &self.entries[i].meta
+    }
+
+    /// All labels in image order.
+    pub fn labels(&self) -> Vec<u32> {
+        self.entries.iter().map(|e| e.meta.label).collect()
+    }
+
+    fn headers_len(&self) -> usize {
+        self.entries.iter().map(|e| e.header_len as usize).sum()
+    }
+
+    /// Total bytes of scan group `g` (1-based) across all images.
+    pub fn group_size(&self, g: usize) -> usize {
+        assert!(g >= 1 && g <= self.num_groups, "group out of range");
+        self.entries.iter().map(|e| e.group_lens[g - 1] as usize).sum()
+    }
+
+    /// Bytes that must be read (from offset 0) to decode every image at scan
+    /// group `g`. `g == 0` covers just metadata + headers.
+    pub fn offset_for_group(&self, g: usize) -> usize {
+        assert!(g <= self.num_groups, "group out of range");
+        let mut end = self.headers_start + self.headers_len();
+        for gg in 1..=g {
+            end += self.group_size(gg);
+        }
+        end
+    }
+
+    /// Full record length in bytes.
+    pub fn total_len(&self) -> usize {
+        self.offset_for_group(self.num_groups)
+    }
+
+    /// Highest scan group fully contained in the supplied buffer.
+    pub fn available_groups(&self) -> usize {
+        let mut g = 0usize;
+        while g < self.num_groups && self.data.len() >= self.offset_for_group(g + 1) {
+            g += 1;
+        }
+        g
+    }
+
+    fn image_header(&self, i: usize) -> Result<&'a [u8]> {
+        let mut off = self.headers_start;
+        for e in &self.entries[..i] {
+            off += e.header_len as usize;
+        }
+        let len = self.entries[i].header_len as usize;
+        if off + len > self.data.len() {
+            return Err(Error::Truncated { context: "image header" });
+        }
+        Ok(&self.data[off..off + len])
+    }
+
+    fn chunk(&self, i: usize, g: usize) -> Result<&'a [u8]> {
+        // Start of group g's region.
+        let mut off = self.headers_start + self.headers_len();
+        for gg in 1..g {
+            off += self.group_size(gg);
+        }
+        for e in &self.entries[..i] {
+            off += e.group_lens[g - 1] as usize;
+        }
+        let len = self.entries[i].group_lens[g - 1] as usize;
+        if off + len > self.data.len() {
+            return Err(Error::Truncated { context: "scan group chunk" });
+        }
+        Ok(&self.data[off..off + len])
+    }
+
+    /// Reassembles a decodable JPEG for image `i` using scans up to group
+    /// `g` (clamped to the image's own scan count).
+    pub fn jpeg_at_group(&self, i: usize, g: usize) -> Result<Vec<u8>> {
+        if g == 0 || g > self.num_groups {
+            return Err(Error::BadInput(format!("scan group {g} out of range")));
+        }
+        if g > self.available_groups() {
+            return Err(Error::GroupUnavailable { requested: g, available: self.available_groups() });
+        }
+        let e = &self.entries[i];
+        let mut out = Vec::new();
+        out.extend_from_slice(self.image_header(i)?);
+        for gg in 1..=g {
+            if e.group_lens[gg - 1] > 0 {
+                out.extend_from_slice(self.chunk(i, gg)?);
+            }
+        }
+        out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+        Ok(out)
+    }
+
+    /// Decodes image `i` at scan group `g`.
+    pub fn decode_image(&self, i: usize, g: usize) -> Result<ImageBuf> {
+        let jpeg = self.jpeg_at_group(i, g)?;
+        Ok(pcr_jpeg::decode(&jpeg)?)
+    }
+
+    /// Per-group cumulative read sizes `[offset_for_group(0..=N)]` — the
+    /// series plotted in the paper's Figure 16.
+    pub fn cumulative_group_offsets(&self) -> Vec<usize> {
+        (0..=self.num_groups).map(|g| self.offset_for_group(g)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_image(seed: u32, w: u32, h: u32) -> ImageBuf {
+        let mut data = Vec::with_capacity((w * h * 3) as usize);
+        let mut s = seed.wrapping_mul(2654435761).max(1);
+        for y in 0..h {
+            for x in 0..w {
+                s = s.wrapping_mul(48271) % 0x7FFF_FFFF;
+                let base = ((x * 5 + y * 3 + seed * 17) % 256) as u8;
+                data.push(base);
+                data.push(base.wrapping_add((s & 0x1F) as u8));
+                data.push((255 - base).wrapping_sub((s & 0x0F) as u8));
+            }
+        }
+        ImageBuf::from_raw(w, h, 3, data).unwrap()
+    }
+
+    fn build_record(n: usize) -> Vec<u8> {
+        let mut b = PcrRecordBuilder::with_default_groups();
+        for i in 0..n {
+            let img = test_image(i as u32 + 1, 48, 32);
+            b.add_image(
+                SampleMeta { label: (i % 3) as u32, id: format!("img{i:04}") },
+                &img,
+                85,
+            )
+            .unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn build_and_parse_roundtrip() {
+        let bytes = build_record(4);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        assert_eq!(rec.num_images(), 4);
+        assert_eq!(rec.num_groups(), 10);
+        assert_eq!(rec.available_groups(), 10);
+        assert_eq!(rec.total_len(), bytes.len());
+        assert_eq!(rec.meta(2).id, "img0002");
+        assert_eq!(rec.labels(), vec![0, 1, 2, 0]);
+    }
+
+    #[test]
+    fn full_group_decode_matches_direct_decode() {
+        let mut b = PcrRecordBuilder::with_default_groups();
+        let img = test_image(7, 40, 40);
+        let jpeg = pcr_jpeg::encode(&img, &EncodeConfig::progressive(85)).unwrap();
+        b.add_progressive_jpeg(SampleMeta { label: 0, id: "x".into() }, jpeg.clone()).unwrap();
+        let bytes = b.build().unwrap();
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        let from_record = rec.decode_image(0, 10).unwrap();
+        let direct = pcr_jpeg::decode(&jpeg).unwrap();
+        assert_eq!(from_record, direct);
+    }
+
+    #[test]
+    fn prefix_read_yields_lower_groups() {
+        let bytes = build_record(3);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        for g in [1usize, 2, 5] {
+            let prefix = &bytes[..rec.offset_for_group(g)];
+            let view = PcrRecord::parse(prefix).unwrap();
+            assert_eq!(view.available_groups(), g, "group {g}");
+            for i in 0..3 {
+                let img = view.decode_image(i, g).unwrap();
+                assert_eq!(img.width(), 48);
+            }
+            // One more group must be refused.
+            assert!(matches!(
+                view.jpeg_at_group(0, g + 1),
+                Err(Error::GroupUnavailable { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn prefix_quality_increases_with_groups() {
+        let img = test_image(3, 64, 64);
+        let mut b = PcrRecordBuilder::with_default_groups();
+        b.add_image(SampleMeta { label: 0, id: "a".into() }, &img, 90).unwrap();
+        let bytes = b.build().unwrap();
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        let reference = rec.decode_image(0, 10).unwrap();
+        let mut last = 0f64;
+        for g in [1usize, 2, 5, 10] {
+            let out = rec.decode_image(0, g).unwrap();
+            let p = pcr_jpeg::psnr(&reference, &out);
+            assert!(p >= last - 0.75, "group {g}: psnr {p} < {last}");
+            last = p;
+        }
+        assert!(last.is_infinite());
+    }
+
+    #[test]
+    fn offsets_are_monotone_and_match_total() {
+        let bytes = build_record(5);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        let offs = rec.cumulative_group_offsets();
+        assert_eq!(offs.len(), 11);
+        for w in offs.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert_eq!(*offs.last().unwrap(), bytes.len());
+    }
+
+    #[test]
+    fn group_sizes_sum_to_payload() {
+        let bytes = build_record(2);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        let groups_total: usize = (1..=10).map(|g| rec.group_size(g)).sum();
+        assert_eq!(rec.offset_for_group(0) + groups_total, bytes.len());
+    }
+
+    #[test]
+    fn rejects_garbage_and_truncated_index() {
+        assert!(matches!(PcrRecord::parse(b"nope"), Err(Error::BadMagic)));
+        let bytes = build_record(2);
+        // Cut inside the index.
+        assert!(PcrRecord::parse(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn empty_builder_rejected() {
+        assert!(PcrRecordBuilder::with_default_groups().build().is_err());
+    }
+
+    #[test]
+    fn baseline_jpeg_transcoded_on_add() {
+        let img = test_image(9, 32, 32);
+        let base = pcr_jpeg::encode(&img, &EncodeConfig::baseline(80)).unwrap();
+        let mut b = PcrRecordBuilder::with_default_groups();
+        b.add_baseline_jpeg(SampleMeta { label: 1, id: "b".into() }, &base).unwrap();
+        let bytes = b.build().unwrap();
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        // Full-quality decode equals the baseline decode (lossless transcode).
+        assert_eq!(rec.decode_image(0, 10).unwrap(), pcr_jpeg::decode(&base).unwrap());
+    }
+
+    #[test]
+    fn grayscale_images_have_six_scans_padded_groups() {
+        let img = test_image(4, 32, 32).to_luma();
+        let mut b = PcrRecordBuilder::with_default_groups();
+        b.add_image(SampleMeta { label: 0, id: "g".into() }, &img, 85).unwrap();
+        let bytes = b.build().unwrap();
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        // Groups 7..=10 are empty for the grayscale image.
+        for g in 7..=10 {
+            assert_eq!(rec.group_size(g), 0);
+        }
+        let full = rec.decode_image(0, 10).unwrap();
+        let at6 = rec.decode_image(0, 6).unwrap();
+        assert_eq!(full, at6);
+    }
+}

@@ -1,0 +1,111 @@
+//! Little-endian wire helpers for the hand-rolled binary formats.
+
+use crate::error::{Error, Result};
+
+/// Appends a `u16` in little-endian order.
+pub fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u32` in little-endian order.
+pub fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a `u64` in little-endian order.
+pub fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Appends a length-prefixed byte string (u32 length).
+pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    put_u32(out, v.len() as u32);
+    out.extend_from_slice(v);
+}
+
+/// Sequential reader with context-tagged truncation errors.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Wraps a byte slice.
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0 }
+    }
+
+    /// Current offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.data.len().saturating_sub(self.pos)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(Error::Truncated { context });
+        }
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self, context: &'static str) -> Result<u16> {
+        let b = self.bytes(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self, context: &'static str) -> Result<u32> {
+        let b = self.bytes(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self, context: &'static str) -> Result<u64> {
+        let b = self.bytes(8, context)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    /// Reads a u32-length-prefixed byte string.
+    pub fn prefixed_bytes(&mut self, context: &'static str) -> Result<&'a [u8]> {
+        let n = self.u32(context)? as usize;
+        self.bytes(n, context)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        put_u16(&mut buf, 0xBEEF);
+        put_u32(&mut buf, 0xDEADBEEF);
+        put_u64(&mut buf, 0x0123_4567_89AB_CDEF);
+        put_bytes(&mut buf, b"hello");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.u16("a").unwrap(), 0xBEEF);
+        assert_eq!(r.u32("b").unwrap(), 0xDEADBEEF);
+        assert_eq!(r.u64("c").unwrap(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.prefixed_bytes("d").unwrap(), b"hello");
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn truncation_reports_context() {
+        let mut r = Reader::new(&[1, 2]);
+        match r.u32("frobnicator") {
+            Err(Error::Truncated { context }) => assert_eq!(context, "frobnicator"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

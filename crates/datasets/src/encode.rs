@@ -1,0 +1,148 @@
+//! Encoding synthetic datasets into the storage formats under comparison:
+//! PCR datasets, fixed-quality record files, and file-per-image layouts.
+
+use crate::generate::SyntheticDataset;
+use pcr_core::{
+    FilePerImageDataset, PcrDataset, PcrDatasetBuilder, RecordFileBuilder, SampleMeta,
+};
+use pcr_jpeg::EncodeConfig;
+
+/// Images per record used throughout the experiments. The paper uses
+/// roughly 1024 images/record on ImageNet; we scale down with our dataset
+/// sizes so each dataset still spans tens of records.
+pub const IMAGES_PER_RECORD: usize = 16;
+
+/// Encodes the training split as a PCR dataset (progressive, 10 groups).
+///
+/// Returns the dataset and the total encode wall-clock time in seconds
+/// (used by the Figure 15 conversion-time experiment).
+pub fn to_pcr_dataset(ds: &SyntheticDataset, images_per_record: usize) -> (PcrDataset, f64) {
+    let start = std::time::Instant::now();
+    let mut b = PcrDatasetBuilder::new(images_per_record, pcr_core::DEFAULT_NUM_GROUPS)
+        .with_name_prefix(&ds.spec.name);
+    for s in &ds.train {
+        b.add_image(
+            SampleMeta { label: s.label, id: s.id.clone() },
+            &s.image,
+            ds.spec.jpeg_quality,
+        )
+        .expect("encode");
+    }
+    let out = b.finish().expect("non-empty dataset");
+    (out, start.elapsed().as_secs_f64())
+}
+
+/// Encodes the training split as fixed-quality record files (the static
+/// baseline): one `Vec<u8>` per record.
+///
+/// Returns `(records, encode_seconds)`.
+pub fn to_record_files(
+    ds: &SyntheticDataset,
+    images_per_record: usize,
+    quality: u8,
+) -> (Vec<Vec<u8>>, f64) {
+    let start = std::time::Instant::now();
+    let mut records = Vec::new();
+    let mut builder = RecordFileBuilder::new();
+    for s in &ds.train {
+        builder
+            .add_image(SampleMeta { label: s.label, id: s.id.clone() }, &s.image, quality)
+            .expect("encode");
+        if builder.len() >= images_per_record {
+            let b = std::mem::replace(&mut builder, RecordFileBuilder::new());
+            records.push(b.build().expect("non-empty"));
+        }
+    }
+    if !builder.is_empty() {
+        records.push(builder.build().expect("non-empty"));
+    }
+    (records, start.elapsed().as_secs_f64())
+}
+
+/// Encodes the training split as a file-per-image dataset at its native
+/// quality.
+pub fn to_file_per_image(ds: &SyntheticDataset) -> FilePerImageDataset {
+    let mut out = FilePerImageDataset::new();
+    for s in &ds.train {
+        out.add_image(
+            SampleMeta { label: s.label, id: s.id.clone() },
+            &s.image,
+            ds.spec.jpeg_quality,
+        )
+        .expect("encode");
+    }
+    out
+}
+
+/// Encodes every *test* image as a full-quality progressive JPEG, returning
+/// the raw streams (used for MSSIM-per-scan measurements).
+pub fn test_progressive_jpegs(ds: &SyntheticDataset) -> Vec<Vec<u8>> {
+    ds.test
+        .iter()
+        .map(|s| {
+            pcr_jpeg::encode(&s.image, &EncodeConfig::progressive(ds.spec.jpeg_quality))
+                .expect("encode")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{DatasetSpec, Scale};
+    use pcr_core::PcrRecord;
+
+    fn tiny() -> SyntheticDataset {
+        SyntheticDataset::generate(&DatasetSpec::celebahq_smile_like(Scale::Tiny))
+    }
+
+    #[test]
+    fn pcr_dataset_covers_all_train_images() {
+        let ds = tiny();
+        let (pcr, secs) = to_pcr_dataset(&ds, 8);
+        assert_eq!(pcr.db.num_images(), ds.train.len());
+        assert!(secs > 0.0);
+        // Decode one image from the first record at low quality.
+        let rec = pcr.open_record(0).unwrap();
+        let img = rec.decode_image(0, 2).unwrap();
+        assert_eq!(img.width(), 64);
+    }
+
+    #[test]
+    fn record_files_chunked() {
+        let ds = tiny();
+        let (recs, _) = to_record_files(&ds, 10, 75);
+        let expected = ds.train.len().div_ceil(10);
+        assert_eq!(recs.len(), expected);
+        let parsed = pcr_core::RecordFile::parse(&recs[0]).unwrap();
+        assert_eq!(parsed.num_images(), 10.min(ds.train.len()));
+    }
+
+    #[test]
+    fn file_per_image_matches_count() {
+        let ds = tiny();
+        let fpi = to_file_per_image(&ds);
+        assert_eq!(fpi.len(), ds.train.len());
+    }
+
+    #[test]
+    fn pcr_labels_survive_storage() {
+        let ds = tiny();
+        let (pcr, _) = to_pcr_dataset(&ds, 4);
+        let mut stored: Vec<u32> = Vec::new();
+        for i in 0..pcr.num_records() {
+            let rec = PcrRecord::parse(&pcr.records[i]).unwrap();
+            stored.extend(rec.labels());
+        }
+        let native: Vec<u32> = ds.train.iter().map(|s| s.label).collect();
+        assert_eq!(stored, native);
+    }
+
+    #[test]
+    fn progressive_test_jpegs_have_scans() {
+        let ds = tiny();
+        let jpegs = test_progressive_jpegs(&ds);
+        assert_eq!(jpegs.len(), ds.test.len());
+        assert_eq!(pcr_jpeg::count_scans(&jpegs[0]).unwrap(), 10);
+    }
+}

@@ -1,0 +1,308 @@
+//! Bit-level I/O for entropy-coded JPEG segments, including 0xFF byte
+//! stuffing (writer) and stuffing removal / marker detection (reader).
+
+use crate::error::{Error, Result};
+
+/// Writes bits MSB-first into a byte buffer, inserting a 0x00 stuff byte
+/// after every literal 0xFF as required by T.81 section B.1.1.5.
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    out: Vec<u8>,
+    acc: u32,
+    nbits: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the low `n` bits of `value` (MSB first). `n` must be <= 24.
+    #[inline]
+    pub fn put_bits(&mut self, value: u32, n: u32) {
+        if n == 0 {
+            return;
+        }
+        debug_assert!(n <= 24);
+        let mask = (1u32 << n) - 1;
+        self.acc = (self.acc << n) | (value & mask);
+        self.nbits += n;
+        while self.nbits >= 8 {
+            let byte = ((self.acc >> (self.nbits - 8)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00);
+            }
+            self.nbits -= 8;
+        }
+    }
+
+    /// Pads the final partial byte with 1-bits (T.81 B.1.1.5) and returns the
+    /// completed entropy-coded segment.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            let byte = (((self.acc << pad) | ((1u32 << pad) - 1)) & 0xFF) as u8;
+            self.out.push(byte);
+            if byte == 0xFF {
+                self.out.push(0x00);
+            }
+            self.nbits = 0;
+        }
+        self.out
+    }
+
+    /// Number of full bytes emitted so far (excluding buffered bits).
+    pub fn len(&self) -> usize {
+        self.out.len()
+    }
+
+    /// True if nothing has been emitted or buffered.
+    pub fn is_empty(&self) -> bool {
+        self.out.is_empty() && self.nbits == 0
+    }
+}
+
+/// Reads bits MSB-first from an entropy-coded segment, transparently
+/// removing 0xFF 0x00 stuffing and stopping at any real marker.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    acc: u32,
+    nbits: u32,
+    /// Set when a non-stuffed 0xFF marker byte was encountered; entropy data
+    /// is exhausted at that point.
+    marker_hit: Option<u8>,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `data`, which should start at the first
+    /// entropy-coded byte (just after an SOS header).
+    pub fn new(data: &'a [u8]) -> Self {
+        Self { data, pos: 0, acc: 0, nbits: 0, marker_hit: None }
+    }
+
+    /// Byte offset of the next unread byte within the input slice.
+    pub fn byte_pos(&self) -> usize {
+        self.pos
+    }
+
+    /// The marker byte that terminated this segment, if any was seen.
+    pub fn marker(&self) -> Option<u8> {
+        self.marker_hit
+    }
+
+    #[inline]
+    fn fill(&mut self) -> Result<()> {
+        // After hitting a marker, T.81 behaviour is to feed zero bits; a
+        // well-formed stream never needs them, and a truncated progressive
+        // stream decodes its remaining EOB runs harmlessly.
+        if self.marker_hit.is_some() {
+            self.acc <<= 8;
+            self.nbits += 8;
+            return Ok(());
+        }
+        if self.pos >= self.data.len() {
+            // Truncated stream: treat like marker-hit and pad with zeros so
+            // callers can finish the current MCU then notice exhaustion.
+            self.marker_hit = Some(0x00);
+            self.acc <<= 8;
+            self.nbits += 8;
+            return Ok(());
+        }
+        let b = self.data[self.pos];
+        self.pos += 1;
+        if b == 0xFF {
+            match self.data.get(self.pos) {
+                Some(0x00) => {
+                    self.pos += 1; // stuffed 0xFF
+                    self.acc = (self.acc << 8) | 0xFF;
+                }
+                Some(&m) => {
+                    self.marker_hit = Some(m);
+                    self.pos -= 1; // leave reader at the 0xFF
+                    self.acc <<= 8;
+                }
+                None => {
+                    self.marker_hit = Some(0x00);
+                    self.acc <<= 8;
+                }
+            }
+        } else {
+            self.acc = (self.acc << 8) | u32::from(b);
+        }
+        self.nbits += 8;
+        Ok(())
+    }
+
+    /// Reads `n` bits (n <= 16) MSB-first.
+    #[inline]
+    pub fn get_bits(&mut self, n: u32) -> Result<u32> {
+        if n == 0 {
+            return Ok(0);
+        }
+        debug_assert!(n <= 16);
+        while self.nbits < n {
+            self.fill()?;
+        }
+        self.nbits -= n;
+        Ok((self.acc >> self.nbits) & ((1u32 << n) - 1))
+    }
+
+    /// Reads a single bit.
+    #[inline]
+    pub fn get_bit(&mut self) -> Result<u32> {
+        self.get_bits(1)
+    }
+
+    /// Peeks up to 16 bits without consuming them (zero-padded past EOF).
+    #[inline]
+    pub fn peek_bits(&mut self, n: u32) -> Result<u32> {
+        debug_assert!(n <= 16);
+        while self.nbits < n {
+            self.fill()?;
+        }
+        Ok((self.acc >> (self.nbits - n)) & ((1u32 << n) - 1))
+    }
+
+    /// Consumes `n` bits previously peeked.
+    #[inline]
+    pub fn consume(&mut self, n: u32) -> Result<()> {
+        if self.nbits < n {
+            return Err(Error::CorruptData("consume past fill".into()));
+        }
+        self.nbits -= n;
+        Ok(())
+    }
+
+    /// True once the reader has both hit a marker/EOF and drained its
+    /// buffered whole bytes.
+    pub fn exhausted(&self) -> bool {
+        self.marker_hit.is_some()
+    }
+}
+
+/// Sign-extends an `n`-bit magnitude per T.81 F.2.2.1 `EXTEND`.
+#[inline]
+pub fn extend(v: u32, n: u32) -> i32 {
+    if n == 0 {
+        return 0;
+    }
+    let vt = 1i32 << (n - 1);
+    let v = v as i32;
+    if v < vt {
+        v - (1i32 << n) + 1
+    } else {
+        v
+    }
+}
+
+/// Number of bits needed to represent `|v|` (the JPEG "size" category).
+#[inline]
+pub fn bit_size(v: i32) -> u32 {
+    let a = v.unsigned_abs();
+    32 - a.leading_zeros()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_simple_bits() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0b0110_1001, 8);
+        w.put_bits(0b1, 1);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3).unwrap(), 0b101);
+        assert_eq!(r.get_bits(8).unwrap(), 0b0110_1001);
+        assert_eq!(r.get_bit().unwrap(), 1);
+    }
+
+    #[test]
+    fn writer_stuffs_ff() {
+        let mut w = BitWriter::new();
+        w.put_bits(0xFF, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xFF, 0x00]);
+    }
+
+    #[test]
+    fn writer_pads_with_ones() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0b1111_1111, 0x00]); // 0xFF gets stuffed too
+    }
+
+    #[test]
+    fn reader_unstuffs_ff() {
+        let data = [0xFF, 0x00, 0xAB];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(8).unwrap(), 0xFF);
+        assert_eq!(r.get_bits(8).unwrap(), 0xAB);
+        assert!(r.marker().is_none());
+    }
+
+    #[test]
+    fn reader_stops_at_marker() {
+        let data = [0x12, 0xFF, 0xD9];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(8).unwrap(), 0x12);
+        // Next read crosses into the marker: zero-padded.
+        assert_eq!(r.get_bits(8).unwrap(), 0x00);
+        assert_eq!(r.marker(), Some(0xD9));
+    }
+
+    #[test]
+    fn reader_zero_pads_truncated_stream() {
+        let data = [0b1010_0000];
+        let mut r = BitReader::new(&data);
+        assert_eq!(r.get_bits(4).unwrap(), 0b1010);
+        assert_eq!(r.get_bits(8).unwrap(), 0);
+        assert!(r.exhausted());
+    }
+
+    #[test]
+    fn extend_matches_spec() {
+        // From T.81 Table F.1 semantics.
+        assert_eq!(extend(0, 1), -1);
+        assert_eq!(extend(1, 1), 1);
+        assert_eq!(extend(0b00, 2), -3);
+        assert_eq!(extend(0b01, 2), -2);
+        assert_eq!(extend(0b10, 2), 2);
+        assert_eq!(extend(0b11, 2), 3);
+        assert_eq!(extend(0, 0), 0);
+    }
+
+    #[test]
+    fn bit_size_categories() {
+        assert_eq!(bit_size(0), 0);
+        assert_eq!(bit_size(1), 1);
+        assert_eq!(bit_size(-1), 1);
+        assert_eq!(bit_size(2), 2);
+        assert_eq!(bit_size(-3), 2);
+        assert_eq!(bit_size(255), 8);
+        assert_eq!(bit_size(-1024), 11);
+    }
+
+    #[test]
+    fn many_values_roundtrip() {
+        let vals: Vec<(u32, u32)> = (0u32..1000)
+            .map(|i| (i.wrapping_mul(2654435761) & 0x3FF, (i % 10) + 1))
+            .collect();
+        let mut w = BitWriter::new();
+        for &(v, n) in &vals {
+            w.put_bits(v & ((1 << n) - 1), n);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &(v, n) in &vals {
+            assert_eq!(r.get_bits(n).unwrap(), v & ((1 << n) - 1));
+        }
+    }
+}

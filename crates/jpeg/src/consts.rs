@@ -1,0 +1,234 @@
+//! Marker constants, zigzag tables, and standard quantization matrices
+//! (ITU-T T.81 Annex K).
+
+/// Start of Image.
+pub const SOI: u8 = 0xD8;
+/// End of Image.
+pub const EOI: u8 = 0xD9;
+/// Start of Scan.
+pub const SOS: u8 = 0xDA;
+/// Define Quantization Table(s).
+pub const DQT: u8 = 0xDB;
+/// Define Huffman Table(s).
+pub const DHT: u8 = 0xC4;
+/// Baseline DCT frame (sequential, Huffman).
+pub const SOF0: u8 = 0xC0;
+/// Extended sequential DCT frame (Huffman).
+pub const SOF1: u8 = 0xC1;
+/// Progressive DCT frame (Huffman).
+pub const SOF2: u8 = 0xC2;
+/// Define Restart Interval.
+pub const DRI: u8 = 0xDD;
+/// Restart marker base (RST0..RST7 = 0xD0..0xD7).
+pub const RST0: u8 = 0xD0;
+/// APP0 (JFIF) marker.
+pub const APP0: u8 = 0xE0;
+/// Comment marker.
+pub const COM: u8 = 0xFE;
+
+/// Returns true for RSTn markers.
+#[inline]
+pub fn is_rst(marker: u8) -> bool {
+    (RST0..=0xD7).contains(&marker)
+}
+
+/// Zigzag order: `ZIGZAG[i]` is the natural (row-major) index of the i-th
+/// coefficient in zigzag scan order. This matches libjpeg's
+/// `jpeg_natural_order`.
+pub const ZIGZAG: [usize; 64] = [
+    0, 1, 8, 16, 9, 2, 3, 10, 17, 24, 32, 25, 18, 11, 4, 5, 12, 19, 26, 33, 40, 48, 41, 34, 27,
+    20, 13, 6, 7, 14, 21, 28, 35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51, 58,
+    59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63,
+];
+
+/// Inverse zigzag: `UNZIGZAG[natural_index]` = zigzag position.
+pub const UNZIGZAG: [usize; 64] = {
+    let mut inv = [0usize; 64];
+    let mut i = 0;
+    while i < 64 {
+        inv[ZIGZAG[i]] = i;
+        i += 1;
+    }
+    inv
+};
+
+/// Standard luminance quantization table (T.81 Table K.1), natural order.
+pub const STD_LUMA_QTABLE: [u16; 64] = [
+    16, 11, 10, 16, 24, 40, 51, 61, //
+    12, 12, 14, 19, 26, 58, 60, 55, //
+    14, 13, 16, 24, 40, 57, 69, 56, //
+    14, 17, 22, 29, 51, 87, 80, 62, //
+    18, 22, 37, 56, 68, 109, 103, 77, //
+    24, 35, 55, 64, 81, 104, 113, 92, //
+    49, 64, 78, 87, 103, 121, 120, 101, //
+    72, 92, 95, 98, 112, 100, 103, 99,
+];
+
+/// Standard chrominance quantization table (T.81 Table K.2), natural order.
+pub const STD_CHROMA_QTABLE: [u16; 64] = [
+    17, 18, 24, 47, 99, 99, 99, 99, //
+    18, 21, 26, 66, 99, 99, 99, 99, //
+    24, 26, 56, 99, 99, 99, 99, 99, //
+    47, 66, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99, //
+    99, 99, 99, 99, 99, 99, 99, 99,
+];
+
+/// Standard DC luminance Huffman table code lengths (T.81 Table K.3).
+pub const STD_DC_LUMA_BITS: [u8; 16] = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0];
+/// Standard DC luminance Huffman symbol values.
+pub const STD_DC_LUMA_VALS: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+/// Standard DC chrominance Huffman table code lengths (T.81 Table K.4).
+pub const STD_DC_CHROMA_BITS: [u8; 16] = [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0];
+/// Standard DC chrominance Huffman symbol values.
+pub const STD_DC_CHROMA_VALS: [u8; 12] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11];
+
+/// Standard AC luminance Huffman table code lengths (T.81 Table K.5).
+pub const STD_AC_LUMA_BITS: [u8; 16] = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 125];
+/// Standard AC luminance Huffman symbol values.
+pub const STD_AC_LUMA_VALS: [u8; 162] = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12, 0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61,
+    0x07, 0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xa1, 0x08, 0x23, 0x42, 0xb1, 0xc1, 0x15, 0x52,
+    0xd1, 0xf0, 0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0a, 0x16, 0x17, 0x18, 0x19, 0x1a, 0x25,
+    0x26, 0x27, 0x28, 0x29, 0x2a, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44, 0x45,
+    0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63, 0x64,
+    0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a, 0x83,
+    0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98, 0x99,
+    0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4, 0xb5, 0xb6,
+    0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca, 0xd2, 0xd3,
+    0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe1, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7, 0xe8,
+    0xe9, 0xea, 0xf1, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+];
+
+/// Standard AC chrominance Huffman table code lengths (T.81 Table K.6).
+pub const STD_AC_CHROMA_BITS: [u8; 16] = [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 119];
+/// Standard AC chrominance Huffman symbol values.
+pub const STD_AC_CHROMA_VALS: [u8; 162] = [
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21, 0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61,
+    0x71, 0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91, 0xa1, 0xb1, 0xc1, 0x09, 0x23, 0x33,
+    0x52, 0xf0, 0x15, 0x62, 0x72, 0xd1, 0x0a, 0x16, 0x24, 0x34, 0xe1, 0x25, 0xf1, 0x17, 0x18,
+    0x19, 0x1a, 0x26, 0x27, 0x28, 0x29, 0x2a, 0x35, 0x36, 0x37, 0x38, 0x39, 0x3a, 0x43, 0x44,
+    0x45, 0x46, 0x47, 0x48, 0x49, 0x4a, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59, 0x5a, 0x63,
+    0x64, 0x65, 0x66, 0x67, 0x68, 0x69, 0x6a, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79, 0x7a,
+    0x82, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89, 0x8a, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97,
+    0x98, 0x99, 0x9a, 0xa2, 0xa3, 0xa4, 0xa5, 0xa6, 0xa7, 0xa8, 0xa9, 0xaa, 0xb2, 0xb3, 0xb4,
+    0xb5, 0xb6, 0xb7, 0xb8, 0xb9, 0xba, 0xc2, 0xc3, 0xc4, 0xc5, 0xc6, 0xc7, 0xc8, 0xc9, 0xca,
+    0xd2, 0xd3, 0xd4, 0xd5, 0xd6, 0xd7, 0xd8, 0xd9, 0xda, 0xe2, 0xe3, 0xe4, 0xe5, 0xe6, 0xe7,
+    0xe8, 0xe9, 0xea, 0xf2, 0xf3, 0xf4, 0xf5, 0xf6, 0xf7, 0xf8, 0xf9, 0xfa,
+];
+
+/// Scales the standard quantization tables by a libjpeg-compatible quality
+/// factor in `[1, 100]`. Quality 50 returns the table unchanged; higher is
+/// finer (smaller entries), lower is coarser.
+pub fn scale_qtable(base: &[u16; 64], quality: u8) -> [u16; 64] {
+    let quality = quality.clamp(1, 100) as i32;
+    let scale = if quality < 50 {
+        5000 / quality
+    } else {
+        200 - quality * 2
+    };
+    let mut out = [0u16; 64];
+    for (o, &b) in out.iter_mut().zip(base.iter()) {
+        let v = (i32::from(b) * scale + 50) / 100;
+        *o = v.clamp(1, 255) as u16;
+    }
+    out
+}
+
+/// Estimates the libjpeg quality factor that produced a (luma) quantization
+/// table, mirroring what ImageMagick's `identify -format '%Q'` reports.
+///
+/// Returns a value in `[1, 100]`.
+pub fn estimate_quality(qtable: &[u16; 64]) -> u8 {
+    // Exact inversion by search: find the quality whose scaled standard
+    // table is closest (L1) to the observed table. 100 candidates x 64
+    // entries is cheap and immune to the clamping bias that plagues
+    // sum-ratio estimators.
+    let mut best_q = 50u8;
+    let mut best_d = u64::MAX;
+    for q in 1..=100u8 {
+        let cand = scale_qtable(&STD_LUMA_QTABLE, q);
+        let d: u64 = cand
+            .iter()
+            .zip(qtable.iter())
+            .map(|(&a, &b)| u64::from(a.abs_diff(b)))
+            .sum();
+        if d < best_d {
+            best_d = d;
+            best_q = q;
+        }
+    }
+    best_q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &z in &ZIGZAG {
+            assert!(!seen[z], "duplicate natural index {z}");
+            seen[z] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn unzigzag_inverts_zigzag() {
+        for i in 0..64 {
+            assert_eq!(UNZIGZAG[ZIGZAG[i]], i);
+        }
+    }
+
+    #[test]
+    fn zigzag_first_diagonals() {
+        // First few entries of the classic zigzag walk.
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn quality_50_is_identity() {
+        assert_eq!(scale_qtable(&STD_LUMA_QTABLE, 50), STD_LUMA_QTABLE);
+    }
+
+    #[test]
+    fn quality_100_is_all_ones() {
+        let t = scale_qtable(&STD_LUMA_QTABLE, 100);
+        assert!(t.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn quality_monotone_coarseness() {
+        let q25: u32 = scale_qtable(&STD_LUMA_QTABLE, 25).iter().map(|&v| u32::from(v)).sum();
+        let q50: u32 = scale_qtable(&STD_LUMA_QTABLE, 50).iter().map(|&v| u32::from(v)).sum();
+        let q90: u32 = scale_qtable(&STD_LUMA_QTABLE, 90).iter().map(|&v| u32::from(v)).sum();
+        assert!(q25 > q50 && q50 > q90);
+    }
+
+    #[test]
+    fn quality_estimate_roundtrip() {
+        for q in [10u8, 25, 50, 75, 83, 90, 91, 95, 100] {
+            let t = scale_qtable(&STD_LUMA_QTABLE, q);
+            let est = estimate_quality(&t);
+            assert!(
+                (i16::from(est) - i16::from(q)).abs() <= 2,
+                "quality {q} estimated as {est}"
+            );
+        }
+    }
+
+    #[test]
+    fn huffman_table_value_counts_match_bits() {
+        let n: usize = STD_AC_LUMA_BITS.iter().map(|&b| b as usize).sum();
+        assert_eq!(n, STD_AC_LUMA_VALS.len());
+        let n: usize = STD_AC_CHROMA_BITS.iter().map(|&b| b as usize).sum();
+        assert_eq!(n, STD_AC_CHROMA_VALS.len());
+        let n: usize = STD_DC_LUMA_BITS.iter().map(|&b| b as usize).sum();
+        assert_eq!(n, STD_DC_LUMA_VALS.len());
+    }
+}

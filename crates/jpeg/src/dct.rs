@@ -1,0 +1,155 @@
+//! 8x8 forward and inverse DCT-II used by the JPEG pixel pipeline.
+//!
+//! A separable floating-point implementation with a precomputed basis
+//! matrix. It is exactly orthonormal up to f32 rounding, which keeps the
+//! encoder/decoder round trip well-conditioned; speed is adequate for the
+//! benchmark workloads in this repository.
+
+/// `BASIS[u][x] = c(u) * cos((2x+1) u pi / 16) / 2`, the orthonormal 1-D
+/// DCT-II basis used in both directions.
+fn basis() -> &'static [[f32; 8]; 8] {
+    use std::sync::OnceLock;
+    static BASIS: OnceLock<[[f32; 8]; 8]> = OnceLock::new();
+    BASIS.get_or_init(|| {
+        let mut b = [[0f32; 8]; 8];
+        for (u, row) in b.iter_mut().enumerate() {
+            let cu = if u == 0 { (0.5f64).sqrt() } else { 1.0 };
+            for (x, v) in row.iter_mut().enumerate() {
+                *v = (0.5
+                    * cu
+                    * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / 16.0).cos())
+                    as f32;
+            }
+        }
+        b
+    })
+}
+
+/// Forward 8x8 DCT. `input` holds level-shifted samples (pixel - 128) in
+/// row-major order; `output` receives coefficients in row-major (natural)
+/// order, with DC at index 0.
+pub fn forward_dct(input: &[f32; 64], output: &mut [f32; 64]) {
+    let b = basis();
+    // Rows: tmp[y][u] = sum_x input[y][x] * b[u][x]
+    let mut tmp = [0f32; 64];
+    for y in 0..8 {
+        for u in 0..8 {
+            let mut s = 0f32;
+            for x in 0..8 {
+                s += input[y * 8 + x] * b[u][x];
+            }
+            tmp[y * 8 + u] = s;
+        }
+    }
+    // Columns: out[v][u] = sum_y tmp[y][u] * b[v][y]
+    for v in 0..8 {
+        for u in 0..8 {
+            let mut s = 0f32;
+            for y in 0..8 {
+                s += tmp[y * 8 + u] * b[v][y];
+            }
+            output[v * 8 + u] = s;
+        }
+    }
+}
+
+/// Inverse 8x8 DCT. `input` holds coefficients in row-major (natural) order;
+/// `output` receives level-shifted samples.
+pub fn inverse_dct(input: &[f32; 64], output: &mut [f32; 64]) {
+    let b = basis();
+    // Columns first: tmp[y][u] = sum_v input[v][u] * b[v][y]
+    let mut tmp = [0f32; 64];
+    for u in 0..8 {
+        for y in 0..8 {
+            let mut s = 0f32;
+            for v in 0..8 {
+                s += input[v * 8 + u] * b[v][y];
+            }
+            tmp[y * 8 + u] = s;
+        }
+    }
+    // Rows: out[y][x] = sum_u tmp[y][u] * b[u][x]
+    for y in 0..8 {
+        for x in 0..8 {
+            let mut s = 0f32;
+            for u in 0..8 {
+                s += tmp[y * 8 + u] * b[u][x];
+            }
+            output[y * 8 + x] = s;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_error(block: &[f32; 64]) -> f32 {
+        let mut freq = [0f32; 64];
+        let mut back = [0f32; 64];
+        forward_dct(block, &mut freq);
+        inverse_dct(&freq, &mut back);
+        block
+            .iter()
+            .zip(back.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0f32, f32::max)
+    }
+
+    #[test]
+    fn dct_roundtrip_identity() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = ((i * 37 + 11) % 256) as f32 - 128.0;
+        }
+        assert!(roundtrip_error(&block) < 1e-3);
+    }
+
+    #[test]
+    fn dct_of_constant_block_is_dc_only() {
+        let block = [64f32; 64];
+        let mut freq = [0f32; 64];
+        forward_dct(&block, &mut freq);
+        // DC = 8 * value for orthonormal scaling.
+        assert!((freq[0] - 8.0 * 64.0).abs() < 1e-2);
+        for &v in &freq[1..] {
+            assert!(v.abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn dct_is_linear() {
+        let mut a = [0f32; 64];
+        let mut b = [0f32; 64];
+        for i in 0..64 {
+            a[i] = (i as f32) - 32.0;
+            b[i] = ((i * 7) % 64) as f32;
+        }
+        let mut fa = [0f32; 64];
+        let mut fb = [0f32; 64];
+        let mut fsum = [0f32; 64];
+        forward_dct(&a, &mut fa);
+        forward_dct(&b, &mut fb);
+        let mut sum = [0f32; 64];
+        for i in 0..64 {
+            sum[i] = a[i] + b[i];
+        }
+        forward_dct(&sum, &mut fsum);
+        for i in 0..64 {
+            assert!((fsum[i] - fa[i] - fb[i]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let mut block = [0f32; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = (((i * 131 + 17) % 255) as f32) - 127.0;
+        }
+        let mut freq = [0f32; 64];
+        forward_dct(&block, &mut freq);
+        let e_spatial: f32 = block.iter().map(|v| v * v).sum();
+        let e_freq: f32 = freq.iter().map(|v| v * v).sum();
+        assert!((e_spatial - e_freq).abs() / e_spatial < 1e-4);
+    }
+}

@@ -1,0 +1,288 @@
+//! Top-level JPEG decoding: complete or truncated streams -> coefficients
+//! and pixels.
+//!
+//! Truncated progressive streams (a prefix of scans followed by EOI — the
+//! PCR partial-read representation) decode to the best approximation the
+//! present scans allow, exactly like libjpeg renders an interrupted
+//! download.
+
+use crate::bitio::BitReader;
+use crate::consts::*;
+use crate::dentropy::{decode_scan, DecodeTables};
+use crate::error::{Error, Result};
+use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+use crate::huffman::HuffDecoder;
+use crate::image::ImageBuf;
+use crate::marker::{self, Segment, SegmentReader};
+use crate::sample::{coeffs_to_planes, planes_to_image};
+
+/// Everything recovered from a JPEG stream before pixel reconstruction.
+#[derive(Debug, Clone)]
+pub struct DecodedCoeffs {
+    /// Frame geometry.
+    pub frame: FrameInfo,
+    /// Quantized coefficients (partially filled for truncated streams).
+    pub coeffs: CoeffPlanes,
+    /// Quantization tables by id.
+    pub qtables: [Option<[u16; 64]>; 4],
+    /// Scan headers in stream order that were (at least partially) decoded.
+    pub scans: Vec<ScanInfo>,
+    /// True if the stream ended with EOI; false if it simply ran out.
+    pub saw_eoi: bool,
+}
+
+impl DecodedCoeffs {
+    /// Reconstructs pixels from whatever coefficients were decoded.
+    pub fn to_image(&self) -> Result<ImageBuf> {
+        let planes = coeffs_to_planes(&self.coeffs, &self.frame, &self.qtables)?;
+        planes_to_image(&planes, &self.frame)
+    }
+
+    /// Estimated source quality factor from the luma quantization table.
+    pub fn estimated_quality(&self) -> Option<u8> {
+        self.qtables[self.frame.components.first()?.tq as usize]
+            .as_ref()
+            .map(estimate_quality)
+    }
+}
+
+/// Decodes a stream fully to an image.
+pub fn decode(data: &[u8]) -> Result<ImageBuf> {
+    decode_coeffs(data)?.to_image()
+}
+
+/// Decodes a stream to quantized coefficients plus tables and scan list.
+pub fn decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
+    let mut reader = SegmentReader::new(data);
+    match reader.next_segment()? {
+        Segment::Soi => {}
+        _ => return Err(Error::NotJpeg),
+    }
+
+    let mut qtables: [Option<[u16; 64]>; 4] = [None, None, None, None];
+    let mut dc_tables: [Option<HuffDecoder>; 4] = [None, None, None, None];
+    let mut ac_tables: [Option<HuffDecoder>; 4] = [None, None, None, None];
+    let mut frame: Option<FrameInfo> = None;
+    let mut coeffs: Option<CoeffPlanes> = None;
+    let mut scans: Vec<ScanInfo> = Vec::new();
+    let mut saw_eoi = false;
+
+    loop {
+        let seg = match reader.next_segment() {
+            Ok(seg) => seg,
+            // A truncated stream (no EOI) still yields what was decoded.
+            Err(Error::UnexpectedEof) if frame.is_some() => break,
+            Err(e) => return Err(e),
+        };
+        match seg {
+            Segment::Soi => return Err(Error::CorruptData("nested SOI".into())),
+            Segment::Eoi => {
+                saw_eoi = true;
+                break;
+            }
+            Segment::Marker { marker: m, payload } => match m {
+                DQT => {
+                    for (id, table) in marker::parse_dqt(payload)? {
+                        qtables[id as usize] = Some(table);
+                    }
+                }
+                DHT => {
+                    for (class, id, table) in marker::parse_dht(payload)? {
+                        let dec = HuffDecoder::from_table(&table)?;
+                        if class == 0 {
+                            dc_tables[id as usize] = Some(dec);
+                        } else {
+                            ac_tables[id as usize] = Some(dec);
+                        }
+                    }
+                }
+                SOF0 | SOF1 | SOF2 => {
+                    if frame.is_some() {
+                        return Err(Error::CorruptData("multiple SOF".into()));
+                    }
+                    let f = marker::parse_sof(payload, m == SOF2)?;
+                    coeffs = Some(CoeffPlanes::new(&f));
+                    frame = Some(f);
+                }
+                DRI => {
+                    let interval = if payload.len() == 2 {
+                        u16::from_be_bytes([payload[0], payload[1]])
+                    } else {
+                        return Err(Error::BadSegmentLength { marker: DRI });
+                    };
+                    if interval != 0 {
+                        return Err(Error::UnsupportedFrame(
+                            "restart intervals not supported".into(),
+                        ));
+                    }
+                }
+                // APPn / COM and other informational segments: skipped.
+                _ => {}
+            },
+            Segment::Sos { payload, entropy_start } => {
+                let f = frame
+                    .as_ref()
+                    .ok_or_else(|| Error::BadScan("SOS before SOF".into()))?;
+                let scan = marker::parse_sos(payload, f)?;
+                let (_, entropy_end) = reader.skip_entropy();
+                let entropy = &data[entropy_start..entropy_end];
+                let mut bits = BitReader::new(entropy);
+                let tables = DecodeTables { dc: &dc_tables, ac: &ac_tables };
+                decode_scan(f, coeffs.as_mut().expect("coeffs with frame"), &scan, &tables, &mut bits)?;
+                scans.push(scan);
+            }
+        }
+    }
+
+    let frame = frame.ok_or(Error::UnsupportedFrame("no SOF in stream".into()))?;
+    let coeffs = coeffs.expect("coeffs allocated with frame");
+    Ok(DecodedCoeffs { frame, coeffs, qtables, scans, saw_eoi })
+}
+
+/// Counts the scans present in a stream without entropy-decoding them.
+pub fn count_scans(data: &[u8]) -> Result<usize> {
+    let mut reader = SegmentReader::new(data);
+    match reader.next_segment()? {
+        Segment::Soi => {}
+        _ => return Err(Error::NotJpeg),
+    }
+    let mut n = 0usize;
+    loop {
+        match reader.next_segment() {
+            Ok(Segment::Sos { .. }) => {
+                n += 1;
+                reader.skip_entropy();
+            }
+            Ok(Segment::Eoi) | Err(Error::UnexpectedEof) => break,
+            Ok(_) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoder::{encode, EncodeConfig};
+    use crate::frame::Subsampling;
+
+    fn test_image(w: u32, h: u32) -> ImageBuf {
+        let mut data = Vec::with_capacity((w * h * 3) as usize);
+        for y in 0..h {
+            for x in 0..w {
+                // Smooth gradients plus a block pattern: exercises both DC
+                // and AC paths without being pathological for quantization.
+                let base = ((x * 3 + y * 2) % 200) as u8;
+                let block = if (x / 8 + y / 8) % 2 == 0 { 30 } else { 0 };
+                data.push(base.saturating_add(block));
+                data.push((255 - base).saturating_sub(block));
+                data.push(((x * 2 + y * 5) % 256) as u8);
+            }
+        }
+        ImageBuf::from_raw(w, h, 3, data).unwrap()
+    }
+
+    fn mean_abs_err(a: &ImageBuf, b: &ImageBuf) -> f64 {
+        let s: u64 = a
+            .data()
+            .iter()
+            .zip(b.data().iter())
+            .map(|(x, y)| u64::from(x.abs_diff(*y)))
+            .sum();
+        s as f64 / a.data().len() as f64
+    }
+
+    #[test]
+    fn baseline_roundtrip_quality() {
+        let img = test_image(64, 48);
+        let data = encode(&img, &EncodeConfig::baseline(90)).unwrap();
+        let out = decode(&data).unwrap();
+        assert_eq!(out.width(), 64);
+        assert_eq!(out.height(), 48);
+        // The pattern is deliberately harsh (checkerboard edges + per-pixel
+        // chroma noise under 4:2:0); quality 90 should still keep mean
+        // error moderate and PSNR reasonable.
+        assert!(mean_abs_err(&img, &out) < 16.0, "mae {}", mean_abs_err(&img, &out));
+        assert!(crate::metrics_psnr::psnr(&img, &out) > 22.0);
+    }
+
+    #[test]
+    fn baseline_optimized_tables_match_standard_pixels() {
+        let img = test_image(40, 40);
+        let std = encode(&img, &EncodeConfig::baseline(85)).unwrap();
+        let opt = encode(
+            &img,
+            &EncodeConfig { optimize_huffman: true, ..EncodeConfig::baseline(85) },
+        )
+        .unwrap();
+        assert!(opt.len() <= std.len(), "optimized {} > standard {}", opt.len(), std.len());
+        assert_eq!(decode(&std).unwrap(), decode(&opt).unwrap());
+    }
+
+    #[test]
+    fn progressive_roundtrip_matches_baseline_pixels() {
+        let img = test_image(56, 40);
+        let base = encode(&img, &EncodeConfig::baseline(85)).unwrap();
+        let prog = encode(&img, &EncodeConfig::progressive(85)).unwrap();
+        // Same coefficients -> identical pixel output.
+        assert_eq!(decode(&base).unwrap(), decode(&prog).unwrap());
+    }
+
+    #[test]
+    fn progressive_s444_roundtrip() {
+        let img = test_image(33, 17);
+        let cfg = EncodeConfig { subsampling: Subsampling::S444, ..EncodeConfig::progressive(90) };
+        let base_cfg = EncodeConfig { subsampling: Subsampling::S444, ..EncodeConfig::baseline(90) };
+        let prog = encode(&img, &cfg).unwrap();
+        let base = encode(&img, &base_cfg).unwrap();
+        assert_eq!(decode(&prog).unwrap(), decode(&base).unwrap());
+    }
+
+    #[test]
+    fn grayscale_progressive_roundtrip() {
+        let img = test_image(48, 32).to_luma();
+        let prog = encode(&img, &EncodeConfig::progressive(88)).unwrap();
+        let base = encode(&img, &EncodeConfig::baseline(88)).unwrap();
+        assert_eq!(decode(&prog).unwrap(), decode(&base).unwrap());
+    }
+
+    #[test]
+    fn count_scans_progressive() {
+        let img = test_image(32, 32);
+        let prog = encode(&img, &EncodeConfig::progressive(80)).unwrap();
+        assert_eq!(count_scans(&prog).unwrap(), 10);
+        let base = encode(&img, &EncodeConfig::baseline(80)).unwrap();
+        assert_eq!(count_scans(&base).unwrap(), 1);
+    }
+
+    #[test]
+    fn quality_estimate_from_stream() {
+        let img = test_image(32, 32);
+        for q in [60u8, 75, 91] {
+            let data = encode(&img, &EncodeConfig::baseline(q)).unwrap();
+            let d = decode_coeffs(&data).unwrap();
+            let est = d.estimated_quality().unwrap();
+            assert!((i16::from(est) - i16::from(q)).abs() <= 2, "q {q} est {est}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_jpeg() {
+        assert!(decode(b"not a jpeg").is_err());
+        assert!(decode(&[0xFF, 0xD8]).is_err()); // SOI only
+    }
+
+    #[test]
+    fn odd_dimensions_roundtrip() {
+        for (w, h) in [(1u32, 1u32), (7, 3), (17, 9), (15, 16), (16, 15)] {
+            let img = test_image(w, h);
+            let data = encode(&img, &EncodeConfig::baseline(90)).unwrap();
+            let out = decode(&data).unwrap();
+            assert_eq!((out.width(), out.height()), (w, h));
+            let data = encode(&img, &EncodeConfig::progressive(90)).unwrap();
+            let out = decode(&data).unwrap();
+            assert_eq!((out.width(), out.height()), (w, h));
+        }
+    }
+}

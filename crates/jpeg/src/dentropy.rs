@@ -1,0 +1,480 @@
+//! Entropy decoding for baseline and progressive scans, mirroring
+//! `entropy.rs` (encode side) and libjpeg's `jdhuff.c`/`jdphuff.c`.
+
+use crate::bitio::{extend, BitReader};
+use crate::consts::ZIGZAG;
+use crate::error::{Error, Result};
+use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+use crate::huffman::HuffDecoder;
+
+/// Huffman decoder tables available to a scan.
+pub struct DecodeTables<'a> {
+    /// DC decoders by table id.
+    pub dc: &'a [Option<HuffDecoder>; 4],
+    /// AC decoders by table id.
+    pub ac: &'a [Option<HuffDecoder>; 4],
+}
+
+impl DecodeTables<'_> {
+    fn dc_table(&self, id: u8) -> Result<&HuffDecoder> {
+        self.dc
+            .get(id as usize)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| Error::BadHuffman(format!("missing DC table {id}")))
+    }
+    fn ac_table(&self, id: u8) -> Result<&HuffDecoder> {
+        self.ac
+            .get(id as usize)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| Error::BadHuffman(format!("missing AC table {id}")))
+    }
+}
+
+/// Decodes one scan's entropy data from `r` into `coeffs`.
+///
+/// Returns normally at the end of the scan's MCUs; a truncated stream decodes
+/// zero bits for the remainder (graceful degradation, which the PCR partial
+/// read path relies on between scan-group boundaries).
+pub fn decode_scan(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    scan.validate(frame)?;
+    if !frame.progressive {
+        return decode_sequential(frame, coeffs, scan, tables, r);
+    }
+    if scan.is_dc() {
+        if scan.is_refinement() {
+            decode_dc_refine(frame, coeffs, scan, r)
+        } else {
+            decode_dc_first(frame, coeffs, scan, tables, r)
+        }
+    } else if scan.is_refinement() {
+        decode_ac_refine(frame, coeffs, scan, tables, r)
+    } else {
+        decode_ac_first(frame, coeffs, scan, tables, r)
+    }
+}
+
+fn for_each_block(
+    frame: &FrameInfo,
+    scan: &ScanInfo,
+    mut f: impl FnMut(usize, u32, u32) -> Result<()>,
+) -> Result<()> {
+    if scan.components.len() == 1 {
+        let c = &frame.components[scan.components[0].comp_index];
+        for row in 0..c.blocks_h {
+            for col in 0..c.blocks_w {
+                f(0, row, col)?;
+            }
+        }
+        return Ok(());
+    }
+    for my in 0..frame.mcus_y {
+        for mx in 0..frame.mcus_x {
+            for (slot, sc) in scan.components.iter().enumerate() {
+                let c = &frame.components[sc.comp_index];
+                for by in 0..u32::from(c.v) {
+                    for bx in 0..u32::from(c.h) {
+                        f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn decode_sequential(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let mut preds = vec![0i32; scan.components.len()];
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        let dctbl = tables.dc_table(sc.dc_table)?;
+        let actbl = tables.ac_table(sc.ac_table)?;
+        let s = u32::from(dctbl.decode(r)?);
+        let diff = if s > 0 {
+            if s > 15 {
+                return Err(Error::CorruptData("DC size > 15".into()));
+            }
+            extend(r.get_bits(s)?, s)
+        } else {
+            0
+        };
+        preds[slot] += diff;
+        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+        block[0] = preds[slot] as i16;
+        let mut k = 1usize;
+        while k < 64 {
+            let rs = actbl.decode(r)?;
+            let run = usize::from(rs >> 4);
+            let size = u32::from(rs & 0x0F);
+            if size == 0 {
+                if run == 15 {
+                    k += 16; // ZRL
+                    continue;
+                }
+                break; // EOB
+            }
+            k += run;
+            if k > 63 {
+                return Err(Error::CorruptData("AC run past block end".into()));
+            }
+            let v = extend(r.get_bits(size)?, size);
+            block[ZIGZAG[k]] = v as i16;
+            k += 1;
+        }
+        Ok(())
+    })
+}
+
+fn decode_dc_first(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let al = u32::from(scan.al);
+    let mut preds = vec![0i32; scan.components.len()];
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        let dctbl = tables.dc_table(sc.dc_table)?;
+        let s = u32::from(dctbl.decode(r)?);
+        let diff = if s > 0 {
+            if s > 15 {
+                return Err(Error::CorruptData("DC size > 15".into()));
+            }
+            extend(r.get_bits(s)?, s)
+        } else {
+            0
+        };
+        preds[slot] += diff;
+        coeffs.block_mut(frame, sc.comp_index, row, col)[0] = (preds[slot] << al) as i16;
+        Ok(())
+    })
+}
+
+fn decode_dc_refine(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let p1 = 1i16 << scan.al;
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        if r.get_bit()? != 0 {
+            let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+            block[0] |= p1;
+        }
+        Ok(())
+    })
+}
+
+fn decode_ac_first(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let sc = scan.components[0];
+    let actbl = tables.ac_table(sc.ac_table)?;
+    let al = u32::from(scan.al);
+    let mut eobrun = 0u32;
+    for_each_block(frame, scan, |_slot, row, col| {
+        if eobrun > 0 {
+            eobrun -= 1;
+            return Ok(());
+        }
+        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+        let mut k = scan.ss as usize;
+        while k <= scan.se as usize {
+            let rs = actbl.decode(r)?;
+            let run = usize::from(rs >> 4);
+            let size = u32::from(rs & 0x0F);
+            if size != 0 {
+                k += run;
+                if k > scan.se as usize {
+                    return Err(Error::CorruptData("AC run past band end".into()));
+                }
+                let v = extend(r.get_bits(size)?, size);
+                block[ZIGZAG[k]] = (v << al) as i16;
+                k += 1;
+            } else if run == 15 {
+                k += 16;
+            } else {
+                eobrun = 1 << run;
+                if run > 0 {
+                    eobrun += r.get_bits(run as u32)?;
+                }
+                eobrun -= 1; // this block ends the run
+                break;
+            }
+        }
+        Ok(())
+    })
+}
+
+fn decode_ac_refine(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_>,
+    r: &mut BitReader<'_>,
+) -> Result<()> {
+    let sc = scan.components[0];
+    let actbl = tables.ac_table(sc.ac_table)?;
+    let p1 = 1i32 << scan.al;
+    let m1 = -(1i32 << scan.al);
+    let mut eobrun = 0u32;
+    for_each_block(frame, scan, |_slot, row, col| {
+        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+        let mut k = scan.ss as usize;
+        if eobrun == 0 {
+            while k <= scan.se as usize {
+                let rs = actbl.decode(r)?;
+                let run = rs >> 4;
+                let size = rs & 0x0F;
+                let mut newval = 0i32;
+                let mut run = i32::from(run);
+                if size != 0 {
+                    if size != 1 {
+                        return Err(Error::CorruptData(
+                            "refinement coefficient size must be 1".into(),
+                        ));
+                    }
+                    newval = if r.get_bit()? != 0 { p1 } else { m1 };
+                } else if run != 15 {
+                    eobrun = 1 << run;
+                    if run > 0 {
+                        eobrun += r.get_bits(run as u32)?;
+                    }
+                    break; // remaining handled by EOB logic below
+                }
+                // Advance over already-nonzero coefficients (appending
+                // correction bits) and `run` still-zero ones.
+                while k <= scan.se as usize {
+                    let idx = ZIGZAG[k];
+                    let cur = i32::from(block[idx]);
+                    if cur != 0 {
+                        if r.get_bit()? != 0 && (cur & p1) == 0 {
+                            block[idx] = (cur + if cur >= 0 { p1 } else { m1 }) as i16;
+                        }
+                    } else {
+                        run -= 1;
+                        if run < 0 {
+                            break;
+                        }
+                    }
+                    k += 1;
+                }
+                if newval != 0 {
+                    if k > scan.se as usize {
+                        return Err(Error::CorruptData("refine run past band end".into()));
+                    }
+                    block[ZIGZAG[k]] = newval as i16;
+                }
+                k += 1;
+            }
+        }
+        if eobrun > 0 {
+            // Append correction bits to remaining nonzero coefficients.
+            while k <= scan.se as usize {
+                let idx = ZIGZAG[k];
+                let cur = i32::from(block[idx]);
+                if cur != 0 && r.get_bit()? != 0 && (cur & p1) == 0 {
+                    block[idx] = (cur + if cur >= 0 { p1 } else { m1 }) as i16;
+                }
+                k += 1;
+            }
+            eobrun -= 1;
+        }
+        Ok(())
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitio::BitWriter;
+    use crate::entropy::{encode_scan, StatsSink, WriteSink};
+    use crate::frame::{ScanComponent, Subsampling};
+    use crate::huffman::{gen_optimal_table, HuffDecoder, HuffEncoder};
+
+    /// Runs encode(stats)->tables->encode(write)->decode for one scan and
+    /// returns the decoded coefficient planes.
+    fn roundtrip_scan(
+        frame: &FrameInfo,
+        coeffs: &CoeffPlanes,
+        scan: &ScanInfo,
+        into: &mut CoeffPlanes,
+    ) {
+        let mut stats = StatsSink::new();
+        encode_scan(frame, coeffs, scan, &mut stats).unwrap();
+        let mut dc_enc: [Option<HuffEncoder>; 4] = [None, None, None, None];
+        let mut ac_enc: [Option<HuffEncoder>; 4] = [None, None, None, None];
+        let mut dc_dec: [Option<HuffDecoder>; 4] = [None, None, None, None];
+        let mut ac_dec: [Option<HuffDecoder>; 4] = [None, None, None, None];
+        for t in 0..4u8 {
+            if stats.dc_used(t) {
+                let tbl = gen_optimal_table(&stats.dc_counts[t as usize]).unwrap();
+                dc_enc[t as usize] = Some(HuffEncoder::from_table(&tbl).unwrap());
+                dc_dec[t as usize] = Some(HuffDecoder::from_table(&tbl).unwrap());
+            }
+            if stats.ac_used(t) {
+                let tbl = gen_optimal_table(&stats.ac_counts[t as usize]).unwrap();
+                ac_enc[t as usize] = Some(HuffEncoder::from_table(&tbl).unwrap());
+                ac_dec[t as usize] = Some(HuffDecoder::from_table(&tbl).unwrap());
+            }
+        }
+        let mut writer = BitWriter::new();
+        {
+            let mut sink = WriteSink { writer: &mut writer, dc: dc_enc, ac: ac_enc };
+            encode_scan(frame, coeffs, scan, &mut sink).unwrap();
+        }
+        let bytes = writer.finish();
+        let mut reader = BitReader::new(&bytes);
+        let tables = DecodeTables { dc: &dc_dec, ac: &ac_dec };
+        decode_scan(frame, into, scan, &tables, &mut reader).unwrap();
+    }
+
+    fn filled_frame(progressive: bool, w: u32, h: u32) -> (FrameInfo, CoeffPlanes) {
+        let frame = FrameInfo::for_encode(w, h, 1, Subsampling::S444, progressive).unwrap();
+        let mut coeffs = CoeffPlanes::new(&frame);
+        let c = frame.components[0].clone();
+        let mut seed = 0x12345u32;
+        for row in 0..c.alloc_h {
+            for col in 0..c.alloc_w {
+                let b = coeffs.block_mut(&frame, 0, row, col);
+                for (i, v) in b.iter_mut().enumerate() {
+                    seed = seed.wrapping_mul(1103515245).wrapping_add(12345);
+                    let r = (seed >> 16) as i32 % 32;
+                    *v = match i {
+                        0 => (r * 8 - 128) as i16,
+                        _ if i < 6 => (r - 16).clamp(-30, 30) as i16,
+                        _ if i < 20 && r % 3 == 0 => ((r % 7) - 3) as i16,
+                        _ if r % 13 == 0 => 1,
+                        _ => 0,
+                    };
+                }
+            }
+        }
+        (frame, coeffs)
+    }
+
+    #[test]
+    fn sequential_roundtrip_exact() {
+        let (frame, coeffs) = filled_frame(false, 48, 32);
+        let scan = ScanInfo {
+            components: vec![ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 }],
+            ss: 0,
+            se: 63,
+            ah: 0,
+            al: 0,
+        };
+        let mut out = CoeffPlanes::new(&frame);
+        roundtrip_scan(&frame, &coeffs, &scan, &mut out);
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn progressive_full_script_roundtrip_exact() {
+        let (frame, coeffs) = filled_frame(true, 40, 40);
+        let comp = |_i: usize| ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 };
+        // DC first (Al=1), AC 1..63 first (Al=2), AC refine (Al=1), AC refine
+        // (Al=0), DC refine (Al=0): full precision recovery.
+        let scans = [
+            ScanInfo { components: vec![comp(0)], ss: 0, se: 0, ah: 0, al: 1 },
+            ScanInfo { components: vec![comp(0)], ss: 1, se: 63, ah: 0, al: 2 },
+            ScanInfo { components: vec![comp(0)], ss: 1, se: 63, ah: 2, al: 1 },
+            ScanInfo { components: vec![comp(0)], ss: 1, se: 63, ah: 1, al: 0 },
+            ScanInfo { components: vec![comp(0)], ss: 0, se: 0, ah: 1, al: 0 },
+        ];
+        let mut out = CoeffPlanes::new(&frame);
+        for scan in &scans {
+            roundtrip_scan(&frame, &coeffs, scan, &mut out);
+        }
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn progressive_partial_scans_approximate_dc() {
+        let (frame, coeffs) = filled_frame(true, 24, 24);
+        let comp = ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 };
+        let dc_first = ScanInfo { components: vec![comp], ss: 0, se: 0, ah: 0, al: 1 };
+        let mut out = CoeffPlanes::new(&frame);
+        roundtrip_scan(&frame, &coeffs, &dc_first, &mut out);
+        // After DC-first only: every DC matches to within the Al=1 precision,
+        // all AC coefficients are still zero.
+        let c = frame.components[0].clone();
+        for row in 0..c.alloc_h {
+            for col in 0..c.alloc_w {
+                let got = out.block(&frame, 0, row, col);
+                let want = coeffs.block(&frame, 0, row, col);
+                assert_eq!(i32::from(got[0]) >> 1, i32::from(want[0]) >> 1);
+                assert!(got[1..].iter().all(|&v| v == 0));
+            }
+        }
+    }
+
+    #[test]
+    fn spectral_bands_compose() {
+        let (frame, coeffs) = filled_frame(true, 32, 16);
+        let comp = ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 };
+        let scans = [
+            ScanInfo { components: vec![comp], ss: 0, se: 0, ah: 0, al: 0 },
+            ScanInfo { components: vec![comp], ss: 1, se: 5, ah: 0, al: 0 },
+            ScanInfo { components: vec![comp], ss: 6, se: 63, ah: 0, al: 0 },
+        ];
+        let mut out = CoeffPlanes::new(&frame);
+        for scan in &scans {
+            roundtrip_scan(&frame, &coeffs, scan, &mut out);
+        }
+        assert_eq!(out, coeffs);
+    }
+
+    #[test]
+    fn interleaved_color_sequential_roundtrip() {
+        let frame = FrameInfo::for_encode(40, 24, 3, Subsampling::S420, false).unwrap();
+        let mut coeffs = CoeffPlanes::new(&frame);
+        let mut seed = 7u32;
+        for ci in 0..3 {
+            let c = frame.components[ci].clone();
+            for row in 0..c.alloc_h {
+                for col in 0..c.alloc_w {
+                    let b = coeffs.block_mut(&frame, ci, row, col);
+                    for (i, v) in b.iter_mut().enumerate().take(10) {
+                        seed = seed.wrapping_mul(48271);
+                        *v = ((seed >> 20) as i32 % 19 - 9 + i as i32 % 3) as i16;
+                    }
+                }
+            }
+        }
+        let scan = ScanInfo {
+            components: (0..3)
+                .map(|i| ScanComponent {
+                    comp_index: i,
+                    dc_table: u8::from(i > 0),
+                    ac_table: u8::from(i > 0),
+                })
+                .collect(),
+            ss: 0,
+            se: 63,
+            ah: 0,
+            al: 0,
+        };
+        let mut out = CoeffPlanes::new(&frame);
+        roundtrip_scan(&frame, &coeffs, &scan, &mut out);
+        assert_eq!(out, coeffs);
+    }
+}

@@ -1,0 +1,506 @@
+//! Entropy-coded segment generation for baseline and progressive scans.
+//!
+//! Encoding is written against an [`EntropySink`] so the same traversal can
+//! run twice per scan: once gathering symbol statistics (to build optimal
+//! Huffman tables, as `jpegtran -optimize` does and progressive scans
+//! require in practice) and once emitting bits.
+//!
+//! The progressive successive-approximation logic mirrors libjpeg's
+//! `jcphuff.c` (`encode_mcu_AC_first` / `encode_mcu_AC_refine`), which is
+//! the de-facto reference for the corner cases T.81 figure G.7 leaves
+//! implicit.
+
+use crate::bitio::bit_size;
+use crate::error::{Error, Result};
+use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+
+/// Receives Huffman symbols and raw bits during scan encoding.
+pub trait EntropySink {
+    /// A DC-class symbol coded with DC table `table`.
+    fn dc_symbol(&mut self, table: u8, sym: u8);
+    /// An AC-class symbol coded with AC table `table`.
+    fn ac_symbol(&mut self, table: u8, sym: u8);
+    /// `n` raw bits (magnitude/sign/correction bits).
+    fn bits(&mut self, value: u32, n: u32);
+}
+
+/// Counts symbol frequencies per table; used to build optimal tables.
+#[derive(Debug)]
+pub struct StatsSink {
+    /// Frequency of each symbol per DC table id.
+    pub dc_counts: [[u32; 256]; 4],
+    /// Frequency of each symbol per AC table id.
+    pub ac_counts: [[u32; 256]; 4],
+}
+
+impl Default for StatsSink {
+    fn default() -> Self {
+        Self { dc_counts: [[0; 256]; 4], ac_counts: [[0; 256]; 4] }
+    }
+}
+
+impl StatsSink {
+    /// Fresh zeroed counts.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if any symbol of the DC table was used.
+    pub fn dc_used(&self, table: u8) -> bool {
+        self.dc_counts[table as usize].iter().any(|&c| c > 0)
+    }
+
+    /// True if any symbol of the AC table was used.
+    pub fn ac_used(&self, table: u8) -> bool {
+        self.ac_counts[table as usize].iter().any(|&c| c > 0)
+    }
+}
+
+impl EntropySink for StatsSink {
+    fn dc_symbol(&mut self, table: u8, sym: u8) {
+        self.dc_counts[table as usize][sym as usize] += 1;
+    }
+    fn ac_symbol(&mut self, table: u8, sym: u8) {
+        self.ac_counts[table as usize][sym as usize] += 1;
+    }
+    fn bits(&mut self, _value: u32, _n: u32) {}
+}
+
+/// Writes symbols/bits through Huffman encoders into a [`crate::bitio::BitWriter`].
+pub struct WriteSink<'a> {
+    /// Destination bit writer.
+    pub writer: &'a mut crate::bitio::BitWriter,
+    /// DC encoders per table id.
+    pub dc: [Option<crate::huffman::HuffEncoder>; 4],
+    /// AC encoders per table id.
+    pub ac: [Option<crate::huffman::HuffEncoder>; 4],
+}
+
+impl EntropySink for WriteSink<'_> {
+    fn dc_symbol(&mut self, table: u8, sym: u8) {
+        self.dc[table as usize]
+            .as_ref()
+            .expect("DC table present")
+            .encode(self.writer, sym);
+    }
+    fn ac_symbol(&mut self, table: u8, sym: u8) {
+        self.ac[table as usize]
+            .as_ref()
+            .expect("AC table present")
+            .encode(self.writer, sym);
+    }
+    fn bits(&mut self, value: u32, n: u32) {
+        self.writer.put_bits(value, n);
+    }
+}
+
+/// Magnitude coding: returns `(bit pattern, nbits)` for a signed value, with
+/// the one's-complement convention for negatives (T.81 F.1.2.1).
+#[inline]
+fn magnitude(v: i32) -> (u32, u32) {
+    let n = bit_size(v);
+    let pattern = if v < 0 { (v - 1) as u32 } else { v as u32 };
+    (pattern & ((1u32 << n) - 1), n)
+}
+
+/// Encodes one full scan's entropy data into `sink`.
+pub fn encode_scan(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    scan.validate(frame)?;
+    if !frame.progressive {
+        return encode_sequential(frame, coeffs, scan, sink);
+    }
+    if scan.is_dc() {
+        if scan.is_refinement() {
+            encode_dc_refine(frame, coeffs, scan, sink)
+        } else {
+            encode_dc_first(frame, coeffs, scan, sink)
+        }
+    } else if scan.is_refinement() {
+        encode_ac_refine(frame, coeffs, scan, sink)
+    } else {
+        encode_ac_first(frame, coeffs, scan, sink)
+    }
+}
+
+/// Iterates the blocks of an interleaved scan in MCU order, or the blocks of
+/// a single-component scan in row-major order, calling `f(comp_slot, row,
+/// col)` where `comp_slot` indexes `scan.components`.
+fn for_each_block(
+    frame: &FrameInfo,
+    scan: &ScanInfo,
+    mut f: impl FnMut(usize, u32, u32) -> Result<()>,
+) -> Result<()> {
+    if scan.components.len() == 1 {
+        let c = &frame.components[scan.components[0].comp_index];
+        for row in 0..c.blocks_h {
+            for col in 0..c.blocks_w {
+                f(0, row, col)?;
+            }
+        }
+        return Ok(());
+    }
+    for my in 0..frame.mcus_y {
+        for mx in 0..frame.mcus_x {
+            for (slot, sc) in scan.components.iter().enumerate() {
+                let c = &frame.components[sc.comp_index];
+                for by in 0..u32::from(c.v) {
+                    for bx in 0..u32::from(c.h) {
+                        f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn encode_sequential(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    let mut preds = vec![0i32; scan.components.len()];
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        let block = coeffs.block(frame, sc.comp_index, row, col);
+        // DC
+        let dc = i32::from(block[0]);
+        let diff = dc - preds[slot];
+        preds[slot] = dc;
+        let (pat, n) = magnitude(diff);
+        sink.dc_symbol(sc.dc_table, n as u8);
+        sink.bits(pat, n);
+        // AC
+        let mut r = 0u32;
+        for k in 1..64 {
+            let v = i32::from(block[crate::consts::ZIGZAG[k]]);
+            if v == 0 {
+                r += 1;
+                continue;
+            }
+            while r > 15 {
+                sink.ac_symbol(sc.ac_table, 0xF0);
+                r -= 16;
+            }
+            let (pat, n) = magnitude(v);
+            if n > 10 {
+                return Err(Error::BadInput("AC coefficient out of range".into()));
+            }
+            sink.ac_symbol(sc.ac_table, ((r as u8) << 4) | n as u8);
+            sink.bits(pat, n);
+            r = 0;
+        }
+        if r > 0 {
+            sink.ac_symbol(sc.ac_table, 0x00); // EOB
+        }
+        Ok(())
+    })
+}
+
+fn encode_dc_first(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    let al = u32::from(scan.al);
+    let mut preds = vec![0i32; scan.components.len()];
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        let dc = i32::from(coeffs.block(frame, sc.comp_index, row, col)[0]) >> al;
+        let diff = dc - preds[slot];
+        preds[slot] = dc;
+        let (pat, n) = magnitude(diff);
+        sink.dc_symbol(sc.dc_table, n as u8);
+        sink.bits(pat, n);
+        Ok(())
+    })
+}
+
+fn encode_dc_refine(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    let al = u32::from(scan.al);
+    for_each_block(frame, scan, |slot, row, col| {
+        let sc = scan.components[slot];
+        let dc = i32::from(coeffs.block(frame, sc.comp_index, row, col)[0]);
+        sink.bits(((dc >> al) & 1) as u32, 1);
+        Ok(())
+    })
+}
+
+/// Per-scan AC encoding state: the lazily flushed end-of-band run plus (for
+/// refinement scans) buffered correction bits.
+struct AcState {
+    eobrun: u32,
+    pending: Vec<u8>,
+    table: u8,
+}
+
+impl AcState {
+    fn flush_eobrun(&mut self, sink: &mut dyn EntropySink) {
+        if self.eobrun > 0 {
+            let nbits = 31 - self.eobrun.leading_zeros();
+            sink.ac_symbol(self.table, (nbits << 4) as u8);
+            if nbits > 0 {
+                sink.bits(self.eobrun & ((1 << nbits) - 1), nbits);
+            }
+            self.eobrun = 0;
+        }
+        self.flush_pending(sink);
+    }
+
+    fn flush_pending(&mut self, sink: &mut dyn EntropySink) {
+        for &b in &self.pending {
+            sink.bits(u32::from(b), 1);
+        }
+        self.pending.clear();
+    }
+}
+
+fn encode_ac_first(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    let sc = scan.components[0];
+    let al = u32::from(scan.al);
+    let mut st = AcState { eobrun: 0, pending: Vec::new(), table: sc.ac_table };
+    for_each_block(frame, scan, |_slot, row, col| {
+        let block = coeffs.block(frame, sc.comp_index, row, col);
+        let mut r = 0u32;
+        for k in scan.ss as usize..=scan.se as usize {
+            let raw = i32::from(block[crate::consts::ZIGZAG[k]]);
+            if raw == 0 {
+                r += 1;
+                continue;
+            }
+            let neg = raw < 0;
+            let t = raw.unsigned_abs() >> al;
+            if t == 0 {
+                r += 1;
+                continue;
+            }
+            st.flush_eobrun(sink);
+            while r > 15 {
+                sink.ac_symbol(sc.ac_table, 0xF0);
+                r -= 16;
+            }
+            let nbits = 32 - t.leading_zeros();
+            if nbits > 10 {
+                return Err(Error::BadInput("AC coefficient out of range".into()));
+            }
+            sink.ac_symbol(sc.ac_table, ((r as u8) << 4) | nbits as u8);
+            let pattern = if neg { !t } else { t } & ((1 << nbits) - 1);
+            sink.bits(pattern, nbits);
+            r = 0;
+        }
+        if r > 0 {
+            st.eobrun += 1;
+            if st.eobrun == 0x7FFF {
+                st.flush_eobrun(sink);
+            }
+        }
+        Ok(())
+    })?;
+    st.flush_eobrun(sink);
+    Ok(())
+}
+
+fn encode_ac_refine(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+) -> Result<()> {
+    let sc = scan.components[0];
+    let al = u32::from(scan.al);
+    let mut st = AcState { eobrun: 0, pending: Vec::new(), table: sc.ac_table };
+    for_each_block(frame, scan, |_slot, row, col| {
+        let block = coeffs.block(frame, sc.comp_index, row, col);
+        // Pass 1: point-transformed absolute values and the EOB position
+        // (index of the last coefficient that becomes newly nonzero).
+        let mut absval = [0u32; 64];
+        let mut eob = scan.ss as usize; // any value < first 1 is fine
+        let mut has_new = false;
+        for k in scan.ss as usize..=scan.se as usize {
+            let raw = i32::from(block[crate::consts::ZIGZAG[k]]);
+            let t = raw.unsigned_abs() >> al;
+            absval[k] = t;
+            if t == 1 {
+                eob = k;
+                has_new = true;
+            }
+        }
+        if !has_new {
+            eob = 0; // ensures `k <= eob` is false in the ZRL fold check
+        }
+        let mut r = 0u32;
+        let mut br: Vec<u8> = Vec::new();
+        for k in scan.ss as usize..=scan.se as usize {
+            let t = absval[k];
+            if t == 0 {
+                r += 1;
+                continue;
+            }
+            // Emit required ZRLs unless they fold into the trailing EOB.
+            while r > 15 && k <= eob {
+                st.flush_eobrun(sink);
+                sink.ac_symbol(sc.ac_table, 0xF0);
+                r -= 16;
+                for &b in &br {
+                    sink.bits(u32::from(b), 1);
+                }
+                br.clear();
+            }
+            if t > 1 {
+                // Previously nonzero: just a correction bit.
+                br.push((t & 1) as u8);
+                continue;
+            }
+            // Newly nonzero coefficient.
+            st.flush_eobrun(sink);
+            sink.ac_symbol(sc.ac_table, ((r as u8) << 4) | 1);
+            let sign = if i32::from(block[crate::consts::ZIGZAG[k]]) < 0 { 0 } else { 1 };
+            sink.bits(sign, 1);
+            for &b in &br {
+                sink.bits(u32::from(b), 1);
+            }
+            br.clear();
+            r = 0;
+        }
+        if r > 0 || !br.is_empty() {
+            st.eobrun += 1;
+            st.pending.append(&mut br);
+            // Flush well before the correction-bit buffer could grow
+            // unboundedly (libjpeg's MAX_CORR_BITS discipline).
+            if st.eobrun == 0x7FFF || st.pending.len() > 930 {
+                st.flush_eobrun(sink);
+            }
+        }
+        Ok(())
+    })?;
+    st.flush_eobrun(sink);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{ScanComponent, Subsampling};
+
+    fn tiny_frame(progressive: bool) -> (FrameInfo, CoeffPlanes) {
+        let frame = FrameInfo::for_encode(16, 16, 1, Subsampling::S444, progressive).unwrap();
+        let mut coeffs = CoeffPlanes::new(&frame);
+        // Deterministic pseudo-content.
+        for row in 0..2 {
+            for col in 0..2 {
+                let b = coeffs.block_mut(&frame, 0, row, col);
+                b[0] = 100 + (row * 2 + col) as i16 * 10;
+                b[1] = 7;
+                b[8] = -3;
+                b[33] = 1;
+                b[63] = -1;
+            }
+        }
+        (frame, coeffs)
+    }
+
+    fn scan_all_dc(al: u8, ah: u8) -> ScanInfo {
+        ScanInfo {
+            components: vec![ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 }],
+            ss: 0,
+            se: 0,
+            ah,
+            al,
+        }
+    }
+
+    #[test]
+    fn sequential_scan_produces_symbols() {
+        let (frame, coeffs) = tiny_frame(false);
+        let scan = ScanInfo {
+            components: vec![ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 }],
+            ss: 0,
+            se: 63,
+            ah: 0,
+            al: 0,
+        };
+        let mut stats = StatsSink::new();
+        encode_scan(&frame, &coeffs, &scan, &mut stats).unwrap();
+        assert!(stats.dc_used(0));
+        assert!(stats.ac_used(0));
+        // 4 blocks -> 4 DC symbols.
+        let dc_total: u32 = stats.dc_counts[0].iter().sum();
+        assert_eq!(dc_total, 4);
+    }
+
+    #[test]
+    fn dc_first_and_refine_symbol_counts() {
+        let (frame, coeffs) = tiny_frame(true);
+        let mut stats = StatsSink::new();
+        encode_scan(&frame, &coeffs, &scan_all_dc(1, 0), &mut stats).unwrap();
+        let dc_total: u32 = stats.dc_counts[0].iter().sum();
+        assert_eq!(dc_total, 4);
+        // Refinement emits no Huffman symbols at all.
+        let mut stats = StatsSink::new();
+        encode_scan(&frame, &coeffs, &scan_all_dc(0, 1), &mut stats).unwrap();
+        assert!(!stats.dc_used(0));
+    }
+
+    #[test]
+    fn ac_first_emits_eob_runs() {
+        let (frame, coeffs) = tiny_frame(true);
+        let scan = ScanInfo {
+            components: vec![ScanComponent { comp_index: 0, dc_table: 0, ac_table: 0 }],
+            ss: 1,
+            se: 63,
+            ah: 0,
+            al: 0,
+        };
+        let mut stats = StatsSink::new();
+        encode_scan(&frame, &coeffs, &scan, &mut stats).unwrap();
+        assert!(stats.ac_used(0));
+    }
+
+    #[test]
+    fn magnitude_coding_negative_is_ones_complement() {
+        assert_eq!(magnitude(5), (0b101, 3));
+        assert_eq!(magnitude(-5), (0b010, 3));
+        assert_eq!(magnitude(1), (1, 1));
+        assert_eq!(magnitude(-1), (0, 1));
+        assert_eq!(magnitude(0), (0, 0));
+    }
+
+    #[test]
+    fn interleaved_block_order_covers_all_components() {
+        let frame = FrameInfo::for_encode(32, 32, 3, Subsampling::S420, false).unwrap();
+        let scan = ScanInfo {
+            components: (0..3)
+                .map(|i| ScanComponent { comp_index: i, dc_table: 0, ac_table: 0 })
+                .collect(),
+            ss: 0,
+            se: 63,
+            ah: 0,
+            al: 0,
+        };
+        let mut count = [0usize; 3];
+        for_each_block(&frame, &scan, |slot, _r, _c| {
+            count[slot] += 1;
+            Ok(())
+        })
+        .unwrap();
+        // 2x2 MCUs: Y has 4 blocks per MCU, chroma 1 each.
+        assert_eq!(count, [16, 4, 4]);
+    }
+}

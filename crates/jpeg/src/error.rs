@@ -1,0 +1,62 @@
+//! Error types for the JPEG codec.
+
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or transcoding JPEG streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The stream does not begin with an SOI marker or is otherwise not JPEG.
+    NotJpeg,
+    /// Unexpected end of the input stream.
+    UnexpectedEof,
+    /// A marker segment declared a length inconsistent with its contents.
+    BadSegmentLength {
+        /// The marker whose segment was malformed.
+        marker: u8,
+    },
+    /// A frame header (SOF) was invalid or used an unsupported mode.
+    UnsupportedFrame(String),
+    /// A scan header (SOS) was inconsistent with the frame.
+    BadScan(String),
+    /// A Huffman table was malformed or a required table was missing.
+    BadHuffman(String),
+    /// A quantization table was malformed or a required table was missing.
+    BadQuant(String),
+    /// Entropy-coded data was corrupt (invalid Huffman code or overlong run).
+    CorruptData(String),
+    /// The image dimensions are zero or exceed implementation limits.
+    BadDimensions {
+        /// Declared width.
+        width: u32,
+        /// Declared height.
+        height: u32,
+    },
+    /// Encoder input did not match the declared layout.
+    BadInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::NotJpeg => write!(f, "stream is not a JPEG (missing SOI)"),
+            Error::UnexpectedEof => write!(f, "unexpected end of JPEG stream"),
+            Error::BadSegmentLength { marker } => {
+                write!(f, "bad segment length for marker 0xFF{marker:02X}")
+            }
+            Error::UnsupportedFrame(s) => write!(f, "unsupported frame: {s}"),
+            Error::BadScan(s) => write!(f, "bad scan header: {s}"),
+            Error::BadHuffman(s) => write!(f, "bad Huffman table: {s}"),
+            Error::BadQuant(s) => write!(f, "bad quantization table: {s}"),
+            Error::CorruptData(s) => write!(f, "corrupt entropy-coded data: {s}"),
+            Error::BadDimensions { width, height } => {
+                write!(f, "bad image dimensions {width}x{height}")
+            }
+            Error::BadInput(s) => write!(f, "bad encoder input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenient result alias used throughout the codec.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,440 @@
+//! Huffman coding: canonical table representation (the DHT wire format),
+//! encoder/decoder table derivation, and optimal table construction from
+//! symbol frequencies (the libjpeg `jpeg_gen_optimal_table` algorithm used
+//! by `jpegtran -optimize`, which progressive encoding relies on).
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::error::{Error, Result};
+
+/// A Huffman table in canonical (DHT) form: `bits[l]` = number of codes of
+/// length `l + 1`, and `vals` lists symbols in code order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HuffTable {
+    /// Count of codes per code length 1..=16.
+    pub bits: [u8; 16],
+    /// Symbols ordered by increasing code length / code value.
+    pub vals: Vec<u8>,
+}
+
+impl HuffTable {
+    /// Builds a table from DHT-format arrays, validating counts.
+    pub fn new(bits: [u8; 16], vals: Vec<u8>) -> Result<Self> {
+        let total: usize = bits.iter().map(|&b| b as usize).sum();
+        if total != vals.len() {
+            return Err(Error::BadHuffman(format!(
+                "bits declare {total} codes but {} values supplied",
+                vals.len()
+            )));
+        }
+        if total > 256 {
+            return Err(Error::BadHuffman("more than 256 codes".into()));
+        }
+        // Kraft inequality check: the code must be realizable.
+        let mut kraft = 0u64;
+        for (i, &b) in bits.iter().enumerate() {
+            kraft += (b as u64) << (16 - (i + 1));
+        }
+        if kraft > 1 << 16 {
+            return Err(Error::BadHuffman("code lengths violate Kraft inequality".into()));
+        }
+        Ok(Self { bits, vals })
+    }
+
+    /// The standard table constructors (T.81 Annex K).
+    pub fn std_dc_luma() -> Self {
+        Self::new(crate::consts::STD_DC_LUMA_BITS, crate::consts::STD_DC_LUMA_VALS.to_vec())
+            .expect("standard table is valid")
+    }
+    /// Standard DC chroma table.
+    pub fn std_dc_chroma() -> Self {
+        Self::new(crate::consts::STD_DC_CHROMA_BITS, crate::consts::STD_DC_CHROMA_VALS.to_vec())
+            .expect("standard table is valid")
+    }
+    /// Standard AC luma table.
+    pub fn std_ac_luma() -> Self {
+        Self::new(crate::consts::STD_AC_LUMA_BITS, crate::consts::STD_AC_LUMA_VALS.to_vec())
+            .expect("standard table is valid")
+    }
+    /// Standard AC chroma table.
+    pub fn std_ac_chroma() -> Self {
+        Self::new(crate::consts::STD_AC_CHROMA_BITS, crate::consts::STD_AC_CHROMA_VALS.to_vec())
+            .expect("standard table is valid")
+    }
+}
+
+/// Per-symbol (code, length) lookup used while encoding.
+#[derive(Debug, Clone)]
+pub struct HuffEncoder {
+    code: [u16; 256],
+    len: [u8; 256],
+}
+
+impl HuffEncoder {
+    /// Derives canonical codes from a table (T.81 Annex C).
+    pub fn from_table(t: &HuffTable) -> Result<Self> {
+        let mut code = [0u16; 256];
+        let mut len = [0u8; 256];
+        let mut next_code = 0u32;
+        let mut k = 0usize;
+        for l in 1..=16u32 {
+            for _ in 0..t.bits[(l - 1) as usize] {
+                let sym = t.vals[k] as usize;
+                if len[sym] != 0 {
+                    return Err(Error::BadHuffman(format!("duplicate symbol {sym}")));
+                }
+                if next_code >= 1 << l {
+                    return Err(Error::BadHuffman("code overflow".into()));
+                }
+                code[sym] = next_code as u16;
+                len[sym] = l as u8;
+                next_code += 1;
+                k += 1;
+            }
+            next_code <<= 1;
+        }
+        Ok(Self { code, len })
+    }
+
+    /// Emits the code for `symbol`.
+    #[inline]
+    pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
+        let l = self.len[symbol as usize];
+        debug_assert!(l > 0, "symbol {symbol:#04x} has no code");
+        w.put_bits(u32::from(self.code[symbol as usize]), u32::from(l));
+    }
+
+    /// Code length for a symbol (0 if absent).
+    #[inline]
+    pub fn code_len(&self, symbol: u8) -> u8 {
+        self.len[symbol as usize]
+    }
+}
+
+const LOOKUP_BITS: u32 = 9;
+
+/// Fast Huffman decoder: a 9-bit first-level lookup with slow-path fallback
+/// for longer codes.
+#[derive(Debug, Clone)]
+pub struct HuffDecoder {
+    /// lookup[prefix] = (symbol, length) for codes <= LOOKUP_BITS.
+    lookup: Vec<(u8, u8)>,
+    /// mincode/maxcode/valptr per length for the canonical slow path.
+    mincode: [i32; 17],
+    maxcode: [i32; 17],
+    valptr: [usize; 17],
+    vals: Vec<u8>,
+}
+
+impl HuffDecoder {
+    /// Builds decoding structures from a canonical table.
+    pub fn from_table(t: &HuffTable) -> Result<Self> {
+        let mut mincode = [0i32; 17];
+        let mut maxcode = [-1i32; 17];
+        let mut valptr = [0usize; 17];
+        let mut code = 0i32;
+        let mut k = 0usize;
+        for l in 1..=16usize {
+            if t.bits[l - 1] > 0 {
+                valptr[l] = k;
+                mincode[l] = code;
+                code += i32::from(t.bits[l - 1]);
+                k += t.bits[l - 1] as usize;
+                maxcode[l] = code - 1;
+            } else {
+                maxcode[l] = -1;
+            }
+            code <<= 1;
+        }
+        // First-level lookup table.
+        let mut lookup = vec![(0u8, 0u8); 1 << LOOKUP_BITS];
+        let mut c = 0u32;
+        let mut idx = 0usize;
+        for l in 1..=16u32 {
+            for _ in 0..t.bits[(l - 1) as usize] {
+                if l <= LOOKUP_BITS {
+                    let prefix = c << (LOOKUP_BITS - l);
+                    let n = 1u32 << (LOOKUP_BITS - l);
+                    for p in prefix..prefix + n {
+                        lookup[p as usize] = (t.vals[idx], l as u8);
+                    }
+                }
+                c += 1;
+                idx += 1;
+            }
+            c <<= 1;
+        }
+        Ok(Self { lookup, mincode, maxcode, valptr, vals: t.vals.clone() })
+    }
+
+    /// Decodes one symbol from the bit reader.
+    #[inline]
+    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8> {
+        let peek = r.peek_bits(LOOKUP_BITS)?;
+        let (sym, len) = self.lookup[peek as usize];
+        if len > 0 {
+            r.consume(u32::from(len))?;
+            return Ok(sym);
+        }
+        // Slow path: codes longer than LOOKUP_BITS.
+        let mut code = r.get_bits(LOOKUP_BITS)? as i32;
+        let mut l = LOOKUP_BITS as usize;
+        loop {
+            if l > 16 {
+                return Err(Error::CorruptData("invalid Huffman code".into()));
+            }
+            if self.maxcode[l] >= 0 && code <= self.maxcode[l] {
+                let off = (code - self.mincode[l]) as usize;
+                return Ok(self.vals[self.valptr[l] + off]);
+            }
+            code = (code << 1) | r.get_bit()? as i32;
+            l += 1;
+        }
+    }
+}
+
+/// Builds an optimal length-limited (<=16 bit) Huffman table from symbol
+/// frequencies, following libjpeg's `jpeg_gen_optimal_table`.
+///
+/// `freq` has one slot per symbol (up to 256). Symbols with zero frequency
+/// get no code. At least one symbol must have nonzero frequency.
+pub fn gen_optimal_table(freq_in: &[u32]) -> Result<HuffTable> {
+    const MAX_CLEN: usize = 32;
+    let nsyms = freq_in.len().min(256);
+    // One extra pseudo-symbol (257th) with freq 1 guarantees no real symbol
+    // gets the all-ones code and that at least two symbols exist.
+    let mut freq = vec![0i64; nsyms + 1];
+    for (f, &v) in freq.iter_mut().zip(freq_in.iter()) {
+        *f = i64::from(v);
+    }
+    freq[nsyms] = 1;
+
+    let mut codesize = vec![0usize; nsyms + 1];
+    let mut others = vec![-1i64; nsyms + 1];
+
+    loop {
+        // Find the two smallest nonzero frequencies (c1 lowest, prefer
+        // higher symbol index on ties like libjpeg).
+        let mut c1: i64 = -1;
+        let mut v = i64::MAX;
+        for (i, &f) in freq.iter().enumerate() {
+            if f != 0 && f <= v {
+                v = f;
+                c1 = i as i64;
+            }
+        }
+        let mut c2: i64 = -1;
+        v = i64::MAX;
+        for (i, &f) in freq.iter().enumerate() {
+            if f != 0 && f <= v && i as i64 != c1 {
+                v = f;
+                c2 = i as i64;
+            }
+        }
+        if c2 < 0 {
+            break; // only one tree left
+        }
+        let (c1u, c2u) = (c1 as usize, c2 as usize);
+        freq[c1u] += freq[c2u];
+        freq[c2u] = 0;
+        // Increment codesize of everything in c1's tree.
+        let mut n = c1u;
+        loop {
+            codesize[n] += 1;
+            if codesize[n] > MAX_CLEN {
+                return Err(Error::BadHuffman("code length explosion".into()));
+            }
+            match others[n] {
+                -1 => break,
+                next => n = next as usize,
+            }
+        }
+        others[n] = c2;
+        let mut n = c2u;
+        loop {
+            codesize[n] += 1;
+            if codesize[n] > MAX_CLEN {
+                return Err(Error::BadHuffman("code length explosion".into()));
+            }
+            match others[n] {
+                -1 => break,
+                next => n = next as usize,
+            }
+        }
+    }
+
+    // Count codes per length.
+    let mut bits = [0i32; MAX_CLEN + 1];
+    for (i, &cs) in codesize.iter().enumerate() {
+        if cs > 0 {
+            let _ = i;
+            bits[cs] += 1;
+        }
+    }
+
+    // JPEG limits code lengths to 16 bits; push overlong codes down
+    // (libjpeg's adjustment loop).
+    let mut i = MAX_CLEN;
+    while i > 16 {
+        while bits[i] > 0 {
+            let mut j = i - 2;
+            while bits[j] == 0 {
+                j -= 1;
+            }
+            bits[i] -= 2;
+            bits[i - 1] += 1;
+            bits[j + 1] += 2;
+            bits[j] -= 1;
+        }
+        i -= 1;
+    }
+    // Remove the pseudo-symbol's code (the longest one).
+    let mut i = 16;
+    while bits[i] == 0 {
+        i -= 1;
+    }
+    bits[i] -= 1;
+
+    let mut out_bits = [0u8; 16];
+    for l in 1..=16 {
+        out_bits[l - 1] = bits[l] as u8;
+    }
+    // Emit symbols sorted by (code length, symbol value); exclude the
+    // pseudo-symbol (index nsyms).
+    let mut vals = Vec::new();
+    for l in 1..=MAX_CLEN {
+        for (sym, &cs) in codesize.iter().enumerate().take(nsyms) {
+            if cs == l {
+                vals.push(sym as u8);
+            }
+        }
+    }
+    HuffTable::new(out_bits, vals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tables_build() {
+        for t in [
+            HuffTable::std_dc_luma(),
+            HuffTable::std_dc_chroma(),
+            HuffTable::std_ac_luma(),
+            HuffTable::std_ac_chroma(),
+        ] {
+            HuffEncoder::from_table(&t).unwrap();
+            HuffDecoder::from_table(&t).unwrap();
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_standard_table() {
+        let t = HuffTable::std_ac_luma();
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        let dec = HuffDecoder::from_table(&t).unwrap();
+        let symbols: Vec<u8> = t.vals.clone();
+        let mut w = BitWriter::new();
+        for &s in &symbols {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &symbols {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn optimal_table_roundtrip() {
+        // Skewed frequency distribution over 20 symbols.
+        let mut freq = vec![0u32; 256];
+        for s in 0..20u32 {
+            freq[s as usize] = 1 + (20 - s) * (20 - s) * 7;
+        }
+        let t = gen_optimal_table(&freq).unwrap();
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        let dec = HuffDecoder::from_table(&t).unwrap();
+        let mut w = BitWriter::new();
+        let msg: Vec<u8> = (0..20).cycle().take(500).collect();
+        for &s in &msg {
+            enc.encode(&mut w, s);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in &msg {
+            assert_eq!(dec.decode(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn optimal_table_assigns_shorter_codes_to_frequent_symbols() {
+        let mut freq = vec![0u32; 256];
+        freq[0] = 10_000;
+        freq[1] = 100;
+        freq[2] = 1;
+        let t = gen_optimal_table(&freq).unwrap();
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        assert!(enc.code_len(0) <= enc.code_len(1));
+        assert!(enc.code_len(1) <= enc.code_len(2));
+    }
+
+    #[test]
+    fn optimal_table_single_symbol() {
+        let mut freq = vec![0u32; 256];
+        freq[42] = 5;
+        let t = gen_optimal_table(&freq).unwrap();
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        assert!(enc.code_len(42) >= 1);
+        let dec = HuffDecoder::from_table(&t).unwrap();
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, 42);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), 42);
+    }
+
+    #[test]
+    fn optimal_table_uniform_256_symbols_respects_length_limit() {
+        let freq = vec![7u32; 256];
+        let t = gen_optimal_table(&freq).unwrap();
+        let total: usize = t.bits.iter().map(|&b| b as usize).sum();
+        assert_eq!(total, 256);
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        for s in 0..=255u8 {
+            assert!(enc.code_len(s) >= 8 && enc.code_len(s) <= 16);
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_table() {
+        let mut bits = [0u8; 16];
+        bits[0] = 3; // 3 codes of length 1 violates Kraft
+        assert!(HuffTable::new(bits, vec![0, 1, 2]).is_err());
+        let mut bits = [0u8; 16];
+        bits[1] = 1;
+        assert!(HuffTable::new(bits, vec![0, 1]).is_err()); // count mismatch
+    }
+
+    #[test]
+    fn long_codes_use_slow_path() {
+        // Build a table with a 12-bit code (beyond the 9-bit lookup) by
+        // making a deep skew.
+        let mut freq = vec![0u32; 64];
+        for (i, f) in freq.iter_mut().enumerate() {
+            *f = 1u32 << (24u32.saturating_sub(i as u32)).min(24);
+        }
+        let t = gen_optimal_table(&freq).unwrap();
+        let enc = HuffEncoder::from_table(&t).unwrap();
+        let dec = HuffDecoder::from_table(&t).unwrap();
+        let longest = (0..64u8).max_by_key(|&s| enc.code_len(s)).unwrap();
+        assert!(enc.code_len(longest) > 9, "need a long code for this test");
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, longest);
+        enc.encode(&mut w, 0);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(dec.decode(&mut r).unwrap(), longest);
+        assert_eq!(dec.decode(&mut r).unwrap(), 0);
+    }
+}

@@ -1,0 +1,56 @@
+//! Minimal PSNR helper used by codec tests and size/quality tooling.
+//!
+//! Full image-quality metrics (MSSIM etc.) live in the `pcr-metrics` crate;
+//! this small helper exists here so the codec can be tested standalone.
+
+use crate::image::ImageBuf;
+
+/// Peak signal-to-noise ratio in dB between two same-shaped images.
+/// Returns `f64::INFINITY` for identical images.
+pub fn psnr(a: &ImageBuf, b: &ImageBuf) -> f64 {
+    assert_eq!(a.width(), b.width(), "width mismatch");
+    assert_eq!(a.height(), b.height(), "height mismatch");
+    assert_eq!(a.channels(), b.channels(), "channel mismatch");
+    let mse: f64 = a
+        .data()
+        .iter()
+        .zip(b.data().iter())
+        .map(|(&x, &y)| {
+            let d = f64::from(x) - f64::from(y);
+            d * d
+        })
+        .sum::<f64>()
+        / a.data().len() as f64;
+    if mse == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0f64 * 255.0 / mse).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_images_have_infinite_psnr() {
+        let img = ImageBuf::from_raw(4, 4, 1, (0..16).collect()).unwrap();
+        assert!(psnr(&img, &img).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let img = ImageBuf::from_raw(4, 4, 1, vec![100; 16]).unwrap();
+        let a = ImageBuf::from_raw(4, 4, 1, vec![101; 16]).unwrap();
+        let b = ImageBuf::from_raw(4, 4, 1, vec![110; 16]).unwrap();
+        assert!(psnr(&img, &a) > psnr(&img, &b));
+    }
+
+    #[test]
+    fn known_value() {
+        // MSE of 1 -> 10*log10(65025) ~= 48.13 dB.
+        let img = ImageBuf::from_raw(2, 2, 1, vec![10, 10, 10, 10]).unwrap();
+        let noisy = ImageBuf::from_raw(2, 2, 1, vec![11, 9, 11, 9]).unwrap();
+        assert!((psnr(&img, &noisy) - 48.13).abs() < 0.01);
+    }
+}

@@ -1,0 +1,321 @@
+//! Pixel <-> coefficient conversion: color planes, chroma subsampling,
+//! block splitting, forward/inverse DCT and quantization.
+
+use crate::dct::{forward_dct, inverse_dct};
+use crate::error::Result;
+use crate::frame::{CoeffPlanes, FrameInfo};
+use crate::image::{rgb_to_ycbcr, ycbcr_to_rgb, ImageBuf};
+
+/// A single component's sample plane at component resolution, padded to the
+/// allocated block grid (edge replication).
+#[derive(Debug, Clone)]
+pub struct SamplePlane {
+    /// Padded width in samples (alloc_w * 8).
+    pub width: usize,
+    /// Padded height in samples (alloc_h * 8).
+    pub height: usize,
+    /// Row-major samples.
+    pub data: Vec<u8>,
+}
+
+impl SamplePlane {
+    fn new(width: usize, height: usize) -> Self {
+        Self { width, height, data: vec![0; width * height] }
+    }
+
+    #[inline]
+    fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    #[inline]
+    fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x] = v;
+    }
+}
+
+/// Converts an image into per-component sample planes matching `frame`
+/// geometry (full-res Y; box-filtered subsampled chroma; edge-padded).
+pub fn image_to_planes(img: &ImageBuf, frame: &FrameInfo) -> Result<Vec<SamplePlane>> {
+    let w = img.width() as usize;
+    let h = img.height() as usize;
+    let mut planes: Vec<SamplePlane> = frame
+        .components
+        .iter()
+        .map(|c| SamplePlane::new(c.alloc_w as usize * 8, c.alloc_h as usize * 8))
+        .collect();
+
+    if img.channels() == 1 {
+        let p = &mut planes[0];
+        for y in 0..h {
+            for x in 0..w {
+                p.set(x, y, img.get(x as u32, y as u32, 0));
+            }
+        }
+    } else {
+        // Full-resolution YCbCr first.
+        let mut yf = vec![0u8; w * h];
+        let mut cbf = vec![0u8; w * h];
+        let mut crf = vec![0u8; w * h];
+        for yy in 0..h {
+            for xx in 0..w {
+                let (r, g, b) = (
+                    img.get(xx as u32, yy as u32, 0),
+                    img.get(xx as u32, yy as u32, 1),
+                    img.get(xx as u32, yy as u32, 2),
+                );
+                let (y, cb, cr) = rgb_to_ycbcr(r, g, b);
+                yf[yy * w + xx] = y;
+                cbf[yy * w + xx] = cb;
+                crf[yy * w + xx] = cr;
+            }
+        }
+        for (ci, comp) in frame.components.iter().enumerate() {
+            let src = match ci {
+                0 => &yf,
+                1 => &cbf,
+                _ => &crf,
+            };
+            let cw = comp.width_px as usize;
+            let ch = comp.height_px as usize;
+            let sx = u32::from(frame.hmax / comp.h) as usize; // subsample factor
+            let sy = u32::from(frame.vmax / comp.v) as usize;
+            let p = &mut planes[ci];
+            for oy in 0..ch {
+                for ox in 0..cw {
+                    if sx == 1 && sy == 1 {
+                        p.set(ox, oy, src[oy * w + ox]);
+                    } else {
+                        // Box filter over the sx x sy source window (clamped).
+                        let mut sum = 0u32;
+                        let mut cnt = 0u32;
+                        for dy in 0..sy {
+                            for dx in 0..sx {
+                                let x = (ox * sx + dx).min(w - 1);
+                                let y = (oy * sy + dy).min(h - 1);
+                                sum += u32::from(src[y * w + x]);
+                                cnt += 1;
+                            }
+                        }
+                        p.set(ox, oy, ((sum + cnt / 2) / cnt) as u8);
+                    }
+                }
+            }
+        }
+    }
+
+    // Edge-replicate into padding (right and bottom) for clean DCTs.
+    for (ci, comp) in frame.components.iter().enumerate() {
+        let cw = comp.width_px as usize;
+        let ch = comp.height_px as usize;
+        let p = &mut planes[ci];
+        for y in 0..ch {
+            let edge = p.get(cw - 1, y);
+            for x in cw..p.width {
+                p.set(x, y, edge);
+            }
+        }
+        for y in ch..p.height {
+            for x in 0..p.width {
+                let v = p.get(x, ch - 1);
+                p.set(x, y, v);
+            }
+        }
+    }
+    Ok(planes)
+}
+
+/// Forward transforms sample planes into quantized coefficients.
+///
+/// `qtables[tq]` must be present (natural order) for every component.
+pub fn planes_to_coeffs(
+    planes: &[SamplePlane],
+    frame: &FrameInfo,
+    qtables: &[Option<[u16; 64]>; 4],
+) -> Result<CoeffPlanes> {
+    let mut coeffs = CoeffPlanes::new(frame);
+    let mut spatial = [0f32; 64];
+    let mut freq = [0f32; 64];
+    for (ci, comp) in frame.components.iter().enumerate() {
+        let q = qtables[comp.tq as usize]
+            .ok_or_else(|| crate::error::Error::BadQuant(format!("missing table {}", comp.tq)))?;
+        let plane = &planes[ci];
+        for brow in 0..comp.alloc_h {
+            for bcol in 0..comp.alloc_w {
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let sx = bcol as usize * 8 + x;
+                        let sy = brow as usize * 8 + y;
+                        spatial[y * 8 + x] = f32::from(plane.get(sx, sy)) - 128.0;
+                    }
+                }
+                forward_dct(&spatial, &mut freq);
+                let block = coeffs.block_mut(frame, ci, brow, bcol);
+                for i in 0..64 {
+                    let qv = f32::from(q[i]);
+                    block[i] = (freq[i] / qv).round() as i16;
+                }
+            }
+        }
+    }
+    Ok(coeffs)
+}
+
+/// Dequantizes and inverse transforms coefficients back into sample planes.
+pub fn coeffs_to_planes(
+    coeffs: &CoeffPlanes,
+    frame: &FrameInfo,
+    qtables: &[Option<[u16; 64]>; 4],
+) -> Result<Vec<SamplePlane>> {
+    let mut planes: Vec<SamplePlane> = frame
+        .components
+        .iter()
+        .map(|c| SamplePlane::new(c.alloc_w as usize * 8, c.alloc_h as usize * 8))
+        .collect();
+    let mut freq = [0f32; 64];
+    let mut spatial = [0f32; 64];
+    for (ci, comp) in frame.components.iter().enumerate() {
+        let q = qtables[comp.tq as usize]
+            .ok_or_else(|| crate::error::Error::BadQuant(format!("missing table {}", comp.tq)))?;
+        for brow in 0..comp.alloc_h {
+            for bcol in 0..comp.alloc_w {
+                let block = coeffs.block(frame, ci, brow, bcol);
+                for i in 0..64 {
+                    freq[i] = f32::from(block[i]) * f32::from(q[i]);
+                }
+                inverse_dct(&freq, &mut spatial);
+                let p = &mut planes[ci];
+                for y in 0..8 {
+                    for x in 0..8 {
+                        let v = (spatial[y * 8 + x] + 128.0).round().clamp(0.0, 255.0) as u8;
+                        p.set(bcol as usize * 8 + x, brow as usize * 8 + y, v);
+                    }
+                }
+            }
+        }
+    }
+    Ok(planes)
+}
+
+/// Reassembles an [`ImageBuf`] from component planes (nearest-neighbour
+/// chroma upsampling).
+pub fn planes_to_image(planes: &[SamplePlane], frame: &FrameInfo) -> Result<ImageBuf> {
+    let w = frame.width as usize;
+    let h = frame.height as usize;
+    if frame.components.len() == 1 {
+        let mut data = Vec::with_capacity(w * h);
+        let p = &planes[0];
+        for y in 0..h {
+            for x in 0..w {
+                data.push(p.get(x, y));
+            }
+        }
+        return ImageBuf::from_raw(frame.width, frame.height, 1, data);
+    }
+    let mut data = Vec::with_capacity(w * h * 3);
+    for y in 0..h {
+        for x in 0..w {
+            let mut ycc = [0u8; 3];
+            for (ci, comp) in frame.components.iter().enumerate().take(3) {
+                let cx = (x * usize::from(comp.h)) / usize::from(frame.hmax);
+                let cy = (y * usize::from(comp.v)) / usize::from(frame.vmax);
+                ycc[ci] = planes[ci].get(cx, cy);
+            }
+            let (r, g, b) = ycbcr_to_rgb(ycc[0], ycc[1], ycc[2]);
+            data.extend_from_slice(&[r, g, b]);
+        }
+    }
+    ImageBuf::from_raw(frame.width, frame.height, 3, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::{scale_qtable, STD_CHROMA_QTABLE, STD_LUMA_QTABLE};
+    use crate::frame::Subsampling;
+
+    fn gradient_rgb(w: u32, h: u32) -> ImageBuf {
+        let mut data = Vec::new();
+        for y in 0..h {
+            for x in 0..w {
+                data.push((x * 255 / w.max(1)) as u8);
+                data.push((y * 255 / h.max(1)) as u8);
+                data.push(((x + y) * 127 / (w + h).max(1)) as u8);
+            }
+        }
+        ImageBuf::from_raw(w, h, 3, data).unwrap()
+    }
+
+    fn qtables(quality: u8) -> [Option<[u16; 64]>; 4] {
+        [
+            Some(scale_qtable(&STD_LUMA_QTABLE, quality)),
+            Some(scale_qtable(&STD_CHROMA_QTABLE, quality)),
+            None,
+            None,
+        ]
+    }
+
+    #[test]
+    fn pixel_pipeline_roundtrip_high_quality() {
+        let img = gradient_rgb(40, 24);
+        let frame = FrameInfo::for_encode(40, 24, 3, Subsampling::S444, false).unwrap();
+        let q = qtables(95);
+        let planes = image_to_planes(&img, &frame).unwrap();
+        let coeffs = planes_to_coeffs(&planes, &frame, &q).unwrap();
+        let back = coeffs_to_planes(&coeffs, &frame, &q).unwrap();
+        let out = planes_to_image(&back, &frame).unwrap();
+        // Smooth gradient at q95 should reconstruct closely.
+        let mut max_err = 0i32;
+        for (a, b) in img.data().iter().zip(out.data().iter()) {
+            max_err = max_err.max((i32::from(*a) - i32::from(*b)).abs());
+        }
+        assert!(max_err <= 14, "max error {max_err}");
+    }
+
+    #[test]
+    fn gray_pipeline_roundtrip() {
+        let mut img = ImageBuf::new(17, 11, 1).unwrap();
+        for y in 0..11 {
+            for x in 0..17 {
+                img.set(x, y, 0, ((x * 13 + y * 7) % 256) as u8);
+            }
+        }
+        let frame = FrameInfo::for_encode(17, 11, 1, Subsampling::S444, false).unwrap();
+        let q = qtables(90);
+        let planes = image_to_planes(&img, &frame).unwrap();
+        let coeffs = planes_to_coeffs(&planes, &frame, &q).unwrap();
+        let back = coeffs_to_planes(&coeffs, &frame, &q).unwrap();
+        let out = planes_to_image(&back, &frame).unwrap();
+        assert_eq!(out.width(), 17);
+        assert_eq!(out.height(), 11);
+    }
+
+    #[test]
+    fn subsampling_reduces_chroma_plane_extent() {
+        let img = gradient_rgb(32, 32);
+        let frame = FrameInfo::for_encode(32, 32, 3, Subsampling::S420, false).unwrap();
+        let planes = image_to_planes(&img, &frame).unwrap();
+        assert_eq!(planes[0].width, 32);
+        assert_eq!(planes[1].width, 16);
+    }
+
+    #[test]
+    fn constant_image_has_dc_only_coefficients() {
+        let img = ImageBuf::from_raw(16, 16, 3, vec![100; 16 * 16 * 3]).unwrap();
+        let frame = FrameInfo::for_encode(16, 16, 3, Subsampling::S420, false).unwrap();
+        let q = qtables(75);
+        let planes = image_to_planes(&img, &frame).unwrap();
+        let coeffs = planes_to_coeffs(&planes, &frame, &q).unwrap();
+        for ci in 0..3 {
+            let c = &frame.components[ci];
+            for row in 0..c.alloc_h {
+                for col in 0..c.alloc_w {
+                    let b = coeffs.block(&frame, ci, row, col);
+                    for &v in &b[1..] {
+                        assert_eq!(v, 0);
+                    }
+                }
+            }
+        }
+    }
+}

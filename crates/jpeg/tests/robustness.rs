@@ -1,0 +1,117 @@
+//! Failure-injection tests: the decoder must return errors (never panic,
+//! never loop) on corrupted, truncated, or bit-flipped streams. The PCR
+//! read path depends on graceful handling of arbitrary prefixes.
+
+use pcr_jpeg::{decode, encode, EncodeConfig, ImageBuf};
+
+fn test_image() -> ImageBuf {
+    let mut data = Vec::new();
+    for y in 0..48u32 {
+        for x in 0..48u32 {
+            data.push(((x * 5 + y * 3) % 256) as u8);
+            data.push(((x + y * 7) % 256) as u8);
+            data.push(((x * y) % 256) as u8);
+        }
+    }
+    ImageBuf::from_raw(48, 48, 3, data).unwrap()
+}
+
+#[test]
+fn decode_survives_every_truncation_length() {
+    // Every prefix of a progressive stream must either decode (possibly
+    // with reduced quality) or return an error — never panic.
+    let prog = encode(&test_image(), &EncodeConfig::progressive(85)).unwrap();
+    for len in 0..prog.len() {
+        let _ = decode(&prog[..len]);
+    }
+}
+
+#[test]
+fn decode_survives_every_truncation_length_baseline() {
+    let base = encode(&test_image(), &EncodeConfig::baseline(85)).unwrap();
+    for len in (0..base.len()).step_by(7) {
+        let _ = decode(&base[..len]);
+    }
+}
+
+#[test]
+fn decode_survives_single_byte_flips() {
+    let prog = encode(&test_image(), &EncodeConfig::progressive(85)).unwrap();
+    // Flip each byte position (stride to keep runtime sane) and decode.
+    for pos in (0..prog.len()).step_by(3) {
+        let mut corrupt = prog.clone();
+        corrupt[pos] ^= 0xFF;
+        let _ = decode(&corrupt);
+    }
+}
+
+#[test]
+fn decode_survives_zeroed_segments() {
+    let base = encode(&test_image(), &EncodeConfig::baseline(85)).unwrap();
+    for window in [4usize, 16, 64] {
+        for start in (2..base.len().saturating_sub(window)).step_by(31) {
+            let mut corrupt = base.clone();
+            for b in &mut corrupt[start..start + window] {
+                *b = 0;
+            }
+            let _ = decode(&corrupt);
+        }
+    }
+}
+
+#[test]
+fn decode_rejects_pathological_headers() {
+    // SOI + SOF with zero components.
+    let mut bad = vec![0xFF, 0xD8, 0xFF, 0xC0, 0x00, 0x08, 8, 0, 16, 0, 16, 0];
+    bad.extend_from_slice(&[0xFF, 0xD9]);
+    assert!(decode(&bad).is_err());
+
+    // Declared segment length pointing past the end.
+    let bad = vec![0xFF, 0xD8, 0xFF, 0xDB, 0xFF, 0xFF, 0x00];
+    assert!(decode(&bad).is_err());
+
+    // Huffman table with impossible code counts.
+    let mut bad = vec![0xFF, 0xD8];
+    let mut dht = vec![0x00]; // class 0 table 0
+    dht.extend_from_slice(&[255u8; 16]); // 255 codes of every length
+    dht.extend_from_slice(&[0u8; 16]);
+    bad.extend_from_slice(&[0xFF, 0xC4]);
+    bad.extend_from_slice(&((dht.len() + 2) as u16).to_be_bytes());
+    bad.extend_from_slice(&dht);
+    assert!(decode(&bad).is_err());
+}
+
+#[test]
+fn huge_declared_dimensions_rejected() {
+    // 0xFFFF x 0xFFFF would be ~12GB of coefficient planes if it were
+    // allocated with 4:2:0 sampling; the decoder should fail cleanly on
+    // the truncated entropy data rather than aborting. We keep dimensions
+    // large but allocatable and verify the error path.
+    let img = ImageBuf::from_raw(8, 8, 1, vec![128; 64]).unwrap();
+    let mut stream = encode(&img, &EncodeConfig::baseline(85)).unwrap();
+    // Patch the SOF dimensions to 1024x1024 without providing data.
+    let sof = stream
+        .windows(2)
+        .position(|w| w == [0xFF, 0xC0])
+        .expect("SOF present");
+    stream[sof + 5] = 0x04; // height 1024
+    stream[sof + 6] = 0x00;
+    stream[sof + 7] = 0x04; // width 1024
+    stream[sof + 8] = 0x00;
+    // Either decodes a mostly-empty image or errors; must not panic.
+    let _ = decode(&stream);
+}
+
+#[test]
+fn repeated_markers_and_garbage_between_segments() {
+    let base = encode(&test_image(), &EncodeConfig::baseline(85)).unwrap();
+    // Duplicate the DQT segment: decoders overwrite tables, fine.
+    let dqt = base.windows(2).position(|w| w == [0xFF, 0xDB]).unwrap();
+    let len = u16::from_be_bytes([base[dqt + 2], base[dqt + 3]]) as usize + 2;
+    let mut doubled = Vec::new();
+    doubled.extend_from_slice(&base[..dqt + len]);
+    doubled.extend_from_slice(&base[dqt..dqt + len]); // duplicate
+    doubled.extend_from_slice(&base[dqt + len..]);
+    let out = decode(&doubled).expect("duplicate DQT is harmless");
+    assert_eq!(out, decode(&base).unwrap());
+}

@@ -1,0 +1,20 @@
+//! # pcr-loader
+//!
+//! The data-loading pipeline of the paper's Appendix A.1: a closed system
+//! of prefetch workers that read record byte-prefixes from (simulated)
+//! storage, decode them, and emit a time-ordered stream of loaded records
+//! for the compute unit. Includes equivalent loaders for the baseline
+//! formats (fixed-quality record files and file-per-image) so end-to-end
+//! comparisons share one worker/timing model.
+
+#![warn(missing_docs)]
+
+pub mod baseline_loader;
+pub mod config;
+pub mod loader;
+pub mod pipeline;
+
+pub use baseline_loader::{FilePerImageLoader, ObjectMeta, RecordFileLoader};
+pub use config::{DecodeMode, LoaderConfig};
+pub use pipeline::{spawn_epoch, Minibatch, PipelineConfig, PipelineStats, RunningPipeline};
+pub use loader::{populate_store, EpochResult, LoadedRecord, PcrLoader};

@@ -1,0 +1,119 @@
+//! Log2-bucketed histograms (the paper's Figure 12 image-size histogram
+//! uses power-of-two buckets from 32 bytes to 8 MiB).
+
+/// A histogram over power-of-two buckets.
+#[derive(Debug, Clone)]
+pub struct Log2Histogram {
+    /// Lower bound (inclusive) of the first bucket, a power of two.
+    pub min_pow: u32,
+    /// Upper bound of the last bucket (exclusive), a power of two.
+    pub max_pow: u32,
+    counts: Vec<u64>,
+    total: u64,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Log2Histogram {
+    /// Buckets `[2^min_pow, 2^(min_pow+1)), ..., [2^(max_pow-1), 2^max_pow)`.
+    pub fn new(min_pow: u32, max_pow: u32) -> Self {
+        assert!(max_pow > min_pow, "empty bucket range");
+        Self {
+            min_pow,
+            max_pow,
+            counts: vec![0; (max_pow - min_pow) as usize],
+            total: 0,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// The paper's Figure 12 range: 32 B .. 8 MiB.
+    pub fn image_sizes() -> Self {
+        Self::new(5, 23)
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: u64) {
+        self.total += 1;
+        if value < (1u64 << self.min_pow) {
+            self.underflow += 1;
+            return;
+        }
+        let pow = 63 - value.leading_zeros();
+        if pow >= self.max_pow {
+            self.overflow += 1;
+            return;
+        }
+        self.counts[(pow - self.min_pow) as usize] += 1;
+    }
+
+    /// Number of observations recorded (including under/overflow).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(bucket lower bound, count)` pairs.
+    pub fn buckets(&self) -> Vec<(u64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (1u64 << (self.min_pow + i as u32), c))
+            .collect()
+    }
+
+    /// `(bucket lower bound, probability)` pairs.
+    pub fn probabilities(&self) -> Vec<(u64, f64)> {
+        let t = self.total.max(1) as f64;
+        self.buckets().into_iter().map(|(b, c)| (b, c as f64 / t)).collect()
+    }
+
+    /// The bucket lower bound with the highest count (the mode).
+    pub fn mode_bucket(&self) -> u64 {
+        self.buckets()
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(b, _)| b)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_right_buckets() {
+        let mut h = Log2Histogram::new(5, 10); // 32..1024
+        h.add(32); // [32,64)
+        h.add(63);
+        h.add(64); // [64,128)
+        h.add(1023); // [512,1024)
+        let b = h.buckets();
+        assert_eq!(b[0], (32, 2));
+        assert_eq!(b[1], (64, 1));
+        assert_eq!(b[4], (512, 1));
+        assert_eq!(h.total(), 4);
+    }
+
+    #[test]
+    fn under_and_overflow_tracked() {
+        let mut h = Log2Histogram::new(5, 10);
+        h.add(1); // underflow
+        h.add(4096); // overflow
+        assert_eq!(h.total(), 2);
+        assert_eq!(h.buckets().iter().map(|&(_, c)| c).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn probabilities_sum_to_at_most_one() {
+        let mut h = Log2Histogram::image_sizes();
+        for v in [100u64, 1000, 10_000, 110_000, 110_000, 200_000] {
+            h.add(v);
+        }
+        let sum: f64 = h.probabilities().iter().map(|&(_, p)| p).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // Mode at 65536..131072 (two 110kB images).
+        assert_eq!(h.mode_bucket(), 65_536);
+    }
+}

@@ -1,0 +1,21 @@
+//! # pcr-metrics
+//!
+//! Image-quality metrics and statistics for the PCR reproduction:
+//! single-scale SSIM and multiscale SSIM (the paper's compression-tolerance
+//! estimator), summary statistics with 95% confidence intervals,
+//! ordinary-least-squares regression with slope p-values (Figure 7), and
+//! log2 histograms (Figure 12).
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod regression;
+pub mod ssim;
+pub mod stats;
+
+pub use histogram::Log2Histogram;
+pub use regression::{linear_regression, student_t_sf, LinearFit};
+pub use ssim::{msssim, msssim_u8, ssim, Plane};
+pub use stats::{
+    cosine_similarity, cosine_similarity_f32, mean, mean_ci95, quantile, quartiles, std_dev,
+};

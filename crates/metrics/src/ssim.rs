@@ -1,0 +1,265 @@
+//! SSIM and multiscale SSIM (MSSIM) image similarity, after Wang,
+//! Simoncelli & Bovik 2003 — the estimator the paper uses to predict how
+//! much compression a training task tolerates (section 4.4).
+
+/// A grayscale f64 image plane for metric computation.
+#[derive(Debug, Clone)]
+pub struct Plane {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Row-major samples (any scale; typically 0..255).
+    pub data: Vec<f64>,
+}
+
+impl Plane {
+    /// Builds a plane from 8-bit luma samples.
+    pub fn from_u8(width: usize, height: usize, data: &[u8]) -> Self {
+        assert_eq!(data.len(), width * height);
+        Self { width, height, data: data.iter().map(|&v| f64::from(v)).collect() }
+    }
+
+    /// 2x2 box downsample (floors odd dimensions).
+    pub fn downsample2(&self) -> Plane {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        let mut data = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                let mut s = 0.0;
+                let mut n = 0.0;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let sx = (x * 2 + dx).min(self.width - 1);
+                        let sy = (y * 2 + dy).min(self.height - 1);
+                        s += self.data[sy * self.width + sx];
+                        n += 1.0;
+                    }
+                }
+                data.push(s / n);
+            }
+        }
+        Plane { width: w, height: h, data }
+    }
+}
+
+const C1: f64 = 6.5025; // (0.01 * 255)^2
+const C2: f64 = 58.5225; // (0.03 * 255)^2
+
+fn gaussian_kernel(radius: usize, sigma: f64) -> Vec<f64> {
+    let mut k = Vec::with_capacity(2 * radius + 1);
+    let denom = 2.0 * sigma * sigma;
+    for i in 0..=2 * radius {
+        let d = i as f64 - radius as f64;
+        k.push((-d * d / denom).exp());
+    }
+    let sum: f64 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Separable gaussian filter with edge clamping.
+fn filter(p: &Plane, kernel: &[f64]) -> Plane {
+    let r = kernel.len() / 2;
+    let (w, h) = (p.width, p.height);
+    let mut tmp = vec![0.0; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut s = 0.0;
+            for (i, &k) in kernel.iter().enumerate() {
+                let sx = (x + i).saturating_sub(r).min(w - 1);
+                s += p.data[y * w + sx] * k;
+            }
+            tmp[y * w + x] = s;
+        }
+    }
+    let mut out = vec![0.0; w * h];
+    for y in 0..h {
+        for x in 0..w {
+            let mut s = 0.0;
+            for (i, &k) in kernel.iter().enumerate() {
+                let sy = (y + i).saturating_sub(r).min(h - 1);
+                s += tmp[sy * w + x] * k;
+            }
+            out[y * w + x] = s;
+        }
+    }
+    Plane { width: w, height: h, data: out }
+}
+
+/// Mean SSIM and mean contrast-structure (CS) over a pair of planes.
+///
+/// Returns `(ssim, cs)`; `cs` is used by the multiscale aggregation.
+pub fn ssim_cs(a: &Plane, b: &Plane) -> (f64, f64) {
+    assert_eq!((a.width, a.height), (b.width, b.height), "shape mismatch");
+    // Kernel radius shrinks for tiny images.
+    let radius = 5.min((a.width.min(a.height) - 1) / 2).max(1);
+    let kernel = gaussian_kernel(radius, 1.5);
+
+    let mu_a = filter(a, &kernel);
+    let mu_b = filter(b, &kernel);
+    let sq = |p: &Plane| Plane {
+        width: p.width,
+        height: p.height,
+        data: p.data.iter().map(|v| v * v).collect(),
+    };
+    let prod = Plane {
+        width: a.width,
+        height: a.height,
+        data: a.data.iter().zip(&b.data).map(|(x, y)| x * y).collect(),
+    };
+    let sigma_a2 = filter(&sq(a), &kernel);
+    let sigma_b2 = filter(&sq(b), &kernel);
+    let sigma_ab = filter(&prod, &kernel);
+
+    let n = a.data.len() as f64;
+    let mut ssim_sum = 0.0;
+    let mut cs_sum = 0.0;
+    for i in 0..a.data.len() {
+        let (ma, mb) = (mu_a.data[i], mu_b.data[i]);
+        let va = (sigma_a2.data[i] - ma * ma).max(0.0);
+        let vb = (sigma_b2.data[i] - mb * mb).max(0.0);
+        let cov = sigma_ab.data[i] - ma * mb;
+        let l = (2.0 * ma * mb + C1) / (ma * ma + mb * mb + C1);
+        let cs = (2.0 * cov + C2) / (va + vb + C2);
+        ssim_sum += l * cs;
+        cs_sum += cs;
+    }
+    (ssim_sum / n, cs_sum / n)
+}
+
+/// Single-scale mean SSIM.
+pub fn ssim(a: &Plane, b: &Plane) -> f64 {
+    ssim_cs(a, b).0
+}
+
+/// The standard 5-scale MS-SSIM weights.
+pub const MSSSIM_WEIGHTS: [f64; 5] = [0.0448, 0.2856, 0.3001, 0.2363, 0.1333];
+
+/// Multiscale SSIM. Scales are dropped (with weight renormalization) if the
+/// image becomes smaller than 8 pixels on a side.
+pub fn msssim(a: &Plane, b: &Plane) -> f64 {
+    assert_eq!((a.width, a.height), (b.width, b.height), "shape mismatch");
+    let mut pa = a.clone();
+    let mut pb = b.clone();
+    let mut values = Vec::new(); // (cs or ssim, weight)
+    let mut used_weights = Vec::new();
+    for (level, &w) in MSSSIM_WEIGHTS.iter().enumerate() {
+        let last = level == MSSSIM_WEIGHTS.len() - 1
+            || pa.width / 2 < 8
+            || pa.height / 2 < 8;
+        let (s, cs) = ssim_cs(&pa, &pb);
+        values.push(if last { s } else { cs });
+        used_weights.push(w);
+        if last {
+            break;
+        }
+        pa = pa.downsample2();
+        pb = pb.downsample2();
+    }
+    let wsum: f64 = used_weights.iter().sum();
+    let mut out = 1.0f64;
+    for (v, w) in values.iter().zip(&used_weights) {
+        // Components can be slightly negative on pathological inputs; clamp
+        // for the weighted geometric mean.
+        out *= v.max(1e-6).powf(w / wsum);
+    }
+    out
+}
+
+/// Convenience: MS-SSIM between two 8-bit luma buffers.
+pub fn msssim_u8(width: usize, height: usize, a: &[u8], b: &[u8]) -> f64 {
+    msssim(&Plane::from_u8(width, height, a), &Plane::from_u8(width, height, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> Plane {
+        let mut data = Vec::with_capacity(w * h);
+        for y in 0..h {
+            for x in 0..w {
+                data.push(((x * 3 + y * 2) % 256) as f64);
+            }
+        }
+        Plane { width: w, height: h, data }
+    }
+
+    #[test]
+    fn identical_images_score_one() {
+        let p = gradient(64, 64);
+        assert!((ssim(&p, &p) - 1.0).abs() < 1e-9);
+        assert!((msssim(&p, &p) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn noise_lowers_score_monotonically() {
+        let p = gradient(64, 64);
+        let noisy = |amp: f64| {
+            let mut q = p.clone();
+            let mut s = 12345u64;
+            for v in &mut q.data {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let r = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+                *v = (*v + amp * r).clamp(0.0, 255.0);
+            }
+            q
+        };
+        let s1 = msssim(&p, &noisy(20.0));
+        let s2 = msssim(&p, &noisy(80.0));
+        assert!(s1 > s2, "{s1} vs {s2}");
+        assert!(s1 < 1.0);
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn constant_shift_hurts_less_than_structure_change() {
+        let p = gradient(64, 64);
+        let shifted = Plane {
+            width: 64,
+            height: 64,
+            data: p.data.iter().map(|v| (v + 10.0).min(255.0)).collect(),
+        };
+        let scrambled = Plane {
+            width: 64,
+            height: 64,
+            data: p.data.iter().rev().cloned().collect(),
+        };
+        assert!(msssim(&p, &shifted) > msssim(&p, &scrambled));
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let p = gradient(64, 48);
+        let d = p.downsample2();
+        assert_eq!((d.width, d.height), (32, 24));
+        let dd = d.downsample2().downsample2().downsample2().downsample2();
+        assert_eq!((dd.width, dd.height), (2, 1));
+    }
+
+    #[test]
+    fn small_images_do_not_panic() {
+        let p = gradient(16, 16);
+        let q = gradient(16, 16);
+        let s = msssim(&p, &q);
+        assert!((s - 1.0).abs() < 1e-6);
+        let tiny = gradient(8, 8);
+        assert!(msssim(&tiny, &tiny) > 0.99);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = gradient(32, 32);
+        let mut q = p.clone();
+        for (i, v) in q.data.iter_mut().enumerate() {
+            *v = (*v + (i % 17) as f64).min(255.0);
+        }
+        let ab = msssim(&p, &q);
+        let ba = msssim(&q, &p);
+        assert!((ab - ba).abs() < 1e-12);
+    }
+}

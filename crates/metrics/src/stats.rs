@@ -1,0 +1,159 @@
+//! Summary statistics used by the experiment harnesses: means, confidence
+//! intervals (the paper plots 95% CIs everywhere), and quartiles (Figures
+//! 16-17 show interquartile ranges).
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation (n-1 denominator; 0 for n < 2).
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64;
+    var.sqrt()
+}
+
+/// Two-sided critical value of Student's t at 95% confidence for `df`
+/// degrees of freedom (table lookup with asymptotic tail).
+pub fn t_critical_95(df: usize) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179,
+        2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064,
+        2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+    ];
+    match df {
+        0 => f64::INFINITY,
+        1..=30 => TABLE[df - 1],
+        31..=60 => 2.021,
+        61..=120 => 2.000,
+        _ => 1.96,
+    }
+}
+
+/// Mean with a 95% confidence half-width: `(mean, half_width)`.
+pub fn mean_ci95(xs: &[f64]) -> (f64, f64) {
+    let m = mean(xs);
+    if xs.len() < 2 {
+        return (m, 0.0);
+    }
+    let se = std_dev(xs) / (xs.len() as f64).sqrt();
+    (m, t_critical_95(xs.len() - 1) * se)
+}
+
+/// Linear-interpolated quantile (`q` in `[0, 1]`) of an unsorted slice.
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile out of range");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v: Vec<f64> = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// Median, lower quartile, upper quartile.
+pub fn quartiles(xs: &[f64]) -> (f64, f64, f64) {
+    (quantile(xs, 0.25), quantile(xs, 0.5), quantile(xs, 0.75))
+}
+
+/// Cosine similarity between two equal-length vectors (`1.0` for parallel,
+/// `0.0` for orthogonal) — the gradient-similarity measure of Appendix A.6.
+pub fn cosine_similarity(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let dot: f64 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let nb: f64 = b.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// f32 variant of [`cosine_similarity`] for NN gradients.
+pub fn cosine_similarity_f32(a: &[f32], b: &[f32]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    let mut dot = 0f64;
+    let mut na = 0f64;
+    let mut nb = 0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        dot += f64::from(x) * f64::from(y);
+        na += f64::from(x) * f64::from(x);
+        nb += f64::from(y) * f64::from(y);
+    }
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.138089935).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ci_formula() {
+        let xs = [10.0, 12.0, 14.0];
+        let (m, hw) = mean_ci95(&xs);
+        assert!((m - 12.0).abs() < 1e-12);
+        // sd = 2, se = 2/sqrt(3), t(2) = 4.303
+        assert!((hw - 4.303 * 2.0 / 3f64.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singleton_ci_is_zero() {
+        let (m, hw) = mean_ci95(&[5.0]);
+        assert_eq!((m, hw), (5.0, 0.0));
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        let (q1, med, q3) = quartiles(&xs);
+        assert!((q1 - 1.75).abs() < 1e-12);
+        assert!((med - 2.5).abs() < 1e-12);
+        assert!((q3 - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cosine_basic() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-12);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-12);
+        assert!((cosine_similarity(&[1.0, 1.0], &[-1.0, -1.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn t_critical_monotone() {
+        assert!(t_critical_95(1) > t_critical_95(5));
+        assert!(t_critical_95(5) > t_critical_95(200));
+        assert!((t_critical_95(1000) - 1.96).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,22 @@
+//! # pcr-nn
+//!
+//! A deliberately small neural-network library used by the PCR experiments:
+//! an MLP classifier with manual backprop, SGD with momentum, the paper's
+//! warmup + step-decay learning-rate schedule, and gradient flattening for
+//! the cosine-distance autotuning probes of Appendix A.6.
+//!
+//! The [`model::ModelSpec`] constructors carry the paper's per-model
+//! compute-throughput calibration (ResNet-18: 405/445 img/s; ShuffleNetv2:
+//! 760/750 img/s per TitanX worker) which the pipeline simulator uses for
+//! its compute unit; the *statistical* response to compressed inputs comes
+//! from genuinely training these models on decoded pixels.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod optim;
+pub mod tensor;
+
+pub use model::{BatchResult, Gradients, Mlp, ModelSpec};
+pub use optim::{LrSchedule, SgdMomentum};
+pub use tensor::Matrix;

@@ -1,0 +1,252 @@
+//! Dynamic scan-group tuning loops (paper section 4.5 and Appendix A.6.2):
+//! the loss-probe heuristic with checkpoint rollback, and the
+//! gradient-cosine controller (optionally with mixture training).
+
+use crate::features::FeaturizedDataset;
+use crate::trainer::{TrainConfig, Trainer, TrainingTrace};
+use pcr_autotune::{select_lowest_qualifying, MixturePolicy, PlateauDetector};
+use pcr_core::PcrDataset;
+use pcr_nn::ModelSpec;
+
+/// Configuration of the dynamic controllers.
+#[derive(Debug, Clone)]
+pub struct DynamicConfig {
+    /// Scan groups to consider (typically the clustered set {1, 2, 5, 10}).
+    pub candidate_groups: Vec<usize>,
+    /// Epochs between tuning sweeps for the cosine controller.
+    pub tune_every: usize,
+    /// First epoch at which tuning may happen (warmup at full quality).
+    pub initial_tune_epoch: usize,
+    /// Gradient-similarity acceptance threshold (paper: 0.90).
+    pub cosine_threshold: f64,
+    /// Batches used per probe measurement.
+    pub probe_batches: usize,
+    /// Loss tolerance for the loss-probe heuristic (relative).
+    pub loss_tolerance: f64,
+    /// Absolute loss slack added to the probe acceptance threshold so that
+    /// near-converged runs (where every group's loss is tiny) still switch
+    /// down.
+    pub loss_abs_tolerance: f64,
+    /// Mixture weight for the selected group (None = hard selection;
+    /// Some(10.0) ~ 50% mixtures, Some(100.0) ~ 85%).
+    pub mixture_weight: Option<f64>,
+    /// Epoch at which the loss-probe controller tunes even without a
+    /// detected plateau (the paper's Figure 21 uses "an initial tuning at
+    /// epoch 5").
+    pub force_tune_epoch: Option<usize>,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        Self {
+            candidate_groups: vec![1, 2, 5, 10],
+            tune_every: 5,
+            initial_tune_epoch: 2,
+            cosine_threshold: pcr_autotune::DEFAULT_COSINE_THRESHOLD,
+            probe_batches: 4,
+            loss_tolerance: 0.05,
+            loss_abs_tolerance: 0.02,
+            mixture_weight: None,
+            force_tune_epoch: Some(4),
+        }
+    }
+}
+
+/// The section-4.5 heuristic: train at full quality until the loss
+/// plateaus; then checkpoint, trial-train briefly at each candidate group,
+/// roll back, and continue at the cheapest group whose probe loss is within
+/// tolerance of the best probe.
+pub fn train_dynamic_loss(
+    feats: &FeaturizedDataset,
+    pcr: &PcrDataset,
+    spec: &ModelSpec,
+    cfg: &TrainConfig,
+    dyn_cfg: &DynamicConfig,
+    dataset_name: &str,
+) -> TrainingTrace {
+    let mut trainer = Trainer::new(feats, pcr, spec.clone(), cfg.clone());
+    let full = *dyn_cfg.candidate_groups.iter().max().expect("candidates");
+    let mut current = full;
+    let mut detector = PlateauDetector::new(2, 0.01);
+    let mut points = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        let mut pt = trainer.train_epoch(current);
+        let plateaued = detector.push(pt.train_loss)
+            || dyn_cfg.force_tune_epoch.is_some_and(|fe| e + 1 == fe);
+        if plateaued && current == full {
+            // Tuning phase: probe candidates from a checkpoint.
+            let ckpt = trainer.checkpoint();
+            let mut probes: Vec<(usize, f64)> = Vec::new();
+            for &g in &dyn_cfg.candidate_groups {
+                let loss = trainer.train_batches(g, dyn_cfg.probe_batches);
+                probes.push((g, loss));
+                trainer.restore(ckpt.clone());
+            }
+            let best = probes.iter().map(|&(_, l)| l).fold(f64::INFINITY, f64::min);
+            let mut sorted = probes.clone();
+            sorted.sort_by_key(|&(g, _)| g);
+            current = sorted
+                .iter()
+                .find(|&&(_, l)| l <= best * (1.0 + dyn_cfg.loss_tolerance) + dyn_cfg.loss_abs_tolerance)
+                .map(|&(g, _)| g)
+                .unwrap_or(full);
+            detector.reset();
+        }
+        if (e + 1) % cfg.eval_every == 0 || e + 1 == cfg.epochs {
+            pt.test_acc = trainer.eval();
+        }
+        points.push(pt);
+    }
+    let final_acc = trainer.eval();
+    TrainingTrace {
+        model: spec.name.clone(),
+        dataset: dataset_name.to_string(),
+        scan_group: 0,
+        total_time: trainer.now(),
+        points,
+        final_acc,
+    }
+}
+
+/// The Appendix-A.6.2 controller: warm up at full quality, then every
+/// `tune_every` epochs measure each group's gradient cosine similarity to
+/// the full-quality gradient and switch to the lowest group above
+/// threshold; optionally train with a mixture centered on that group.
+pub fn train_dynamic_cosine(
+    feats: &FeaturizedDataset,
+    pcr: &PcrDataset,
+    spec: &ModelSpec,
+    cfg: &TrainConfig,
+    dyn_cfg: &DynamicConfig,
+    dataset_name: &str,
+) -> TrainingTrace {
+    let mut trainer = Trainer::new(feats, pcr, spec.clone(), cfg.clone());
+    let full = *dyn_cfg.candidate_groups.iter().max().expect("candidates");
+    let mut current = full;
+    let mut points = Vec::with_capacity(cfg.epochs);
+    for e in 0..cfg.epochs {
+        let tune_now = e >= dyn_cfg.initial_tune_epoch
+            && (e - dyn_cfg.initial_tune_epoch).is_multiple_of(dyn_cfg.tune_every);
+        if tune_now {
+            let sims: Vec<(usize, f64)> = trainer
+                .gradient_similarities(dyn_cfg.probe_batches)
+                .into_iter()
+                .filter(|(g, _)| dyn_cfg.candidate_groups.contains(g))
+                .collect();
+            current = select_lowest_qualifying(&sims, dyn_cfg.cosine_threshold);
+            trainer.charge_probe_time(sims.len() * dyn_cfg.probe_batches);
+        }
+        let mut pt = match dyn_cfg.mixture_weight {
+            None => trainer.train_epoch(current),
+            Some(w) => {
+                let policy = MixturePolicy::selected(&dyn_cfg.candidate_groups, current, w);
+                trainer.train_epoch_mixture(&policy)
+            }
+        };
+        pt.scan_group = current;
+        if (e + 1) % cfg.eval_every == 0 || e + 1 == cfg.epochs {
+            pt.test_acc = trainer.eval();
+        }
+        points.push(pt);
+    }
+    let final_acc = trainer.eval();
+    TrainingTrace {
+        model: spec.name.clone(),
+        dataset: dataset_name.to_string(),
+        scan_group: 0,
+        total_time: trainer.now(),
+        points,
+        final_acc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::featurize;
+    use crate::trainer::train_fixed_group;
+    use pcr_datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+    use pcr_nn::LrSchedule;
+
+    fn setup() -> (FeaturizedDataset, PcrDataset) {
+        let ds = SyntheticDataset::generate(&DatasetSpec::celebahq_smile_like(Scale::Tiny));
+        let feats = featurize(&ds, &ModelSpec::resnet_like(), &[1, 2, 5, 10]);
+        let (pcr, _) = to_pcr_dataset(&ds, 8);
+        (feats, pcr)
+    }
+
+    fn quick_cfg(epochs: usize) -> TrainConfig {
+        // A deliberately storage-bound setup: the tiny test dataset would
+        // otherwise be compute-bound and scan groups would not change epoch
+        // time at all.
+        let slow_disk = pcr_storage::DeviceProfile {
+            name: "slow-test-disk".into(),
+            seek_latency_us: 500.0,
+            request_overhead_us: 50.0,
+            sequential_bw_mib_s: 0.5,
+        };
+        TrainConfig {
+            epochs,
+            batch_size: 8,
+            workers: 2,
+            storage: slow_disk,
+            lr: LrSchedule {
+                base_lr: 0.05,
+                warmup_epochs: 0.0,
+                decay_epochs: vec![],
+                decay_factor: 1.0,
+            },
+            eval_every: 2,
+            ..TrainConfig::default()
+        }
+    }
+
+    #[test]
+    fn loss_probe_switches_down_and_matches_accuracy() {
+        let (feats, pcr) = setup();
+        let cfg = quick_cfg(24);
+        let dyn_cfg = DynamicConfig { probe_batches: 2, ..Default::default() };
+        let dynamic = train_dynamic_loss(&feats, &pcr, &ModelSpec::resnet_like(), &cfg, &dyn_cfg, "celeb");
+        let baseline = train_fixed_group(&feats, &pcr, &ModelSpec::resnet_like(), &cfg, 10, "celeb");
+        // After the plateau the controller should run at a lower group.
+        let last_group = dynamic.points.last().unwrap().scan_group;
+        assert!(last_group < 10, "controller stuck at full quality");
+        // Accuracy comparable to baseline.
+        assert!(
+            dynamic.final_acc >= baseline.final_acc - 0.1,
+            "dynamic {} vs baseline {}",
+            dynamic.final_acc,
+            baseline.final_acc
+        );
+        // And faster overall.
+        assert!(dynamic.total_time < baseline.total_time);
+    }
+
+    #[test]
+    fn cosine_controller_tunes_and_is_fast() {
+        let (feats, pcr) = setup();
+        let cfg = quick_cfg(8);
+        let dyn_cfg = DynamicConfig { tune_every: 3, initial_tune_epoch: 1, ..Default::default() };
+        let trace =
+            train_dynamic_cosine(&feats, &pcr, &ModelSpec::resnet_like(), &cfg, &dyn_cfg, "celeb");
+        assert_eq!(trace.points.len(), 8);
+        // On this low-frequency task, the controller should pick a low group
+        // at some point.
+        assert!(
+            trace.points.iter().any(|p| p.scan_group < 10),
+            "never switched below full quality"
+        );
+        assert!(trace.final_acc > 0.75, "acc {}", trace.final_acc);
+    }
+
+    #[test]
+    fn mixture_variant_runs() {
+        let (feats, pcr) = setup();
+        let cfg = quick_cfg(5);
+        let dyn_cfg = DynamicConfig { mixture_weight: Some(10.0), ..Default::default() };
+        let trace =
+            train_dynamic_cosine(&feats, &pcr, &ModelSpec::resnet_like(), &cfg, &dyn_cfg, "celeb");
+        assert!(trace.final_acc > 0.6);
+        assert!(trace.total_time > 0.0);
+    }
+}

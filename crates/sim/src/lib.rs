@@ -1,0 +1,25 @@
+//! # pcr-sim
+//!
+//! The experiment engine for the PCR reproduction: the paper's Appendix
+//! A.2 queueing lemmas as executable code, the loader->compute pipeline
+//! coupling with per-iteration data-stall accounting (Appendix A.1 /
+//! Figure 11), scan-group featurization of synthetic datasets, and the
+//! end-to-end time-to-accuracy trainer with static and dynamic
+//! (loss-probe, gradient-cosine, mixture) scan-group control.
+
+#![warn(missing_docs)]
+
+pub mod dynamic;
+pub mod features;
+pub mod pipeline;
+pub mod queueing;
+pub mod trainer;
+
+pub use dynamic::{train_dynamic_cosine, train_dynamic_loss, DynamicConfig};
+pub use features::{featurize, FeaturizedDataset};
+pub use pipeline::{run_pipeline, ComputeUnit, IterationTiming, PipelineTrace};
+pub use queueing::{
+    expected_item_read_time, loader_throughput, max_system_speedup, pipeline_speedup,
+    roofline_sweep, system_throughput, RooflinePoint,
+};
+pub use trainer::{train_fixed_group, TracePoint, TrainConfig, Trainer, TrainingTrace};

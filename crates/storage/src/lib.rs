@@ -1,0 +1,24 @@
+//! # pcr-storage
+//!
+//! Simulated storage substrate for the PCR reproduction: parametric device
+//! models (7200RPM HDD, SATA SSD, Ceph-like aggregate cluster), a
+//! virtual-clock device with sequential-access detection, a thread-safe
+//! shared device that queues concurrent requests, a page-cache model, and
+//! an object store combining them.
+//!
+//! The paper's systems results depend only on the ratio between compute
+//! throughput and storage bandwidth (its Appendix A.2 queueing analysis);
+//! these models let experiments sweep that ratio deterministically instead
+//! of requiring the authors' 16-node cluster.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod device;
+pub mod profile;
+pub mod store;
+
+pub use cache::{PageCache, PAGE_SIZE};
+pub use device::{DeviceStats, SharedDevice, SimDevice};
+pub use profile::DeviceProfile;
+pub use store::{ObjectStore, ReadResult};
