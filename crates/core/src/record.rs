@@ -182,6 +182,14 @@ impl<'a> PcrRecord<'a> {
         if num_groups == 0 {
             return Err(Error::Malformed("zero scan groups".into()));
         }
+        // Every index entry occupies at least label + id-length prefix +
+        // header_len + one u32 per group, so an absurd declared image count
+        // in a short buffer must fail here rather than drive the capacity
+        // of the allocation below.
+        let min_entry_bytes = 4 + 4 + 4 + 4 * num_groups;
+        if num_images.saturating_mul(min_entry_bytes) > r.remaining() {
+            return Err(Error::Truncated { context: "record index" });
+        }
         let mut entries = Vec::with_capacity(num_images);
         for _ in 0..num_images {
             let label = r.u32("label")?;

@@ -1,0 +1,69 @@
+//! Smoke test for the tier-1 verify path: one record through
+//! `PcrRecordBuilder` -> `PcrRecord::parse` -> `offset_for_group`, with
+//! the PCR prefix invariants checked at every scan group.
+
+use pcr::core::{PcrRecord, PcrRecordBuilder, SampleMeta};
+use pcr::jpeg::ImageBuf;
+
+fn gradient_image(side: u32, phase: u32) -> ImageBuf {
+    let mut data = Vec::with_capacity((side * side * 3) as usize);
+    for y in 0..side {
+        for x in 0..side {
+            let v = ((x * 5 + y * 3 + phase * 11) % 256) as u8;
+            data.push(v);
+            data.push(v.wrapping_add(64));
+            data.push(255 - v);
+        }
+    }
+    ImageBuf::from_raw(side, side, 3, data).expect("valid raw image")
+}
+
+#[test]
+fn record_roundtrip_with_monotone_group_prefixes() {
+    let mut builder = PcrRecordBuilder::with_default_groups();
+    for i in 0..3u32 {
+        let img = gradient_image(48, i);
+        builder
+            .add_image(SampleMeta { label: i, id: format!("smoke-{i}") }, &img, 85)
+            .expect("image encodes into record");
+    }
+    let bytes = builder.build().expect("record builds");
+
+    let record = PcrRecord::parse(&bytes).expect("record parses");
+    assert_eq!(record.num_images(), 3);
+    let n = record.num_groups();
+    assert!(n >= 2, "default grouping must have multiple scan groups");
+    assert_eq!(record.available_groups(), n, "full buffer covers all groups");
+    assert_eq!(record.labels(), vec![0, 1, 2]);
+    for i in 0..3 {
+        assert_eq!(record.meta(i).id, format!("smoke-{i}"));
+    }
+
+    // Prefix offsets are strictly inside the buffer and monotonically
+    // non-decreasing across scan groups, ending exactly at the full size
+    // (the zero-space-overhead property of the format).
+    let mut last = record.offset_for_group(0);
+    assert!(last > 0, "group 0 still carries metadata and headers");
+    for g in 1..=n {
+        let off = record.offset_for_group(g);
+        assert!(off >= last, "offset regressed at group {g}: {off} < {last}");
+        assert!(
+            off > record.offset_for_group(g - 1) || record.group_size(g) == 0,
+            "non-empty group {g} must advance the prefix"
+        );
+        last = off;
+    }
+    assert_eq!(last, bytes.len(), "last group offset is the full record");
+
+    // Every group prefix re-parses and reports exactly g available groups,
+    // and its images decode at that quality with correct dimensions.
+    for g in 1..=n {
+        let prefix = &bytes[..record.offset_for_group(g)];
+        let view = PcrRecord::parse(prefix).expect("prefix parses");
+        assert_eq!(view.available_groups(), g, "prefix covers groups 1..={g}");
+        assert_eq!(view.num_images(), 3);
+        let img = view.decode_image(1, g).expect("prefix image decodes");
+        assert_eq!(img.width(), 48);
+        assert_eq!(img.height(), 48);
+    }
+}
