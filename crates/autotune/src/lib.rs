@@ -7,6 +7,30 @@
 //!
 //! These are pure policies over numbers; the training loops that consult
 //! them live in `pcr-sim` so the policies stay independently testable.
+//!
+//! ```
+//! use pcr_autotune::{
+//!     select_lowest_qualifying, MixturePolicy, PlateauDetector, DEFAULT_COSINE_THRESHOLD,
+//! };
+//!
+//! // Flat losses trip the plateau detector, triggering the tuning phase.
+//! let mut detector = PlateauDetector::new(2, 0.01);
+//! let mut plateaued = false;
+//! for loss in [1.0, 0.6, 0.41, 0.40, 0.401, 0.399] {
+//!     plateaued = detector.push(loss);
+//! }
+//! assert!(plateaued);
+//!
+//! // Gradient-cosine selection: the cheapest group clearing 90%.
+//! let scores = [(1, 0.62), (2, 0.85), (5, 0.93), (10, 1.0)];
+//! let chosen = select_lowest_qualifying(&scores, DEFAULT_COSINE_THRESHOLD);
+//! assert_eq!(chosen, 5);
+//!
+//! // Hedge with a mixture biased toward the selected group (A.6.3).
+//! let mix = MixturePolicy::selected(&[1, 2, 5, 10], chosen, 7.0);
+//! assert_eq!(mix.probability(5), 0.7);
+//! assert_eq!(mix.probability(1), 0.1);
+//! ```
 
 #![warn(missing_docs)]
 

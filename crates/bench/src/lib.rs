@@ -3,7 +3,16 @@
 //! The experiment harness that regenerates every table and figure of the
 //! PCR paper (see `DESIGN.md` for the experiment index). The `experiments`
 //! binary dispatches to the modules here; Criterion microbenchmarks live
-//! under `benches/`.
+//! under `benches/` (including `parallel_loader`, the wall-clock
+//! worker-scaling sweep).
+//!
+//! ```
+//! use pcr_bench::{Ctx, STANDARD_GROUPS};
+//!
+//! let ctx = Ctx::from_arg(Some("tiny"));
+//! assert_eq!(ctx.scale, pcr_datasets::Scale::Tiny);
+//! assert_eq!(STANDARD_GROUPS, [1, 2, 5, 10]);
+//! ```
 
 #![warn(missing_docs)]
 

@@ -216,7 +216,7 @@ impl PcrDatasetBuilder {
                 .into_iter()
                 .map(|o| o as u64)
                 .collect(),
-            labels: rec.labels(),
+            labels: rec.labels().to_vec(),
         };
         drop(rec);
         self.dataset.db.records.push(meta);

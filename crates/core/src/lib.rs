@@ -44,4 +44,6 @@ pub mod wire;
 pub use baseline::{FilePerImageDataset, RecordFile, RecordFileBuilder};
 pub use dataset::{MetaDb, PcrDataset, PcrDatasetBuilder, RecordMeta};
 pub use error::{Error, Result};
-pub use record::{PcrRecord, PcrRecordBuilder, SampleMeta, DEFAULT_NUM_GROUPS};
+pub use record::{
+    PcrRecord, PcrRecordBuilder, RecordScratch, SampleMeta, SampleMetaRef, DEFAULT_NUM_GROUPS,
+};

@@ -42,12 +42,38 @@ pub struct SampleMeta {
     pub id: String,
 }
 
-/// Index entry: metadata plus the byte sizes of every per-image chunk.
-#[derive(Debug, Clone, PartialEq, Eq)]
-struct IndexEntry {
-    meta: SampleMeta,
-    header_len: u32,
-    group_lens: Vec<u32>,
+/// Borrowed per-sample metadata, viewing the record buffer directly (the
+/// zero-copy counterpart of [`SampleMeta`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleMetaRef<'a> {
+    /// Class label.
+    pub label: u32,
+    /// Sample identifier, borrowed from the record bytes.
+    pub id: &'a str,
+}
+
+impl SampleMetaRef<'_> {
+    /// Copies the borrowed metadata into an owned [`SampleMeta`].
+    pub fn to_owned(self) -> SampleMeta {
+        SampleMeta { label: self.label, id: self.id.to_string() }
+    }
+}
+
+/// Reusable buffers for [`PcrRecord::decode_image_with`]: the assembled
+/// JPEG byte stream plus the decoder's coefficient/sample planes. One
+/// `RecordScratch` per worker thread removes every per-image intermediate
+/// allocation from a data-loading hot loop.
+#[derive(Debug, Default)]
+pub struct RecordScratch {
+    jpeg: Vec<u8>,
+    decode: pcr_jpeg::DecodeScratch,
+}
+
+impl RecordScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
 }
 
 /// Builds a `.pcr` record from progressive JPEG images.
@@ -152,13 +178,25 @@ impl PcrRecordBuilder {
 }
 
 /// A parsed `.pcr` record over a (possibly prefix-truncated) byte buffer.
+///
+/// Parsing is zero-copy: sample ids are borrowed `&str` views of the
+/// buffer, image headers and scan chunks are returned as `&[u8]` slices,
+/// and all section offsets are precomputed so every accessor is O(1) —
+/// the properties the wall-clock parallel loader's hot loop relies on.
 #[derive(Debug, Clone)]
 pub struct PcrRecord<'a> {
     data: &'a [u8],
     num_groups: usize,
-    entries: Vec<IndexEntry>,
-    /// Byte offset where the headers section begins.
-    headers_start: usize,
+    labels: Vec<u32>,
+    ids: Vec<&'a str>,
+    /// `header_starts[i]..header_starts[i + 1]` is image `i`'s JPEG header;
+    /// length `num_images + 1`.
+    header_starts: Vec<usize>,
+    /// Absolute chunk offsets: `chunk_starts[(g - 1) * (num_images + 1) + i]`
+    /// is where image `i`'s group-`g` chunk begins; the final entry of each
+    /// group row is the group's end offset, so adjacent deltas within a row
+    /// are the chunk lengths.
+    chunk_starts: Vec<usize>,
 }
 
 impl<'a> PcrRecord<'a> {
@@ -185,22 +223,30 @@ impl<'a> PcrRecord<'a> {
         // Every index entry occupies at least label + id-length prefix +
         // header_len + one u32 per group, so an absurd declared image count
         // in a short buffer must fail here rather than drive the capacity
-        // of the allocation below.
+        // of the allocations below.
         let min_entry_bytes = 4 + 4 + 4 + 4 * num_groups;
         if num_images.saturating_mul(min_entry_bytes) > r.remaining() {
             return Err(Error::Truncated { context: "record index" });
         }
-        let mut entries = Vec::with_capacity(num_images);
-        for _ in 0..num_images {
-            let label = r.u32("label")?;
-            let id = String::from_utf8(r.prefixed_bytes("sample id")?.to_vec())
+        let mut labels = Vec::with_capacity(num_images);
+        let mut ids = Vec::with_capacity(num_images);
+        let mut header_starts = Vec::with_capacity(num_images + 1);
+        // Filled with raw chunk lengths during the scan, then prefix-summed
+        // into absolute offsets so every later slice is O(1).
+        let mut chunk_starts = vec![0usize; num_groups * (num_images + 1)];
+        let mut header_end = 0usize; // running sum; rebased below
+        header_starts.push(0);
+        for i in 0..num_images {
+            labels.push(r.u32("label")?);
+            // Borrow the id bytes directly out of the record buffer.
+            let id = std::str::from_utf8(r.prefixed_bytes("sample id")?)
                 .map_err(|_| Error::Malformed("sample id not UTF-8".into()))?;
-            let header_len = r.u32("header_len")?;
-            let mut group_lens = Vec::with_capacity(num_groups);
-            for _ in 0..num_groups {
-                group_lens.push(r.u32("group_len")?);
+            ids.push(id);
+            header_end += r.u32("header_len")? as usize;
+            header_starts.push(header_end);
+            for g in 0..num_groups {
+                chunk_starts[g * (num_images + 1) + i + 1] = r.u32("group_len")? as usize;
             }
-            entries.push(IndexEntry { meta: SampleMeta { label, id }, header_len, group_lens });
         }
         if r.pos() != index_start + index_len {
             return Err(Error::Malformed(format!(
@@ -209,12 +255,26 @@ impl<'a> PcrRecord<'a> {
                 index_len
             )));
         }
-        Ok(Self { data, num_groups, entries, headers_start: r.pos() })
+        let headers_start = r.pos();
+        for h in &mut header_starts {
+            *h += headers_start;
+        }
+        // Groups are laid out back to back after the headers; turn each
+        // row of lengths into absolute offsets.
+        let mut base = *header_starts.last().expect("nonempty");
+        for row in chunk_starts.chunks_exact_mut(num_images + 1) {
+            row[0] = base;
+            for k in 1..row.len() {
+                row[k] += row[k - 1];
+            }
+            base = row[num_images];
+        }
+        Ok(Self { data, num_groups, labels, ids, header_starts, chunk_starts })
     }
 
     /// Number of images in the record.
     pub fn num_images(&self) -> usize {
-        self.entries.len()
+        self.labels.len()
     }
 
     /// Number of scan groups the record was built with.
@@ -222,35 +282,38 @@ impl<'a> PcrRecord<'a> {
         self.num_groups
     }
 
-    /// Metadata of image `i`.
-    pub fn meta(&self, i: usize) -> &SampleMeta {
-        &self.entries[i].meta
+    /// Metadata of image `i`, borrowed from the record buffer.
+    pub fn meta(&self, i: usize) -> SampleMetaRef<'a> {
+        SampleMetaRef { label: self.labels[i], id: self.ids[i] }
     }
 
     /// All labels in image order.
-    pub fn labels(&self) -> Vec<u32> {
-        self.entries.iter().map(|e| e.meta.label).collect()
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
     }
 
-    fn headers_len(&self) -> usize {
-        self.entries.iter().map(|e| e.header_len as usize).sum()
+    /// Index of image `i`'s group-`g` row start in `chunk_starts`.
+    #[inline]
+    fn chunk_index(&self, i: usize, g: usize) -> usize {
+        (g - 1) * (self.num_images() + 1) + i
     }
 
     /// Total bytes of scan group `g` (1-based) across all images.
     pub fn group_size(&self, g: usize) -> usize {
         assert!(g >= 1 && g <= self.num_groups, "group out of range");
-        self.entries.iter().map(|e| e.group_lens[g - 1] as usize).sum()
+        self.chunk_starts[self.chunk_index(self.num_images(), g)]
+            - self.chunk_starts[self.chunk_index(0, g)]
     }
 
     /// Bytes that must be read (from offset 0) to decode every image at scan
     /// group `g`. `g == 0` covers just metadata + headers.
     pub fn offset_for_group(&self, g: usize) -> usize {
         assert!(g <= self.num_groups, "group out of range");
-        let mut end = self.headers_start + self.headers_len();
-        for gg in 1..=g {
-            end += self.group_size(gg);
+        if g == 0 {
+            *self.header_starts.last().expect("nonempty")
+        } else {
+            self.chunk_starts[self.chunk_index(self.num_images(), g)]
         }
-        end
     }
 
     /// Full record length in bytes.
@@ -268,51 +331,47 @@ impl<'a> PcrRecord<'a> {
     }
 
     fn image_header(&self, i: usize) -> Result<&'a [u8]> {
-        let mut off = self.headers_start;
-        for e in &self.entries[..i] {
-            off += e.header_len as usize;
-        }
-        let len = self.entries[i].header_len as usize;
-        if off + len > self.data.len() {
+        let (off, end) = (self.header_starts[i], self.header_starts[i + 1]);
+        if end > self.data.len() {
             return Err(Error::Truncated { context: "image header" });
         }
-        Ok(&self.data[off..off + len])
+        Ok(&self.data[off..end])
     }
 
     fn chunk(&self, i: usize, g: usize) -> Result<&'a [u8]> {
-        // Start of group g's region.
-        let mut off = self.headers_start + self.headers_len();
-        for gg in 1..g {
-            off += self.group_size(gg);
-        }
-        for e in &self.entries[..i] {
-            off += e.group_lens[g - 1] as usize;
-        }
-        let len = self.entries[i].group_lens[g - 1] as usize;
-        if off + len > self.data.len() {
+        let off = self.chunk_starts[self.chunk_index(i, g)];
+        let end = self.chunk_starts[self.chunk_index(i, g) + 1];
+        if end > self.data.len() {
             return Err(Error::Truncated { context: "scan group chunk" });
         }
-        Ok(&self.data[off..off + len])
+        Ok(&self.data[off..end])
     }
 
     /// Reassembles a decodable JPEG for image `i` using scans up to group
-    /// `g` (clamped to the image's own scan count).
-    pub fn jpeg_at_group(&self, i: usize, g: usize) -> Result<Vec<u8>> {
+    /// `g` (clamped to the image's own scan count), appending it to `out`
+    /// (which is cleared first). The allocation-free path: `out` retains
+    /// its capacity across calls.
+    pub fn jpeg_at_group_into(&self, i: usize, g: usize, out: &mut Vec<u8>) -> Result<()> {
         if g == 0 || g > self.num_groups {
             return Err(Error::BadInput(format!("scan group {g} out of range")));
         }
         if g > self.available_groups() {
             return Err(Error::GroupUnavailable { requested: g, available: self.available_groups() });
         }
-        let e = &self.entries[i];
-        let mut out = Vec::new();
+        out.clear();
         out.extend_from_slice(self.image_header(i)?);
         for gg in 1..=g {
-            if e.group_lens[gg - 1] > 0 {
-                out.extend_from_slice(self.chunk(i, gg)?);
-            }
+            out.extend_from_slice(self.chunk(i, gg)?);
         }
         out.extend_from_slice(&[0xFF, 0xD9]); // EOI
+        Ok(())
+    }
+
+    /// Reassembles a decodable JPEG for image `i` using scans up to group
+    /// `g` (clamped to the image's own scan count).
+    pub fn jpeg_at_group(&self, i: usize, g: usize) -> Result<Vec<u8>> {
+        let mut out = Vec::new();
+        self.jpeg_at_group_into(i, g, &mut out)?;
         Ok(out)
     }
 
@@ -320,6 +379,20 @@ impl<'a> PcrRecord<'a> {
     pub fn decode_image(&self, i: usize, g: usize) -> Result<ImageBuf> {
         let jpeg = self.jpeg_at_group(i, g)?;
         Ok(pcr_jpeg::decode(&jpeg)?)
+    }
+
+    /// Decodes image `i` at scan group `g`, reusing `scratch` for the
+    /// assembled JPEG stream and the decoder's working planes. Equivalent
+    /// to [`PcrRecord::decode_image`] but the only allocation that escapes
+    /// is the returned image's pixel buffer.
+    pub fn decode_image_with(&self, i: usize, g: usize, scratch: &mut RecordScratch) -> Result<ImageBuf> {
+        let mut jpeg = std::mem::take(&mut scratch.jpeg);
+        let assembled = self.jpeg_at_group_into(i, g, &mut jpeg);
+        let decoded = assembled.and_then(|()| {
+            pcr_jpeg::decode_with(&jpeg, &mut scratch.decode).map_err(Error::from)
+        });
+        scratch.jpeg = jpeg;
+        decoded
     }
 
     /// Per-group cumulative read sizes `[offset_for_group(0..=N)]` — the
@@ -423,6 +496,36 @@ mod tests {
             last = p;
         }
         assert!(last.is_infinite());
+    }
+
+    #[test]
+    fn scratch_decode_matches_plain_decode_across_records() {
+        let bytes_a = build_record(3);
+        let bytes_b = build_record(2);
+        let mut scratch = RecordScratch::new();
+        for bytes in [&bytes_a, &bytes_b] {
+            let rec = PcrRecord::parse(bytes).unwrap();
+            for g in [1usize, 4, 10] {
+                for i in 0..rec.num_images() {
+                    let plain = rec.decode_image(i, g).unwrap();
+                    let pooled = rec.decode_image_with(i, g, &mut scratch).unwrap();
+                    assert_eq!(plain, pooled, "image {i} group {g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meta_borrows_record_bytes() {
+        let bytes = build_record(2);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        let m = rec.meta(1);
+        assert_eq!(m.label, 1);
+        assert_eq!(m.id, "img0001");
+        // The id is a view into the buffer, not a copy.
+        let range = bytes.as_ptr_range();
+        assert!(range.contains(&m.id.as_ptr()));
+        assert_eq!(m.to_owned(), SampleMeta { label: 1, id: "img0001".into() });
     }
 
     #[test]

@@ -8,6 +8,21 @@
 //! data. Label remapping reproduces the Cars coarsening experiments, and
 //! the encode module materializes any dataset in all three storage formats
 //! under comparison.
+//!
+//! ```
+//! use pcr_datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+//!
+//! // The dermatology stand-in (HAM10000-like) at unit-test scale.
+//! let spec = DatasetSpec::ham10000_like(Scale::Tiny);
+//! let ds = SyntheticDataset::generate(&spec);
+//! assert_eq!(ds.train.len(), spec.train_images);
+//!
+//! // Encode as PCR: scan group 1 needs far fewer bytes than full quality.
+//! let (pcr, _encode_secs) = to_pcr_dataset(&ds, 8);
+//! let g1 = pcr.db.mean_image_bytes_at_group(1);
+//! let full = pcr.db.mean_image_bytes_at_group(pcr.db.num_groups());
+//! assert!(g1 * 2.0 < full, "group 1 {g1:.0}B vs full {full:.0}B");
+//! ```
 
 #![warn(missing_docs)]
 

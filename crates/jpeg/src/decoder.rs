@@ -14,7 +14,27 @@ use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
 use crate::huffman::HuffDecoder;
 use crate::image::ImageBuf;
 use crate::marker::{self, Segment, SegmentReader};
-use crate::sample::{coeffs_to_planes, planes_to_image};
+use crate::sample::{coeffs_to_planes, coeffs_to_planes_pooled, planes_to_image};
+
+/// Reusable decode buffers: coefficient planes and sample planes survive
+/// across calls to [`decode_with`], so a data-loading hot loop performs no
+/// per-image plane allocations (the pixel buffer of the returned
+/// [`ImageBuf`] is the only allocation that escapes).
+///
+/// Buffers are keyed by nothing — any image geometry can reuse them, since
+/// pooled vectors are resized (retaining capacity) to each frame's needs.
+#[derive(Debug, Default)]
+pub struct DecodeScratch {
+    coeff_pool: Vec<Vec<i16>>,
+    plane_pool: Vec<Vec<u8>>,
+}
+
+impl DecodeScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// Everything recovered from a JPEG stream before pixel reconstruction.
 #[derive(Debug, Clone)]
@@ -51,8 +71,30 @@ pub fn decode(data: &[u8]) -> Result<ImageBuf> {
     decode_coeffs(data)?.to_image()
 }
 
+/// Decodes a stream fully to an image, reusing `scratch` buffers for the
+/// coefficient and sample planes. Equivalent to [`decode`] but without the
+/// per-image intermediate allocations — the variant wall-clock data
+/// loaders call in their worker hot loop.
+pub fn decode_with(data: &[u8], scratch: &mut DecodeScratch) -> Result<ImageBuf> {
+    let decoded = decode_coeffs_pooled(data, &mut scratch.coeff_pool)?;
+    let planes =
+        coeffs_to_planes_pooled(&decoded.coeffs, &decoded.frame, &decoded.qtables, &mut scratch.plane_pool)?;
+    let img = planes_to_image(&planes, &decoded.frame);
+    for p in planes {
+        p.recycle_into(&mut scratch.plane_pool);
+    }
+    decoded.coeffs.recycle_into(&mut scratch.coeff_pool);
+    img
+}
+
 /// Decodes a stream to quantized coefficients plus tables and scan list.
 pub fn decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
+    decode_coeffs_pooled(data, &mut Vec::new())
+}
+
+/// [`decode_coeffs`] with coefficient-plane storage drawn from `pool`
+/// (recycle with [`CoeffPlanes::recycle_into`]).
+pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<DecodedCoeffs> {
     let mut reader = SegmentReader::new(data);
     match reader.next_segment()? {
         Segment::Soi => {}
@@ -101,7 +143,7 @@ pub fn decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
                         return Err(Error::CorruptData("multiple SOF".into()));
                     }
                     let f = marker::parse_sof(payload, m == SOF2)?;
-                    coeffs = Some(CoeffPlanes::new(&f));
+                    coeffs = Some(CoeffPlanes::with_pool(&f, pool));
                     frame = Some(f);
                 }
                 DRI => {
@@ -265,6 +307,27 @@ mod tests {
             let est = d.estimated_quality().unwrap();
             assert!((i16::from(est) - i16::from(q)).abs() <= 2, "q {q} est {est}");
         }
+    }
+
+    #[test]
+    fn scratch_decode_matches_fresh_decode() {
+        let mut scratch = DecodeScratch::new();
+        // Mixed geometries and modes through one scratch: pools must adapt.
+        for (w, h, progressive) in [(40u32, 24u32, false), (64, 48, true), (17, 9, true)] {
+            let img = test_image(w, h);
+            let cfg = if progressive {
+                EncodeConfig::progressive(87)
+            } else {
+                EncodeConfig::baseline(87)
+            };
+            let data = encode(&img, &cfg).unwrap();
+            let fresh = decode(&data).unwrap();
+            let pooled = decode_with(&data, &mut scratch).unwrap();
+            assert_eq!(fresh, pooled);
+        }
+        // After a color decode the pools hold the recycled buffers.
+        assert_eq!(scratch.coeff_pool.len(), 3);
+        assert_eq!(scratch.plane_pool.len(), 3);
     }
 
     #[test]

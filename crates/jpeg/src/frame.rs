@@ -130,12 +130,32 @@ pub struct CoeffPlanes {
 impl CoeffPlanes {
     /// Allocates zeroed planes for the frame.
     pub fn new(frame: &FrameInfo) -> Self {
+        Self::with_pool(frame, &mut Vec::new())
+    }
+
+    /// Builds zeroed planes for the frame, reusing buffer capacity from
+    /// `pool` where available. The inverse of [`CoeffPlanes::recycle_into`];
+    /// together they let a decode loop run without per-image coefficient
+    /// allocations.
+    pub fn with_pool(frame: &FrameInfo, pool: &mut Vec<Vec<i16>>) -> Self {
         let planes = frame
             .components
             .iter()
-            .map(|c| vec![0i16; c.alloc_w as usize * c.alloc_h as usize * 64])
+            .map(|c| {
+                let need = c.alloc_w as usize * c.alloc_h as usize * 64;
+                let mut buf = pool.pop().unwrap_or_default();
+                buf.clear();
+                buf.resize(need, 0);
+                buf
+            })
             .collect();
         Self { planes }
+    }
+
+    /// Returns the plane buffers to `pool` for reuse by a later
+    /// [`CoeffPlanes::with_pool`].
+    pub fn recycle_into(self, pool: &mut Vec<Vec<i16>>) {
+        pool.extend(self.planes);
     }
 
     /// Immutable block at (component, block row, block col) — 64 coefficients

@@ -42,7 +42,10 @@ pub mod sample;
 pub mod scansplit;
 pub mod transcode;
 
-pub use decoder::{count_scans, decode, decode_coeffs, DecodedCoeffs};
+pub use decoder::{
+    count_scans, decode, decode_coeffs, decode_coeffs_pooled, decode_with, DecodeScratch,
+    DecodedCoeffs,
+};
 pub use encoder::{default_progressive_script, encode, EncodeConfig};
 pub use error::{Error, Result};
 pub use frame::{CoeffPlanes, FrameInfo, ScanInfo, Subsampling};

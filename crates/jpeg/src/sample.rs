@@ -20,7 +20,20 @@ pub struct SamplePlane {
 
 impl SamplePlane {
     fn new(width: usize, height: usize) -> Self {
-        Self { width, height, data: vec![0; width * height] }
+        Self::with_pool(width, height, &mut Vec::new())
+    }
+
+    /// Builds a zeroed plane, reusing buffer capacity from `pool`.
+    fn with_pool(width: usize, height: usize, pool: &mut Vec<Vec<u8>>) -> Self {
+        let mut data = pool.pop().unwrap_or_default();
+        data.clear();
+        data.resize(width * height, 0);
+        Self { width, height, data }
+    }
+
+    /// Returns the sample buffer to `pool` for reuse.
+    pub fn recycle_into(self, pool: &mut Vec<Vec<u8>>) {
+        pool.push(self.data);
     }
 
     #[inline]
@@ -167,10 +180,22 @@ pub fn coeffs_to_planes(
     frame: &FrameInfo,
     qtables: &[Option<[u16; 64]>; 4],
 ) -> Result<Vec<SamplePlane>> {
+    coeffs_to_planes_pooled(coeffs, frame, qtables, &mut Vec::new())
+}
+
+/// [`coeffs_to_planes`] with plane buffers drawn from (and returnable to,
+/// via [`SamplePlane::recycle_into`]) `pool`, so a decode loop reconstructs
+/// pixels without per-image plane allocations.
+pub fn coeffs_to_planes_pooled(
+    coeffs: &CoeffPlanes,
+    frame: &FrameInfo,
+    qtables: &[Option<[u16; 64]>; 4],
+    pool: &mut Vec<Vec<u8>>,
+) -> Result<Vec<SamplePlane>> {
     let mut planes: Vec<SamplePlane> = frame
         .components
         .iter()
-        .map(|c| SamplePlane::new(c.alloc_w as usize * 8, c.alloc_h as usize * 8))
+        .map(|c| SamplePlane::with_pool(c.alloc_w as usize * 8, c.alloc_h as usize * 8, pool))
         .collect();
     let mut freq = [0f32; 64];
     let mut spatial = [0f32; 64];

@@ -1,5 +1,11 @@
 //! Loader configuration: thread count, prefetch depth, scan group, decode
-//! modeling.
+//! modeling. [`LoaderConfig`] is shared by the virtual-time
+//! ([`crate::loader::PcrLoader`]) and wall-clock ([`crate::parallel`])
+//! paths so experiments can switch between modeled and measured runs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
 
 /// How the loader accounts for JPEG decode cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -64,6 +70,19 @@ impl LoaderConfig {
     /// Convenience constructor for a scan group.
     pub fn at_group(scan_group: usize) -> Self {
         Self { scan_group, ..Self::default() }
+    }
+
+    /// The record visitation order for `epoch` over `n` records — shared by
+    /// the virtual-time and wall-clock loaders so a fixed `(seed, epoch)`
+    /// pair names the same schedule in both, letting experiments switch
+    /// between modeled and measured runs without changing the data order.
+    pub fn epoch_order(&self, n: usize, epoch: u64) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..n).collect();
+        if self.shuffle {
+            let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37));
+            order.shuffle(&mut rng);
+        }
+        order
     }
 }
 

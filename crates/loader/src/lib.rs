@@ -1,20 +1,60 @@
 //! # pcr-loader
 //!
-//! The data-loading pipeline of the paper's Appendix A.1: a closed system
-//! of prefetch workers that read record byte-prefixes from (simulated)
-//! storage, decode them, and emit a time-ordered stream of loaded records
-//! for the compute unit. Includes equivalent loaders for the baseline
-//! formats (fixed-quality record files and file-per-image) so end-to-end
+//! The data-loading pipelines of the paper's Appendix A.1, in two
+//! interchangeable flavors sharing one [`LoaderConfig`]:
+//!
+//! * [`loader::PcrLoader`] — the *virtual-time* loader: a closed system of
+//!   prefetch workers whose reads and decodes are charged to a simulated
+//!   clock, so experiments are deterministic and device-independent.
+//! * [`parallel::ParallelLoader`] — the *wall-clock* loader: a real
+//!   OS-thread worker pool over bounded crossbeam channels that reads
+//!   record prefixes, decodes truncated progressive JPEGs, and yields
+//!   [`Minibatch`]es with double-buffered prefetch.
+//!
+//! Equivalent loaders for the baseline formats (fixed-quality record
+//! files and file-per-image) live in [`baseline_loader`] so end-to-end
 //! comparisons share one worker/timing model.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use pcr_core::{PcrDatasetBuilder, SampleMeta};
+//! use pcr_jpeg::ImageBuf;
+//! use pcr_loader::{populate_store, ParallelConfig, ParallelLoader, PcrLoader, LoaderConfig};
+//! use pcr_storage::{DeviceProfile, ObjectStore};
+//!
+//! // A 6-image dataset in 2 records.
+//! let mut b = PcrDatasetBuilder::new(3, 10);
+//! for i in 0..6u32 {
+//!     let img = ImageBuf::from_raw(16, 16, 3, vec![(40 * i) as u8; 16 * 16 * 3]).unwrap();
+//!     b.add_image(SampleMeta { label: i % 2, id: format!("img{i}") }, &img, 85).unwrap();
+//! }
+//! let ds = b.finish().unwrap();
+//! let store = Arc::new(ObjectStore::new(DeviceProfile::ssd_sata()));
+//! populate_store(&store, &ds);
+//! let db = Arc::new(ds.db.clone());
+//!
+//! // Virtual time: modeled epoch at scan group 2.
+//! let modeled = PcrLoader::new(&store, &db, LoaderConfig::at_group(2)).run_epoch(0, 0.0);
+//! assert_eq!(modeled.images, 6);
+//!
+//! // Wall clock: the same records through real worker threads.
+//! let measured = ParallelLoader::new(store, db, ParallelConfig::real(2, 2)).run_epoch(0);
+//! assert_eq!(measured.images, 6);
+//! assert_eq!(measured.bytes, modeled.bytes);
+//! ```
 
 #![warn(missing_docs)]
 
 pub mod baseline_loader;
 pub mod config;
 pub mod loader;
+pub mod parallel;
 pub mod pipeline;
 
 pub use baseline_loader::{FilePerImageLoader, ObjectMeta, RecordFileLoader};
 pub use config::{DecodeMode, LoaderConfig};
-pub use pipeline::{spawn_epoch, Minibatch, PipelineConfig, PipelineStats, RunningPipeline};
 pub use loader::{populate_store, EpochResult, LoadedRecord, PcrLoader};
+pub use parallel::{
+    EpochStream, IoModel, Minibatch, ParallelConfig, ParallelLoader, ParallelStats, WallClockEpoch,
+};
+pub use pipeline::{spawn_epoch, PipelineConfig, PipelineStats, RunningPipeline};

@@ -8,14 +8,15 @@
 //! are greedy: each grabs the next record as soon as it finishes its
 //! previous one — exactly the "loader operates as a closed system, starting
 //! the next piece of work after the last is finished" model.
+//!
+//! For the *measured* (real threads, wall-clock) counterpart of this
+//! loader see [`crate::parallel`]; both share [`LoaderConfig`] and the
+//! per-epoch record order.
 
 use crate::config::{DecodeMode, LoaderConfig};
-use pcr_core::{MetaDb, PcrRecord};
+use pcr_core::{MetaDb, PcrRecord, RecordScratch};
 use pcr_jpeg::ImageBuf;
 use pcr_storage::ObjectStore;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// Timing and contents of one loaded record.
 #[derive(Debug, Clone)]
@@ -43,7 +44,16 @@ pub struct LoadedRecord {
 /// Result of streaming one epoch.
 #[derive(Debug)]
 pub struct EpochResult {
-    /// Loaded records sorted by ready time.
+    /// Loaded records sorted by *ready time* (the order the training loop
+    /// would receive them), which generally differs from the shuffled
+    /// issue order because small records finish before large ones.
+    ///
+    /// Contract: every element keeps its [`LoadedRecord::seq`] position in
+    /// the epoch's issue order, so consumers that need the schedule itself
+    /// (e.g. to compare shuffles across seeds, or to align with the
+    /// wall-clock loader's delivery) must reconstruct it by sorting on
+    /// `seq` — see `shuffle_changes_order_deterministically` in this
+    /// module's tests for the canonical pattern.
     pub records: Vec<LoadedRecord>,
     /// Total images delivered.
     pub images: usize,
@@ -88,20 +98,11 @@ impl<'a> PcrLoader<'a> {
         Self { store, db, config }
     }
 
-    /// Record order for an epoch.
-    fn epoch_order(&self, epoch: u64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..self.db.records.len()).collect();
-        if self.config.shuffle {
-            let mut rng = StdRng::seed_from_u64(self.config.seed ^ epoch.wrapping_mul(0x9E37));
-            order.shuffle(&mut rng);
-        }
-        order
-    }
-
     /// Streams one epoch starting at virtual time `start`, returning every
     /// record with its ready timestamp.
     pub fn run_epoch(&self, epoch: u64, start: f64) -> EpochResult {
-        let order = self.epoch_order(epoch);
+        let order = self.config.epoch_order(self.db.records.len(), epoch);
+        let mut scratch = RecordScratch::new();
         let g = self.config.scan_group;
         let threads = self.config.threads.max(1);
         // Each worker's virtual "free at" time.
@@ -119,7 +120,7 @@ impl<'a> PcrLoader<'a> {
                 .store
                 .read_at(issued, &meta.name, 0, read_len)
                 .expect("record present in store");
-            let (decode_time, images) = self.decode(&read.data);
+            let (decode_time, images) = self.decode(&read.data, &mut scratch);
             let ready = read.finish + decode_time;
             free_at[worker] = ready;
             out.push(LoadedRecord {
@@ -143,7 +144,7 @@ impl<'a> PcrLoader<'a> {
 
     /// Decodes (or models decoding) a record prefix; returns the virtual
     /// decode time and any decoded images.
-    fn decode(&self, prefix: &[u8]) -> (f64, Vec<ImageBuf>) {
+    fn decode(&self, prefix: &[u8], scratch: &mut RecordScratch) -> (f64, Vec<ImageBuf>) {
         match self.config.decode {
             DecodeMode::Skip => (0.0, Vec::new()),
             DecodeMode::Modeled { seconds_per_byte } => {
@@ -154,7 +155,7 @@ impl<'a> PcrLoader<'a> {
                 let rec = PcrRecord::parse(prefix).expect("valid record prefix");
                 let g = rec.available_groups().min(self.config.scan_group).max(1);
                 let images: Vec<ImageBuf> = (0..rec.num_images())
-                    .map(|i| rec.decode_image(i, g).expect("decodable prefix"))
+                    .map(|i| rec.decode_image_with(i, g, scratch).expect("decodable prefix"))
                     .collect();
                 (t0.elapsed().as_secs_f64(), images)
             }

@@ -1,0 +1,588 @@
+//! The real wall-clock PCR read path: an OS-thread worker pool that reads
+//! record byte-prefixes from an [`ObjectStore`], decodes truncated
+//! progressive JPEGs with `pcr-jpeg`, and yields [`Minibatch`]es to the
+//! consumer through double-buffered prefetch channels.
+//!
+//! This is the measured counterpart of the *modeled*
+//! [`crate::loader::PcrLoader`]: both share [`LoaderConfig`] (thread
+//! count, scan group, shuffle seed, [`DecodeMode`]) and visit records in
+//! the identical per-epoch order, so an experiment can swap a queueing
+//! model for real threads contending over real buffers without changing
+//! anything else. Where the virtual-time loader *charges* decode cost to a
+//! simulated clock, the workers here *spend* it — per-worker
+//! [`pcr_core::RecordScratch`] buffers and the store's zero-copy
+//! [`pcr_storage::ByteView`] reads keep the hot loop allocation-free so
+//! the pipeline runs as fast as the hardware allows.
+//!
+//! Structure (paper Appendix A.1's loader, realized with OS threads):
+//!
+//! ```text
+//! work queue (record indices, epoch order)
+//!   ├── worker 0 ─ read prefix ─ [emulate I/O] ─ decode ──┐
+//!   ├── worker 1 ─ ...                                    ├─ bounded record
+//!   └── worker W ─ ...                                    │  channel
+//!                                                         ▼  (prefetch_records)
+//!                                             assembler: records → batches
+//!                                                         │  bounded batch
+//!                                                         ▼  channel
+//!                                               consumer (train loop)      (prefetch_batches)
+//! ```
+//!
+//! Both channels are bounded, so a slow consumer exerts backpressure all
+//! the way to the reads; `prefetch_batches = 2` is classic double
+//! buffering (one batch being consumed, one staged).
+
+use crate::config::{DecodeMode, LoaderConfig};
+use crossbeam::channel::{bounded, unbounded, Receiver};
+use pcr_core::{MetaDb, PcrRecord, RecordScratch};
+use pcr_jpeg::ImageBuf;
+use pcr_storage::ObjectStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How the wall-clock pipeline realizes storage time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// Serve reads at memory speed (the store is RAM-resident). Worker
+    /// scaling then measures pure decode parallelism.
+    #[default]
+    Instant,
+    /// Sleep each read's modeled service time (the store's
+    /// [`DeviceProfile`](pcr_storage::DeviceProfile) `read_time`, charged
+    /// as an independent random access per record) on the issuing worker
+    /// thread. Requests to different records are assumed to hit
+    /// independent backends — the remote-object-store regime — so worker
+    /// counts overlap first-byte latencies exactly like a real multi-
+    /// connection loader.
+    EmulatedLatency,
+}
+
+/// Configuration of the wall-clock parallel loader: the shared
+/// [`LoaderConfig`] plus the knobs that only exist once real channels and
+/// batches are involved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelConfig {
+    /// Shared loader parameters: `threads` is the worker-pool size,
+    /// `scan_group` the prefix quality, `shuffle`/`seed` the epoch order,
+    /// `decode` what workers do with the bytes ([`DecodeMode::Real`]
+    /// decodes pixels; [`DecodeMode::Skip`] delivers labels only;
+    /// [`DecodeMode::Modeled`] sleeps the modeled per-byte cost).
+    pub loader: LoaderConfig,
+    /// Images per delivered [`Minibatch`].
+    pub batch_size: usize,
+    /// Bounded depth of the worker → assembler record channel.
+    pub prefetch_records: usize,
+    /// Bounded depth of the assembler → consumer batch channel; 2 is
+    /// double buffering.
+    pub prefetch_batches: usize,
+    /// Storage-time realization.
+    pub io: IoModel,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        Self {
+            loader: LoaderConfig { threads: 4, decode: DecodeMode::Real, ..LoaderConfig::default() },
+            batch_size: 32,
+            prefetch_records: 8,
+            prefetch_batches: 2,
+            io: IoModel::Instant,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Real decode of scan group `g` with `threads` workers; everything
+    /// else defaulted.
+    pub fn real(threads: usize, scan_group: usize) -> Self {
+        Self {
+            loader: LoaderConfig {
+                threads,
+                scan_group,
+                decode: DecodeMode::Real,
+                ..LoaderConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+/// One delivered minibatch.
+#[derive(Debug)]
+pub struct Minibatch {
+    /// Decoded images (empty unless [`DecodeMode::Real`]).
+    pub images: Vec<ImageBuf>,
+    /// Labels; always present, parallel to `images` under
+    /// [`DecodeMode::Real`].
+    pub labels: Vec<u32>,
+}
+
+/// Aggregate pipeline statistics, updated live by the workers.
+#[derive(Debug, Default)]
+pub struct ParallelStats {
+    /// Compressed bytes read.
+    pub bytes_read: AtomicU64,
+    /// Records fully processed.
+    pub records_loaded: AtomicU64,
+    /// Images decoded (0 unless [`DecodeMode::Real`]).
+    pub images_decoded: AtomicU64,
+    /// Total decode nanoseconds summed across workers.
+    pub decode_nanos: AtomicU64,
+    /// Total emulated-I/O wait nanoseconds summed across workers.
+    pub io_wait_nanos: AtomicU64,
+}
+
+impl ParallelStats {
+    /// Mean decode throughput in images/second of summed worker CPU time.
+    pub fn decode_images_per_cpu_sec(&self) -> f64 {
+        let n = self.images_decoded.load(Ordering::Relaxed) as f64;
+        let secs = self.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
+        if secs > 0.0 {
+            n / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// A running epoch: a stream of minibatches plus live statistics.
+///
+/// Iterate [`EpochStream::batches`] until disconnect for the full epoch,
+/// then call [`EpochStream::join`]; dropping the receiver early tears the
+/// pipeline down cleanly (workers notice the closed channel and exit).
+pub struct EpochStream {
+    /// Minibatch stream; iterate until disconnect for a full epoch.
+    pub batches: Receiver<Minibatch>,
+    /// Shared statistics, live while the epoch runs.
+    pub stats: Arc<ParallelStats>,
+    pub(crate) workers: Vec<std::thread::JoinHandle<()>>,
+    pub(crate) assembler: Option<std::thread::JoinHandle<()>>,
+}
+
+impl EpochStream {
+    /// Waits for all pipeline threads to finish. Drops the batch receiver
+    /// first, so calling this mid-epoch cancels cleanly (workers notice
+    /// the closed channel) instead of deadlocking; drain `batches` before
+    /// calling if you want the full epoch.
+    pub fn join(self) {
+        let EpochStream { batches, workers, assembler, stats: _ } = self;
+        drop(batches);
+        for w in workers {
+            let _ = w.join();
+        }
+        if let Some(a) = assembler {
+            let _ = a.join();
+        }
+    }
+}
+
+/// Wall-clock results of one fully drained epoch.
+#[derive(Debug, Clone)]
+pub struct WallClockEpoch {
+    /// Images delivered (labels delivered under non-decoding modes).
+    pub images: usize,
+    /// Minibatches delivered.
+    pub batches: usize,
+    /// Compressed bytes read.
+    pub bytes: u64,
+    /// Real elapsed seconds from spawn to last batch.
+    pub wall_seconds: f64,
+    /// Summed worker decode seconds (CPU cost of the epoch).
+    pub decode_cpu_seconds: f64,
+}
+
+impl WallClockEpoch {
+    /// Delivered throughput in images per wall-clock second.
+    pub fn images_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.images as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean compressed bytes read per image.
+    pub fn mean_image_bytes(&self) -> f64 {
+        if self.images == 0 {
+            0.0
+        } else {
+            self.bytes as f64 / self.images as f64
+        }
+    }
+}
+
+/// The wall-clock parallel loader over an object store populated with
+/// `.pcr` records (use [`crate::loader::populate_store`]).
+#[derive(Debug, Clone)]
+pub struct ParallelLoader {
+    store: Arc<ObjectStore>,
+    db: Arc<MetaDb>,
+    config: ParallelConfig,
+}
+
+impl ParallelLoader {
+    /// Creates a loader. Records must exist in `store` under the names in
+    /// `db`.
+    pub fn new(store: Arc<ObjectStore>, db: Arc<MetaDb>, config: ParallelConfig) -> Self {
+        Self { store, db, config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ParallelConfig {
+        &self.config
+    }
+
+    /// Spawns the worker pool and assembler for one epoch and returns the
+    /// live stream.
+    pub fn spawn_epoch(&self, epoch: u64) -> EpochStream {
+        let cfg = &self.config;
+        let stats = Arc::new(ParallelStats::default());
+
+        // Work queue: record indices in the shared epoch order.
+        let (work_tx, work_rx) = unbounded::<usize>();
+        for idx in cfg.loader.epoch_order(self.db.records.len(), epoch) {
+            work_tx.send(idx).expect("queue open");
+        }
+        drop(work_tx);
+
+        // Worker → assembler channel (bounded: the prefetch queue).
+        let (rec_tx, rec_rx) = bounded::<(Vec<ImageBuf>, Vec<u32>)>(cfg.prefetch_records.max(1));
+        let threads = cfg.loader.threads.max(1);
+        let mut workers = Vec::with_capacity(threads);
+        for w in 0..threads {
+            let work_rx = work_rx.clone();
+            let rec_tx = rec_tx.clone();
+            let store = Arc::clone(&self.store);
+            let db = Arc::clone(&self.db);
+            let stats = Arc::clone(&stats);
+            let loader_cfg = cfg.loader.clone();
+            let io = cfg.io;
+            let handle = std::thread::Builder::new()
+                .name(format!("pcr-parallel-{w}"))
+                .spawn(move || worker_loop(&work_rx, &rec_tx, &store, &db, &stats, &loader_cfg, io))
+                .expect("spawn worker");
+            workers.push(handle);
+        }
+        drop(rec_tx);
+
+        // Assembler: records → fixed-size minibatches, double-buffered.
+        let (batch_tx, batch_rx) = bounded::<Minibatch>(cfg.prefetch_batches.max(1));
+        let batch_size = cfg.batch_size.max(1);
+        let pairs_images = matches!(cfg.loader.decode, DecodeMode::Real);
+        let assembler = std::thread::Builder::new()
+            .name("pcr-assembler".into())
+            .spawn(move || {
+                let mut images: Vec<ImageBuf> = Vec::new();
+                let mut labels: Vec<u32> = Vec::new();
+                while let Ok((imgs, labs)) = rec_rx.recv() {
+                    images.extend(imgs);
+                    labels.extend(labs);
+                    // Under Real decode images and labels stay parallel;
+                    // otherwise images is empty and labels set the pace.
+                    let filled = |i: &Vec<ImageBuf>, l: &Vec<u32>| {
+                        if pairs_images { i.len() } else { l.len() }
+                    };
+                    while filled(&images, &labels) >= batch_size {
+                        let rest_i = images.split_off(batch_size.min(images.len()));
+                        let rest_l = labels.split_off(batch_size.min(labels.len()));
+                        let batch = Minibatch {
+                            images: std::mem::replace(&mut images, rest_i),
+                            labels: std::mem::replace(&mut labels, rest_l),
+                        };
+                        if batch_tx.send(batch).is_err() {
+                            return;
+                        }
+                    }
+                }
+                if !images.is_empty() || !labels.is_empty() {
+                    let _ = batch_tx.send(Minibatch { images, labels });
+                }
+            })
+            .expect("spawn assembler");
+
+        EpochStream { batches: batch_rx, stats, workers, assembler: Some(assembler) }
+    }
+
+    /// Runs one epoch to completion, draining every batch, and reports
+    /// wall-clock throughput.
+    pub fn run_epoch(&self, epoch: u64) -> WallClockEpoch {
+        let t0 = Instant::now();
+        let stream = self.spawn_epoch(epoch);
+        let mut images = 0usize;
+        let mut batches = 0usize;
+        let pairs_images = matches!(self.config.loader.decode, DecodeMode::Real);
+        for b in stream.batches.iter() {
+            images += if pairs_images { b.images.len() } else { b.labels.len() };
+            batches += 1;
+        }
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let stats = Arc::clone(&stream.stats);
+        stream.join();
+        WallClockEpoch {
+            images,
+            batches,
+            bytes: stats.bytes_read.load(Ordering::Relaxed),
+            wall_seconds,
+            decode_cpu_seconds: stats.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+        }
+    }
+}
+
+/// One worker: pull record indices, read prefixes, realize I/O time,
+/// decode, push downstream. Returns when the work queue drains or the
+/// consumer disappears.
+fn worker_loop(
+    work_rx: &Receiver<usize>,
+    rec_tx: &crossbeam::channel::Sender<(Vec<ImageBuf>, Vec<u32>)>,
+    store: &ObjectStore,
+    db: &MetaDb,
+    stats: &ParallelStats,
+    cfg: &LoaderConfig,
+    io: IoModel,
+) {
+    let mut scratch = RecordScratch::new();
+    while let Ok(idx) = work_rx.recv() {
+        let meta = &db.records[idx];
+        let g = cfg.scan_group.min(meta.group_offsets.len() - 1);
+        let read_len = meta.group_offsets[g];
+        // Zero-copy view of the stored record prefix. Deliberately NOT
+        // read_at: the wall-clock path must leave the simulated device
+        // clock and page cache untouched so a virtual-time PcrLoader can
+        // run on the same store before or after; traffic is reported via
+        // ParallelStats instead of DeviceStats.
+        let Some(read) = store.read_bytes(&meta.name, 0, read_len) else {
+            continue; // missing object: skip record
+        };
+        stats.bytes_read.fetch_add(read_len, Ordering::Relaxed);
+        if io == IoModel::EmulatedLatency {
+            let service = store.device().profile().read_time(read_len, false);
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_secs_f64(service));
+            stats.io_wait_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        let (images, labels) = match cfg.decode {
+            DecodeMode::Skip => (Vec::new(), meta.labels.clone()),
+            DecodeMode::Modeled { seconds_per_byte } => {
+                // Wall-clock realization of the modeled cost, so modeled
+                // and real runs remain comparable end to end.
+                let modeled = read_len as f64 * seconds_per_byte;
+                std::thread::sleep(Duration::from_secs_f64(modeled));
+                (Vec::new(), meta.labels.clone())
+            }
+            DecodeMode::Real => {
+                let t0 = Instant::now();
+                let Ok(rec) = PcrRecord::parse(&read) else { continue };
+                let gg = rec.available_groups().min(cfg.scan_group).max(1);
+                let mut images = Vec::with_capacity(rec.num_images());
+                let mut ok = true;
+                for i in 0..rec.num_images() {
+                    match rec.decode_image_with(i, gg, &mut scratch) {
+                        Ok(img) => images.push(img),
+                        Err(_) => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                stats.decode_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                if !ok {
+                    continue;
+                }
+                stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
+                let labels = rec.labels().to_vec();
+                (images, labels)
+            }
+        };
+        stats.records_loaded.fetch_add(1, Ordering::Relaxed);
+        if rec_tx.send((images, labels)).is_err() {
+            return; // consumer gone
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_core::{PcrDatasetBuilder, SampleMeta};
+    use pcr_storage::DeviceProfile;
+
+    fn make(n: usize, profile: DeviceProfile) -> (Arc<ObjectStore>, Arc<MetaDb>) {
+        let mut b = PcrDatasetBuilder::new(4, 10).with_name_prefix("w");
+        for i in 0..n {
+            let mut data = Vec::new();
+            for y in 0..32u32 {
+                for x in 0..32u32 {
+                    data.push(((x * 3 + y * 7 + i as u32 * 5) % 256) as u8);
+                    data.push(((x + y) % 256) as u8);
+                    data.push((y % 256) as u8);
+                }
+            }
+            let img = pcr_jpeg::ImageBuf::from_raw(32, 32, 3, data).unwrap();
+            b.add_image(SampleMeta { label: (i % 3) as u32, id: format!("s{i}") }, &img, 85)
+                .unwrap();
+        }
+        let ds = b.finish().unwrap();
+        let store = ObjectStore::new(profile);
+        crate::loader::populate_store(&store, &ds);
+        (Arc::new(store), Arc::new(ds.db.clone()))
+    }
+
+    fn sorted_labels(loader: &ParallelLoader, epoch: u64) -> Vec<u32> {
+        let stream = loader.spawn_epoch(epoch);
+        let mut labels: Vec<u32> = stream.batches.iter().flat_map(|b| b.labels).collect();
+        stream.join();
+        labels.sort_unstable();
+        labels
+    }
+
+    #[test]
+    fn real_decode_delivers_every_image_once() {
+        let (store, db) = make(13, DeviceProfile::ram());
+        let cfg = ParallelConfig { batch_size: 4, ..ParallelConfig::real(3, 10) };
+        let loader = ParallelLoader::new(store, db, cfg);
+        let stream = loader.spawn_epoch(0);
+        let mut total = 0usize;
+        for b in stream.batches.iter() {
+            assert_eq!(b.images.len(), b.labels.len());
+            assert!(b.images.len() <= 4);
+            total += b.images.len();
+        }
+        assert_eq!(total, 13);
+        let stats = Arc::clone(&stream.stats);
+        stream.join();
+        assert_eq!(stats.images_decoded.load(Ordering::Relaxed), 13);
+        assert_eq!(stats.records_loaded.load(Ordering::Relaxed), 4);
+        assert!(stats.bytes_read.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_delivered_multiset() {
+        let (store, db) = make(17, DeviceProfile::ram());
+        let labels_at = |threads: usize| {
+            let cfg = ParallelConfig {
+                batch_size: 5,
+                ..ParallelConfig::real(threads, 2)
+            };
+            sorted_labels(&ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg), 3)
+        };
+        let two = labels_at(2);
+        assert_eq!(two.len(), 17);
+        assert_eq!(two, labels_at(8));
+    }
+
+    #[test]
+    fn skip_mode_delivers_labels_without_pixels() {
+        let (store, db) = make(10, DeviceProfile::ram());
+        let cfg = ParallelConfig {
+            loader: LoaderConfig { threads: 2, decode: DecodeMode::Skip, ..LoaderConfig::at_group(1) },
+            batch_size: 4,
+            ..ParallelConfig::default()
+        };
+        let loader = ParallelLoader::new(store, db, cfg);
+        let stream = loader.spawn_epoch(0);
+        let mut labels = 0usize;
+        for b in stream.batches.iter() {
+            assert!(b.images.is_empty());
+            assert!(b.labels.len() <= 4);
+            labels += b.labels.len();
+        }
+        assert_eq!(labels, 10);
+        let stats = Arc::clone(&stream.stats);
+        stream.join();
+        assert_eq!(stats.images_decoded.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn run_epoch_reports_wall_clock_throughput() {
+        let (store, db) = make(8, DeviceProfile::ram());
+        let loader = ParallelLoader::new(store, db, ParallelConfig::real(2, 5));
+        let r = loader.run_epoch(0);
+        assert_eq!(r.images, 8);
+        assert!(r.bytes > 0);
+        assert!(r.mean_image_bytes() > 0.0);
+        // Wall-clock measurements need a trustworthy monotonic clock; a
+        // coarse CI clock can measure zero, so these are opt-in
+        // (PCR_STRICT_TIMING=1, matching the loader timing tests).
+        if std::env::var_os("PCR_STRICT_TIMING").is_some() {
+            assert!(r.wall_seconds > 0.0);
+            assert!(r.images_per_sec() > 0.0);
+        }
+    }
+
+    #[test]
+    fn lower_scan_groups_read_fewer_bytes() {
+        let (store, db) = make(12, DeviceProfile::ram());
+        let at = |g: usize| {
+            let loader =
+                ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), ParallelConfig::real(2, g));
+            loader.run_epoch(0).bytes
+        };
+        let low = at(1);
+        let full = at(10);
+        assert!(low < full / 2, "group-1 bytes {low} vs full {full}");
+    }
+
+    #[test]
+    fn emulated_io_latency_overlaps_across_workers() {
+        // Skip decode so the epoch is pure emulated I/O: with per-request
+        // latency dominating, W workers overlap W sleeps and the epoch
+        // shrinks accordingly even on a single core.
+        let (store, db) = make(24, DeviceProfile::hdd_7200rpm());
+        let run = |threads: usize| {
+            let cfg = ParallelConfig {
+                loader: LoaderConfig {
+                    threads,
+                    decode: DecodeMode::Skip,
+                    ..LoaderConfig::at_group(1)
+                },
+                io: IoModel::EmulatedLatency,
+                ..ParallelConfig::default()
+            };
+            ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg).run_epoch(0)
+        };
+        let one = run(1);
+        let six = run(6);
+        // thread::sleep never returns early, so a single worker's epoch
+        // is floored at 24 serialized emulated seeks (~300ms) and any
+        // epoch at one seek — assertable even under coarse clocks.
+        assert!(one.wall_seconds > 0.012, "epoch covers at least one seek");
+        assert_eq!(one.images, six.images);
+        // The >2x overlap ratio additionally assumes the 6-worker run is
+        // not descheduled for long stretches; strict mode only.
+        if std::env::var_os("PCR_STRICT_TIMING").is_some() {
+            assert!(one.wall_seconds > six.wall_seconds * 2.0,
+                "1 worker {:.3}s should be >2x slower than 6 workers {:.3}s",
+                one.wall_seconds, six.wall_seconds);
+        }
+    }
+
+    #[test]
+    fn consumer_can_drop_early() {
+        let (store, db) = make(40, DeviceProfile::ram());
+        let cfg = ParallelConfig { batch_size: 2, prefetch_records: 2, ..ParallelConfig::real(4, 10) };
+        let loader = ParallelLoader::new(store, db, cfg);
+        let stream = loader.spawn_epoch(0);
+        let first = stream.batches.iter().next().expect("one batch");
+        assert_eq!(first.images.len(), 2);
+        drop(stream.batches);
+        for w in stream.workers {
+            w.join().expect("worker exits cleanly");
+        }
+        if let Some(a) = stream.assembler {
+            a.join().expect("assembler exits cleanly");
+        }
+    }
+
+    #[test]
+    fn epoch_order_matches_virtual_time_loader() {
+        // The wall-clock path must visit records in the same per-epoch
+        // order as PcrLoader so modeled and measured runs are comparable.
+        let cfg = LoaderConfig { seed: 42, ..LoaderConfig::at_group(3) };
+        let a = cfg.epoch_order(20, 7);
+        let b = cfg.epoch_order(20, 7);
+        let c = cfg.epoch_order(20, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,25 +1,24 @@
-//! A real multi-threaded prefetch pipeline (the role DALI's
-//! `ExternalSource` / the tf.data C++ loader play in the paper's
-//! implementation): worker threads pull record indices from a work queue,
-//! read scan-group prefixes, decode them with `pcr-jpeg`, and push decoded
-//! records into a bounded channel; the consumer assembles minibatches.
+//! Compatibility facade over [`crate::parallel`] — the original
+//! multi-threaded decode pipeline API, now implemented by the wall-clock
+//! [`ParallelLoader`].
 //!
-//! Unlike [`crate::loader::PcrLoader`] (which computes a deterministic
-//! virtual-time schedule), this pipeline performs *actual* concurrent
-//! decode work, so it is the component to use when the decoded pixels are
-//! needed and wall-clock decode throughput matters.
+//! New code should use [`crate::parallel`] directly: it shares
+//! [`LoaderConfig`]/[`DecodeMode`] with the
+//! virtual-time loader, supports emulated storage latency, per-worker
+//! decode scratch reuse, and wall-clock epoch reporting. This module keeps
+//! the earlier `spawn_epoch(store, db, PipelineConfig, epoch)` shape
+//! working for existing callers.
 
-use crossbeam::channel::{bounded, unbounded, Receiver};
-use pcr_core::{MetaDb, PcrRecord};
-use pcr_jpeg::ImageBuf;
+use crate::config::{DecodeMode, LoaderConfig};
+use crate::parallel::{EpochStream, IoModel, ParallelConfig, ParallelLoader};
+use crossbeam::channel::Receiver;
+use pcr_core::MetaDb;
 use pcr_storage::ObjectStore;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Pipeline configuration.
+pub use crate::parallel::{Minibatch, ParallelStats as PipelineStats};
+
+/// Pipeline configuration (legacy shape; converted to [`ParallelConfig`]).
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
     /// Decode worker threads.
@@ -40,35 +39,20 @@ impl Default for PipelineConfig {
     }
 }
 
-/// One delivered minibatch.
-#[derive(Debug)]
-pub struct Minibatch {
-    /// Decoded images.
-    pub images: Vec<ImageBuf>,
-    /// Matching labels.
-    pub labels: Vec<u32>,
-}
-
-/// Aggregate pipeline statistics (filled once the epoch completes).
-#[derive(Debug, Default)]
-pub struct PipelineStats {
-    /// Compressed bytes read.
-    pub bytes_read: AtomicU64,
-    /// Images decoded.
-    pub images_decoded: AtomicU64,
-    /// Total decode nanoseconds across workers.
-    pub decode_nanos: AtomicU64,
-}
-
-impl PipelineStats {
-    /// Mean decode throughput in images/second of summed worker CPU time.
-    pub fn decode_images_per_cpu_sec(&self) -> f64 {
-        let n = self.images_decoded.load(Ordering::Relaxed) as f64;
-        let secs = self.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9;
-        if secs > 0.0 {
-            n / secs
-        } else {
-            0.0
+impl From<PipelineConfig> for ParallelConfig {
+    fn from(c: PipelineConfig) -> Self {
+        ParallelConfig {
+            loader: LoaderConfig {
+                threads: c.threads,
+                scan_group: c.scan_group,
+                shuffle: c.shuffle_seed.is_some(),
+                seed: c.shuffle_seed.unwrap_or(0),
+                decode: DecodeMode::Real,
+            },
+            batch_size: c.batch_size,
+            prefetch_records: c.prefetch,
+            prefetch_batches: c.prefetch,
+            io: IoModel::Instant,
         }
     }
 }
@@ -84,13 +68,16 @@ pub struct RunningPipeline {
 }
 
 impl RunningPipeline {
-    /// Waits for all threads to finish (the batch receiver must be drained
-    /// or dropped first).
-    pub fn join(mut self) {
-        for w in self.workers.drain(..) {
+    /// Waits for all threads to finish. Drops the batch receiver first,
+    /// so calling this mid-epoch cancels cleanly instead of deadlocking;
+    /// drain `batches` before calling if you want the full epoch.
+    pub fn join(self) {
+        let RunningPipeline { batches, workers, assembler, stats: _ } = self;
+        drop(batches);
+        for w in workers {
             let _ = w.join();
         }
-        if let Some(a) = self.assembler.take() {
+        if let Some(a) = assembler {
             let _ = a.join();
         }
     }
@@ -104,93 +91,9 @@ pub fn spawn_epoch(
     config: PipelineConfig,
     epoch: u64,
 ) -> RunningPipeline {
-    let stats = Arc::new(PipelineStats::default());
-    // Work queue of record indices.
-    let (work_tx, work_rx) = unbounded::<usize>();
-    let mut order: Vec<usize> = (0..db.records.len()).collect();
-    if let Some(seed) = config.shuffle_seed {
-        let mut rng = StdRng::seed_from_u64(seed ^ epoch.wrapping_mul(0x9E37));
-        order.shuffle(&mut rng);
-    }
-    for idx in order {
-        work_tx.send(idx).expect("queue open");
-    }
-    drop(work_tx);
-
-    // Decoded-record channel (bounded: the prefetch queue of Appendix A.1).
-    let (rec_tx, rec_rx) = bounded::<(Vec<ImageBuf>, Vec<u32>)>(config.prefetch.max(1));
-    let mut workers = Vec::with_capacity(config.threads.max(1));
-    for _ in 0..config.threads.max(1) {
-        let work_rx = work_rx.clone();
-        let rec_tx = rec_tx.clone();
-        let store = Arc::clone(&store);
-        let db = Arc::clone(&db);
-        let stats = Arc::clone(&stats);
-        let g = config.scan_group;
-        workers.push(std::thread::spawn(move || {
-            while let Ok(idx) = work_rx.recv() {
-                let meta = &db.records[idx];
-                let read_len = meta.group_offsets[g.min(meta.group_offsets.len() - 1)];
-                let Some(read) = store.read_at(0.0, &meta.name, 0, read_len) else {
-                    continue; // missing object: skip record
-                };
-                stats.bytes_read.fetch_add(read_len, Ordering::Relaxed);
-                let t0 = std::time::Instant::now();
-                let Ok(rec) = PcrRecord::parse(&read.data) else { continue };
-                let gg = rec.available_groups().min(g).max(1);
-                let mut images = Vec::with_capacity(rec.num_images());
-                let mut ok = true;
-                for i in 0..rec.num_images() {
-                    match rec.decode_image(i, gg) {
-                        Ok(img) => images.push(img),
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
-                stats
-                    .decode_nanos
-                    .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if !ok {
-                    continue;
-                }
-                stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
-                if rec_tx.send((images, rec.labels())).is_err() {
-                    return; // consumer gone
-                }
-            }
-        }));
-    }
-    drop(rec_tx);
-
-    // Assembler: records -> fixed-size minibatches.
-    let (batch_tx, batch_rx) = bounded::<Minibatch>(config.prefetch.max(1));
-    let batch_size = config.batch_size.max(1);
-    let assembler = std::thread::spawn(move || {
-        let mut images: Vec<ImageBuf> = Vec::new();
-        let mut labels: Vec<u32> = Vec::new();
-        while let Ok((imgs, labs)) = rec_rx.recv() {
-            images.extend(imgs);
-            labels.extend(labs);
-            while images.len() >= batch_size {
-                let rest_i = images.split_off(batch_size);
-                let rest_l = labels.split_off(batch_size);
-                let batch = Minibatch {
-                    images: std::mem::replace(&mut images, rest_i),
-                    labels: std::mem::replace(&mut labels, rest_l),
-                };
-                if batch_tx.send(batch).is_err() {
-                    return;
-                }
-            }
-        }
-        if !images.is_empty() {
-            let _ = batch_tx.send(Minibatch { images, labels });
-        }
-    });
-
-    RunningPipeline { batches: batch_rx, stats, workers, assembler: Some(assembler) }
+    let loader = ParallelLoader::new(store, db, config.into());
+    let EpochStream { batches, stats, workers, assembler } = loader.spawn_epoch(epoch);
+    RunningPipeline { batches, stats, workers, assembler }
 }
 
 #[cfg(test)]
@@ -198,6 +101,7 @@ mod tests {
     use super::*;
     use pcr_core::{PcrDatasetBuilder, SampleMeta};
     use pcr_storage::DeviceProfile;
+    use std::sync::atomic::Ordering;
 
     fn make(n: usize) -> (Arc<ObjectStore>, Arc<MetaDb>) {
         let mut b = PcrDatasetBuilder::new(4, 10).with_name_prefix("p");
@@ -244,6 +148,7 @@ mod tests {
         let (store, db) = make(8);
         let cfg = PipelineConfig { threads: 2, scan_group: 1, batch_size: 8, ..Default::default() };
         let pipe = spawn_epoch(Arc::clone(&store), db, cfg, 0);
+        let stats = Arc::clone(&pipe.stats);
         let mut total = 0usize;
         for b in pipe.batches.iter() {
             total += b.images.len();
@@ -254,7 +159,9 @@ mod tests {
         assert_eq!(total, 8);
         pipe.join();
         // Scan-group-1 reads are much smaller than the stored records.
-        let read = store.device_stats().bytes;
+        // (Wall-clock reads bypass the simulated device, so traffic is
+        // accounted in the pipeline stats, not DeviceStats.)
+        let read = stats.bytes_read.load(Ordering::Relaxed);
         assert!(read > 0);
         assert!(read < store.total_bytes() / 2, "read {read} of {}", store.total_bytes());
     }

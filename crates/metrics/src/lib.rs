@@ -5,6 +5,26 @@
 //! estimator), summary statistics with 95% confidence intervals,
 //! ordinary-least-squares regression with slope p-values (Figure 7), and
 //! log2 histograms (Figure 12).
+//!
+//! ```
+//! use pcr_metrics::{mean_ci95, ssim, Log2Histogram, Plane};
+//!
+//! // SSIM is 1 for identical planes and degrades with distortion.
+//! let a = Plane::from_u8(32, 32, &[120u8; 32 * 32]);
+//! let b = Plane::from_u8(32, 32, &[180u8; 32 * 32]);
+//! assert!((ssim(&a, &a) - 1.0).abs() < 1e-9);
+//! assert!(ssim(&a, &b) < 1.0);
+//!
+//! // Summary statistics with a 95% confidence interval (Table 2 style).
+//! let (mean, ci) = mean_ci95(&[10.0, 11.0, 9.0, 10.5, 9.5]);
+//! assert!((mean - 10.0).abs() < 1e-9 && ci > 0.0);
+//!
+//! // Log2 histogram of image sizes (Figure 12).
+//! let mut h = Log2Histogram::image_sizes();
+//! h.add(100_000);
+//! h.add(110_000);
+//! assert_eq!(h.total(), 2);
+//! ```
 
 #![warn(missing_docs)]
 

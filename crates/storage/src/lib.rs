@@ -10,14 +10,33 @@
 //! throughput and storage bandwidth (its Appendix A.2 queueing analysis);
 //! these models let experiments sweep that ratio deterministically instead
 //! of requiring the authors' 16-node cluster.
+//!
+//! Reads return [`ByteView`]s — zero-copy, reference-counted windows into
+//! the stored blobs — so wall-clock loaders never duplicate record bytes:
+//!
+//! ```
+//! use pcr_storage::{DeviceProfile, ObjectStore};
+//!
+//! let store = ObjectStore::new(DeviceProfile::ssd_sata());
+//! store.put("rec0", (0u8..100).collect());
+//! // A simulated-time read: data plus virtual start/finish timestamps.
+//! let read = store.read_at(0.0, "rec0", 0, 10).unwrap();
+//! assert_eq!(&read.data[..], &(0u8..10).collect::<Vec<u8>>()[..]);
+//! assert!(read.finish > read.start);
+//! // A wall-clock read: just the bytes, no virtual clock involved.
+//! let view = store.read_bytes("rec0", 90, 100).unwrap();
+//! assert_eq!(view.len(), 10);
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod bytes;
 pub mod cache;
 pub mod device;
 pub mod profile;
 pub mod store;
 
+pub use bytes::ByteView;
 pub use cache::{PageCache, PAGE_SIZE};
 pub use device::{DeviceStats, SharedDevice, SimDevice};
 pub use profile::DeviceProfile;

@@ -61,6 +61,20 @@ impl DeviceProfile {
         Self::ceph_cluster(5)
     }
 
+    /// A remote object store reached over a wide-area or congested link
+    /// (S3-like blob storage): high first-byte latency, modest per-stream
+    /// bandwidth. Requests to *different* objects are served by independent
+    /// backends, so a multi-worker loader overlaps their latencies — the
+    /// regime the wall-clock `pcr-loader::parallel` benchmark exercises.
+    pub fn remote_object_store() -> Self {
+        Self {
+            name: "remote-object-store".into(),
+            seek_latency_us: 80_000.0, // RPC + placement + first byte
+            request_overhead_us: 4_000.0,
+            sequential_bw_mib_s: 60.0, // per-stream
+        }
+    }
+
     /// In-memory "device": effectively instant (used as the compute-bound
     /// reference, e.g. the paper's from-RAM training rates).
     pub fn ram() -> Self {

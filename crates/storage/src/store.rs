@@ -2,6 +2,7 @@
 //! whose reads return both data and modeled completion times. This is what
 //! the data loader reads records from.
 
+use crate::bytes::ByteView;
 use crate::cache::PageCache;
 use crate::device::{DeviceStats, SharedDevice};
 use crate::profile::DeviceProfile;
@@ -12,8 +13,8 @@ use std::sync::Arc;
 /// A read result: the data plus virtual timing.
 #[derive(Debug, Clone)]
 pub struct ReadResult {
-    /// The bytes read.
-    pub data: Vec<u8>,
+    /// The bytes read — a zero-copy view into the stored object.
+    pub data: ByteView,
     /// Virtual time the request started service.
     pub start: f64,
     /// Virtual time the request completed.
@@ -94,11 +95,23 @@ impl ObjectStore {
             self.device.read_at(now, oid, offset, missed)
         };
         Some(ReadResult {
-            data: data[offset as usize..end as usize].to_vec(),
+            data: ByteView::from_shared(data, offset as usize, end as usize),
             start,
             finish,
             cached_bytes: cached,
         })
+    }
+
+    /// Zero-copy, timing-free read of `[offset, offset+len)` of `name`
+    /// (clamped to the object size). Used by wall-clock loaders that model
+    /// device time separately; does not touch the simulated device clock,
+    /// the page cache, or the statistics.
+    pub fn read_bytes(&self, name: &str, offset: u64, len: u64) -> Option<ByteView> {
+        let g = self.objects.lock();
+        let (_, data) = g.get(name)?;
+        let end = (offset + len).min(data.len() as u64);
+        let offset = offset.min(end);
+        Some(ByteView::from_shared(Arc::clone(data), offset as usize, end as usize))
     }
 
     /// Convenience: reads a whole object at time `now`.

@@ -1,0 +1,149 @@
+//! Integration coverage for the wall-clock parallel read path: worker-count
+//! invariance of the delivered data, agreement with the virtual-time
+//! loader's byte accounting, and a property test that prefix truncation at
+//! every scan-group boundary still decodes through the scratch-reuse path.
+
+use pcr::core::{MetaDb, PcrRecord, PcrRecordBuilder, RecordScratch, SampleMeta};
+use pcr::jpeg::ImageBuf;
+use pcr::loader::{
+    populate_store, DecodeMode, IoModel, LoaderConfig, ParallelConfig, ParallelLoader, PcrLoader,
+};
+use pcr::storage::{DeviceProfile, ObjectStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn pattern_image(seed: u32, w: u32, h: u32) -> ImageBuf {
+    let mut data = Vec::with_capacity((w * h * 3) as usize);
+    for y in 0..h {
+        for x in 0..w {
+            let v = ((x * 7 + y * 5 + seed * 13) % 256) as u8;
+            data.push(v);
+            data.push(v.wrapping_add(60));
+            data.push(255 - v);
+        }
+    }
+    ImageBuf::from_raw(w, h, 3, data).unwrap()
+}
+
+fn dermatology_fixture() -> (Arc<ObjectStore>, Arc<MetaDb>) {
+    let ds = pcr::datasets::SyntheticDataset::generate(
+        &pcr::datasets::DatasetSpec::ham10000_like(pcr::datasets::Scale::Tiny),
+    );
+    let (pcr_ds, _) = pcr::datasets::to_pcr_dataset(&ds, 4);
+    let store = Arc::new(ObjectStore::new(DeviceProfile::ram()));
+    populate_store(&store, &pcr_ds);
+    (store, Arc::new(pcr_ds.db.clone()))
+}
+
+/// Fixed seed, 2 vs 8 workers: the *delivered multiset* of labels must be
+/// identical — worker count may reorder delivery but never duplicate or
+/// drop a sample.
+#[test]
+fn two_and_eight_workers_deliver_identical_label_multisets() {
+    let (store, db) = dermatology_fixture();
+    let labels_with = |workers: usize| -> Vec<u32> {
+        let cfg = ParallelConfig {
+            loader: LoaderConfig {
+                threads: workers,
+                seed: 1234,
+                decode: DecodeMode::Real,
+                ..LoaderConfig::at_group(2)
+            },
+            batch_size: 7,
+            ..ParallelConfig::default()
+        };
+        let loader = ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg);
+        let stream = loader.spawn_epoch(5);
+        let mut labels: Vec<u32> = Vec::new();
+        for b in stream.batches.iter() {
+            assert_eq!(b.images.len(), b.labels.len());
+            labels.extend(b.labels);
+        }
+        stream.join();
+        labels.sort_unstable();
+        labels
+    };
+    let two = labels_with(2);
+    let eight = labels_with(8);
+    assert_eq!(two.len(), db.num_images());
+    assert_eq!(two, eight);
+
+    // And both match the dataset's own label multiset.
+    let mut expected: Vec<u32> = db.records.iter().flat_map(|r| r.labels.clone()).collect();
+    expected.sort_unstable();
+    assert_eq!(two, expected);
+}
+
+/// The wall-clock and virtual-time loaders share LoaderConfig and must
+/// agree on what an epoch *reads* (bytes, images) even though one measures
+/// and the other models.
+#[test]
+fn wall_clock_and_virtual_time_loaders_agree_on_traffic() {
+    let (store, db) = dermatology_fixture();
+    for group in [1usize, 5, 10] {
+        let loader_cfg = LoaderConfig { decode: DecodeMode::Skip, ..LoaderConfig::at_group(group) };
+        let modeled = PcrLoader::new(&store, &db, loader_cfg.clone()).run_epoch(0, 0.0);
+        let wall = ParallelLoader::new(
+            Arc::clone(&store),
+            Arc::clone(&db),
+            ParallelConfig { loader: loader_cfg, ..ParallelConfig::default() },
+        )
+        .run_epoch(0);
+        assert_eq!(wall.images, modeled.images, "group {group}");
+        assert_eq!(wall.bytes, modeled.bytes, "group {group}");
+    }
+}
+
+/// Emulated-latency mode must not change what is delivered, only when.
+#[test]
+fn emulated_latency_delivers_same_data() {
+    let (store, db) = dermatology_fixture();
+    let run = |io: IoModel| {
+        let cfg = ParallelConfig { io, ..ParallelConfig::real(3, 1) };
+        ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg).run_epoch(2)
+    };
+    let instant = run(IoModel::Instant);
+    let emulated = run(IoModel::EmulatedLatency);
+    assert_eq!(instant.images, emulated.images);
+    assert_eq!(instant.bytes, emulated.bytes);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Truncating a record at *every* scan-group boundary must leave a
+    /// parseable prefix whose images all decode at that group — the
+    /// invariant the parallel workers rely on when a partial read lands
+    /// exactly on a boundary. Exercises the scratch-reuse decode path.
+    #[test]
+    fn truncation_at_every_group_boundary_decodes(
+        n_images in 1usize..4,
+        quality in 70u8..95,
+        wh in (16u32..48, 16u32..48),
+    ) {
+        let (w, h) = wh;
+        let mut builder = PcrRecordBuilder::with_default_groups();
+        for i in 0..n_images {
+            builder
+                .add_image(
+                    SampleMeta { label: i as u32, id: format!("p{i}") },
+                    &pattern_image(i as u32 + 1, w, h),
+                    quality,
+                )
+                .unwrap();
+        }
+        let bytes = builder.build().unwrap();
+        let full = PcrRecord::parse(&bytes).unwrap();
+        let mut scratch = RecordScratch::new();
+        for g in 1..=full.num_groups() {
+            let prefix = &bytes[..full.offset_for_group(g)];
+            let view = PcrRecord::parse(prefix).unwrap();
+            prop_assert_eq!(view.available_groups(), g);
+            for i in 0..view.num_images() {
+                let img = view.decode_image_with(i, g, &mut scratch).unwrap();
+                prop_assert_eq!(img.width(), w);
+                prop_assert_eq!(img.height(), h);
+            }
+        }
+    }
+}

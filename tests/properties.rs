@@ -139,7 +139,7 @@ proptest! {
         let rec = PcrRecord::parse(&bytes).unwrap();
         prop_assert_eq!(rec.labels(), labels.clone());
         for (i, &l) in labels.iter().enumerate() {
-            prop_assert_eq!(rec.meta(i).id.clone(), format!("id-{i}-{l}"));
+            prop_assert_eq!(rec.meta(i).id, format!("id-{i}-{l}"));
         }
     }
 }
