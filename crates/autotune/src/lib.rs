@@ -5,8 +5,11 @@
 //! rules (gradient-cosine threshold, MSSIM-predicted accuracy, score
 //! clustering), and mixture training distributions over scan groups.
 //!
-//! These are pure policies over numbers; the training loops that consult
-//! them live in `pcr-sim` so the policies stay independently testable.
+//! These are pure policies over numbers, independently testable. Their
+//! live consumers are `pcr-loader`'s `FidelityController` — which wires
+//! plateau detection and lowest-qualifying-group selection into the
+//! wall-clock parallel loader to adjust the scan-group prefix online —
+//! and the simulated training loops in `pcr-sim`.
 //!
 //! ```
 //! use pcr_autotune::{

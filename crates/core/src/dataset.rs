@@ -30,6 +30,13 @@ impl RecordMeta {
     pub fn total_len(&self) -> u64 {
         *self.group_offsets.last().expect("offsets nonempty")
     }
+
+    /// Bytes to read to decode every image of this record at scan group
+    /// `g`, clamped to the record's group count — the canonical
+    /// prefix-length computation every loader plans reads with.
+    pub fn prefix_len(&self, g: usize) -> u64 {
+        self.group_offsets[g.min(self.group_offsets.len() - 1)]
+    }
 }
 
 /// The PCR metadata database: one entry per record.

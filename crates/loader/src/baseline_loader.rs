@@ -6,21 +6,12 @@
 //! * [`FilePerImageLoader`] reads one object per image — the small random
 //!   accesses of PyTorch's `ImageFolder` (paper Figure 1).
 
-use crate::config::{DecodeMode, LoaderConfig};
-use crate::loader::{EpochResult, LoadedRecord};
+use crate::config::LoaderConfig;
+use crate::loader::{run_virtual_epoch, EpochResult};
+use crate::source::ReadPlanner;
 use pcr_storage::ObjectStore;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
-/// Metadata the baseline loaders need per object: name and image labels.
-#[derive(Debug, Clone)]
-pub struct ObjectMeta {
-    /// Object name in the store.
-    pub name: String,
-    /// Labels of images in the object (one for File-per-Image).
-    pub labels: Vec<u32>,
-}
+pub use crate::source::ObjectMeta;
 
 fn run_generic(
     store: &ObjectStore,
@@ -29,51 +20,10 @@ fn run_generic(
     epoch: u64,
     start: f64,
 ) -> EpochResult {
-    let mut order: Vec<usize> = (0..objects.len()).collect();
-    if config.shuffle {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ epoch.wrapping_mul(0x9E37));
-        order.shuffle(&mut rng);
-    }
-    let threads = config.threads.max(1);
-    let mut free_at = vec![start; threads];
-    let mut out = Vec::with_capacity(order.len());
-    for (seq, &idx) in order.iter().enumerate() {
-        let worker = (0..threads)
-            .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("no NaN"))
-            .expect("threads >= 1");
-        let issued = free_at[worker];
-        let meta = &objects[idx];
-        let read = store.read_all_at(issued, &meta.name).expect("object present");
-        let decode_time = match config.decode {
-            DecodeMode::Skip => 0.0,
-            DecodeMode::Modeled { seconds_per_byte } => read.data.len() as f64 * seconds_per_byte,
-            DecodeMode::Real => {
-                // Baseline formats store plain JPEGs or record files; real
-                // decode here is only supported for File-per-Image objects.
-                let t0 = std::time::Instant::now();
-                let _ = pcr_jpeg::decode(&read.data);
-                t0.elapsed().as_secs_f64()
-            }
-        };
-        let ready = read.finish + decode_time;
-        free_at[worker] = ready;
-        out.push(LoadedRecord {
-            seq,
-            record: idx,
-            worker,
-            issued,
-            read_finish: read.finish,
-            ready,
-            bytes: read.data.len() as u64,
-            labels: meta.labels.clone(),
-            images: Vec::new(),
-        });
-    }
-    out.sort_by(|a, b| a.ready.partial_cmp(&b.ready).expect("no NaN"));
-    let images = out.iter().map(|r| r.labels.len()).sum();
-    let bytes = out.iter().map(|r| r.bytes).sum();
-    let duration = out.last().map_or(0.0, |r| r.ready - start);
-    EpochResult { records: out, images, bytes, duration }
+    // Baseline objects implement RecordSource with whole-object plans, so
+    // the virtual-time engine (workers, shuffle, decode accounting) is the
+    // same one the PCR loader runs on — apples-to-apples by construction.
+    run_virtual_epoch(store, objects, config, &ReadPlanner::from_config(config), epoch, start)
 }
 
 /// Loader over fixed-quality record files.
@@ -119,6 +69,7 @@ impl<'a> FilePerImageLoader<'a> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::DecodeMode;
     use pcr_core::{RecordFileBuilder, SampleMeta};
     use pcr_jpeg::ImageBuf;
     use pcr_storage::DeviceProfile;

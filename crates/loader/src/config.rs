@@ -3,10 +3,6 @@
 //! ([`crate::loader::PcrLoader`]) and wall-clock ([`crate::parallel`])
 //! paths so experiments can switch between modeled and measured runs.
 
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-
 /// How the loader accounts for JPEG decode cost.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum DecodeMode {
@@ -76,13 +72,10 @@ impl LoaderConfig {
     /// the virtual-time and wall-clock loaders so a fixed `(seed, epoch)`
     /// pair names the same schedule in both, letting experiments switch
     /// between modeled and measured runs without changing the data order.
+    /// Delegates to [`crate::source::ReadPlanner`], the single owner of the
+    /// shuffle math.
     pub fn epoch_order(&self, n: usize, epoch: u64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..n).collect();
-        if self.shuffle {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37));
-            order.shuffle(&mut rng);
-        }
-        order
+        crate::source::ReadPlanner::from_config(self).epoch_order(n, epoch)
     }
 }
 

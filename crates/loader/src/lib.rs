@@ -15,6 +15,15 @@
 //! files and file-per-image) live in [`baseline_loader`] so end-to-end
 //! comparisons share one worker/timing model.
 //!
+//! All of them plan reads through one abstraction — [`source::RecordSource`]
+//! (what to read) + [`source::ReadPlanner`] (how much, in which order) —
+//! and read through the store's single clocked path
+//! ([`pcr_storage::ObjectStore::read`]), so wall-clock workers share the
+//! page cache, readahead, and device statistics with the virtual-time
+//! loader. On top sits the policy layer: [`fidelity::FidelityController`]
+//! adjusts the scan-group prefix online from loss plateaus and MSSIM
+//! scores — the paper's *dynamic* compression knob.
+//!
 //! ```
 //! use std::sync::Arc;
 //! use pcr_core::{PcrDatasetBuilder, SampleMeta};
@@ -47,14 +56,18 @@
 
 pub mod baseline_loader;
 pub mod config;
+pub mod fidelity;
 pub mod loader;
 pub mod parallel;
 pub mod pipeline;
+pub mod source;
 
 pub use baseline_loader::{FilePerImageLoader, ObjectMeta, RecordFileLoader};
 pub use config::{DecodeMode, LoaderConfig};
-pub use loader::{populate_store, EpochResult, LoadedRecord, PcrLoader};
+pub use fidelity::{probe_group_scores, FidelityConfig, FidelityController, FidelityDecision};
+pub use loader::{populate_store, run_virtual_epoch, EpochResult, LoadedRecord, PcrLoader};
 pub use parallel::{
     EpochStream, IoModel, Minibatch, ParallelConfig, ParallelLoader, ParallelStats, WallClockEpoch,
 };
 pub use pipeline::{spawn_epoch, PipelineConfig, PipelineStats, RunningPipeline};
+pub use source::{ReadPlan, ReadPlanner, RecordSource};

@@ -14,9 +14,10 @@
 //! per-epoch record order.
 
 use crate::config::{DecodeMode, LoaderConfig};
-use pcr_core::{MetaDb, PcrRecord, RecordScratch};
+use crate::source::{ReadPlanner, RecordSource};
+use pcr_core::{MetaDb, RecordScratch};
 use pcr_jpeg::ImageBuf;
-use pcr_storage::ObjectStore;
+use pcr_storage::{Clock, ObjectStore};
 
 /// Timing and contents of one loaded record.
 #[derive(Debug, Clone)]
@@ -101,66 +102,83 @@ impl<'a> PcrLoader<'a> {
     /// Streams one epoch starting at virtual time `start`, returning every
     /// record with its ready timestamp.
     pub fn run_epoch(&self, epoch: u64, start: f64) -> EpochResult {
-        let order = self.config.epoch_order(self.db.records.len(), epoch);
-        let mut scratch = RecordScratch::new();
-        let g = self.config.scan_group;
-        let threads = self.config.threads.max(1);
-        // Each worker's virtual "free at" time.
-        let mut free_at = vec![start; threads];
-        let mut out: Vec<LoadedRecord> = Vec::with_capacity(order.len());
-        for (seq, &rec_idx) in order.iter().enumerate() {
-            // Greedy: the earliest-free worker takes the next record.
-            let worker = (0..threads)
-                .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("no NaN"))
-                .expect("threads >= 1");
-            let issued = free_at[worker];
-            let meta = &self.db.records[rec_idx];
-            let read_len = meta.group_offsets[g.min(meta.group_offsets.len() - 1)];
-            let read = self
-                .store
-                .read_at(issued, &meta.name, 0, read_len)
-                .expect("record present in store");
-            let (decode_time, images) = self.decode(&read.data, &mut scratch);
-            let ready = read.finish + decode_time;
-            free_at[worker] = ready;
-            out.push(LoadedRecord {
-                seq,
-                record: rec_idx,
-                worker,
-                issued,
-                read_finish: read.finish,
-                ready,
-                bytes: read_len,
-                labels: meta.labels.clone(),
-                images,
-            });
-        }
-        out.sort_by(|a, b| a.ready.partial_cmp(&b.ready).expect("no NaN"));
-        let images = out.iter().map(|r| r.labels.len()).sum();
-        let bytes = out.iter().map(|r| r.bytes).sum();
-        let duration = out.last().map_or(0.0, |r| r.ready - start);
-        EpochResult { records: out, images, bytes, duration }
+        let planner = ReadPlanner::from_config(&self.config);
+        run_virtual_epoch(self.store, self.db, &self.config, &planner, epoch, start)
     }
+}
 
-    /// Decodes (or models decoding) a record prefix; returns the virtual
-    /// decode time and any decoded images.
-    fn decode(&self, prefix: &[u8], scratch: &mut RecordScratch) -> (f64, Vec<ImageBuf>) {
-        match self.config.decode {
+/// The virtual-time epoch engine every modeled loader runs on: a greedy
+/// closed system of `config.threads` workers over any [`RecordSource`],
+/// reading through the clocked store path ([`Clock::Virtual`]) and
+/// charging decode cost per [`DecodeMode`].
+///
+/// [`PcrLoader`] and both [`crate::baseline_loader`] loaders are thin
+/// wrappers over this one function — the worker/timing model exists in
+/// exactly one place.
+pub fn run_virtual_epoch<S: RecordSource + ?Sized>(
+    store: &ObjectStore,
+    source: &S,
+    config: &LoaderConfig,
+    planner: &ReadPlanner,
+    epoch: u64,
+    start: f64,
+) -> EpochResult {
+    let order = planner.epoch_order(source.num_records(), epoch);
+    let mut scratch = RecordScratch::new();
+    let threads = config.threads.max(1);
+    // Each worker's virtual "free at" time.
+    let mut free_at = vec![start; threads];
+    let mut out: Vec<LoadedRecord> = Vec::with_capacity(order.len());
+    for (seq, &rec_idx) in order.iter().enumerate() {
+        // Greedy: the earliest-free worker takes the next record.
+        let worker = (0..threads)
+            .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("no NaN"))
+            .expect("threads >= 1");
+        let issued = free_at[worker];
+        let plan = planner.plan(source, rec_idx);
+        let read = store
+            .read(Clock::Virtual(issued), plan.name, plan.offset, plan.len)
+            .expect("record present in store");
+        let (decode_time, images) = match config.decode {
             DecodeMode::Skip => (0.0, Vec::new()),
             DecodeMode::Modeled { seconds_per_byte } => {
-                (prefix.len() as f64 * seconds_per_byte, Vec::new())
+                (read.data.len() as f64 * seconds_per_byte, Vec::new())
             }
             DecodeMode::Real => {
                 let t0 = std::time::Instant::now();
-                let rec = PcrRecord::parse(prefix).expect("valid record prefix");
-                let g = rec.available_groups().min(self.config.scan_group).max(1);
-                let images: Vec<ImageBuf> = (0..rec.num_images())
-                    .map(|i| rec.decode_image_with(i, g, scratch).expect("decodable prefix"))
-                    .collect();
-                (t0.elapsed().as_secs_f64(), images)
+                let decoded =
+                    source.decode_real(rec_idx, &read.data, planner.scan_group, &mut scratch);
+                let elapsed = t0.elapsed().as_secs_f64();
+                let Some(images) = decoded else {
+                    // Undecodable record: the worker spent the read and the
+                    // decode attempt but delivers nothing — the same skip
+                    // semantics as the wall-clock workers, so modeled and
+                    // measured runs agree on bad input too.
+                    free_at[worker] = read.finish + elapsed;
+                    continue;
+                };
+                (elapsed, images)
             }
-        }
+        };
+        let ready = read.finish + decode_time;
+        free_at[worker] = ready;
+        out.push(LoadedRecord {
+            seq,
+            record: rec_idx,
+            worker,
+            issued,
+            read_finish: read.finish,
+            ready,
+            bytes: read.data.len() as u64,
+            labels: source.labels(rec_idx).to_vec(),
+            images,
+        });
     }
+    out.sort_by(|a, b| a.ready.partial_cmp(&b.ready).expect("no NaN"));
+    let images = out.iter().map(|r| r.labels.len()).sum();
+    let bytes = out.iter().map(|r| r.bytes).sum();
+    let duration = out.last().map_or(0.0, |r| r.ready - start);
+    EpochResult { records: out, images, bytes, duration }
 }
 
 /// Loads every record of a PCR dataset into an object store under its DB

@@ -33,10 +33,11 @@
 //! buffering (one batch being consumed, one staged).
 
 use crate::config::{DecodeMode, LoaderConfig};
+use crate::source::{ReadPlanner, RecordSource};
 use crossbeam::channel::{bounded, unbounded, Receiver};
-use pcr_core::{MetaDb, PcrRecord, RecordScratch};
+use pcr_core::{MetaDb, RecordScratch};
 use pcr_jpeg::ImageBuf;
-use pcr_storage::ObjectStore;
+use pcr_storage::{Clock, ObjectStore};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,13 +49,14 @@ pub enum IoModel {
     /// scaling then measures pure decode parallelism.
     #[default]
     Instant,
-    /// Sleep each read's modeled service time (the store's
-    /// [`DeviceProfile`](pcr_storage::DeviceProfile) `read_time`, charged
-    /// as an independent random access per record) on the issuing worker
-    /// thread. Requests to different records are assumed to hit
-    /// independent backends — the remote-object-store regime — so worker
-    /// counts overlap first-byte latencies exactly like a real multi-
-    /// connection loader.
+    /// Sleep each read's modeled service time — the duration the clocked
+    /// store path returns for a [`Clock::Wall`] read — on the issuing
+    /// worker thread. Cached bytes cost only request overhead, so a warm
+    /// page cache speeds emulated I/O exactly as it would a real device.
+    /// Requests to different records are assumed to hit independent
+    /// backends — the remote-object-store regime — so worker counts
+    /// overlap first-byte latencies exactly like a real multi-connection
+    /// loader.
     EmulatedLatency,
 }
 
@@ -233,15 +235,36 @@ impl ParallelLoader {
         &self.config
     }
 
+    /// The object store this loader reads from.
+    pub fn store(&self) -> &Arc<ObjectStore> {
+        &self.store
+    }
+
+    /// The metadata DB this loader plans reads over.
+    pub fn db(&self) -> &Arc<MetaDb> {
+        &self.db
+    }
+
     /// Spawns the worker pool and assembler for one epoch and returns the
-    /// live stream.
+    /// live stream. Reads at the configured scan group; see
+    /// [`ParallelLoader::spawn_epoch_at`] for a per-epoch override.
     pub fn spawn_epoch(&self, epoch: u64) -> EpochStream {
+        self.spawn_epoch_at(epoch, self.config.loader.scan_group)
+    }
+
+    /// Spawns one epoch reading at `scan_group` instead of the configured
+    /// group — the hook a [`crate::fidelity::FidelityController`] uses to
+    /// adjust fidelity online. The epoch record order is a function of
+    /// `(seed, epoch)` only, so changing the group never changes which
+    /// records are visited or in what order.
+    pub fn spawn_epoch_at(&self, epoch: u64, scan_group: usize) -> EpochStream {
         let cfg = &self.config;
         let stats = Arc::new(ParallelStats::default());
+        let planner = ReadPlanner::from_config(&cfg.loader).at_group(scan_group);
 
         // Work queue: record indices in the shared epoch order.
         let (work_tx, work_rx) = unbounded::<usize>();
-        for idx in cfg.loader.epoch_order(self.db.records.len(), epoch) {
+        for idx in planner.epoch_order(self.db.records.len(), epoch) {
             work_tx.send(idx).expect("queue open");
         }
         drop(work_tx);
@@ -256,11 +279,14 @@ impl ParallelLoader {
             let store = Arc::clone(&self.store);
             let db = Arc::clone(&self.db);
             let stats = Arc::clone(&stats);
-            let loader_cfg = cfg.loader.clone();
+            let decode = cfg.loader.decode;
+            let planner = planner.clone();
             let io = cfg.io;
             let handle = std::thread::Builder::new()
                 .name(format!("pcr-parallel-{w}"))
-                .spawn(move || worker_loop(&work_rx, &rec_tx, &store, &db, &stats, &loader_cfg, io))
+                .spawn(move || {
+                    worker_loop(&work_rx, &rec_tx, &store, &*db, &stats, &planner, decode, io)
+                })
                 .expect("spawn worker");
             workers.push(handle);
         }
@@ -307,8 +333,14 @@ impl ParallelLoader {
     /// Runs one epoch to completion, draining every batch, and reports
     /// wall-clock throughput.
     pub fn run_epoch(&self, epoch: u64) -> WallClockEpoch {
+        self.run_epoch_at(epoch, self.config.loader.scan_group)
+    }
+
+    /// Runs one epoch at `scan_group` (see [`ParallelLoader::spawn_epoch_at`])
+    /// to completion and reports wall-clock throughput.
+    pub fn run_epoch_at(&self, epoch: u64, scan_group: usize) -> WallClockEpoch {
         let t0 = Instant::now();
-        let stream = self.spawn_epoch(epoch);
+        let stream = self.spawn_epoch_at(epoch, scan_group);
         let mut images = 0usize;
         let mut batches = 0usize;
         let pairs_images = matches!(self.config.loader.decode, DecodeMode::Real);
@@ -329,69 +361,56 @@ impl ParallelLoader {
     }
 }
 
-/// One worker: pull record indices, read prefixes, realize I/O time,
-/// decode, push downstream. Returns when the work queue drains or the
-/// consumer disappears.
-fn worker_loop(
+/// One worker: pull record indices, read planned prefixes through the
+/// clocked store path, realize I/O time, decode, push downstream. Returns
+/// when the work queue drains or the consumer disappears.
+#[allow(clippy::too_many_arguments)]
+fn worker_loop<S: RecordSource + ?Sized>(
     work_rx: &Receiver<usize>,
     rec_tx: &crossbeam::channel::Sender<(Vec<ImageBuf>, Vec<u32>)>,
     store: &ObjectStore,
-    db: &MetaDb,
+    source: &S,
     stats: &ParallelStats,
-    cfg: &LoaderConfig,
+    planner: &ReadPlanner,
+    decode: DecodeMode,
     io: IoModel,
 ) {
     let mut scratch = RecordScratch::new();
     while let Ok(idx) = work_rx.recv() {
-        let meta = &db.records[idx];
-        let g = cfg.scan_group.min(meta.group_offsets.len() - 1);
-        let read_len = meta.group_offsets[g];
-        // Zero-copy view of the stored record prefix. Deliberately NOT
-        // read_at: the wall-clock path must leave the simulated device
-        // clock and page cache untouched so a virtual-time PcrLoader can
-        // run on the same store before or after; traffic is reported via
-        // ParallelStats instead of DeviceStats.
-        let Some(read) = store.read_bytes(&meta.name, 0, read_len) else {
+        let plan = planner.plan(source, idx);
+        // The same clocked, cached, counted read path the virtual-time
+        // loader uses: the page cache and device statistics see this
+        // traffic, and `finish` carries the modeled service time (cache-
+        // aware) should the worker want to spend it.
+        let Some(read) = store.read(Clock::Wall, plan.name, plan.offset, plan.len) else {
             continue; // missing object: skip record
         };
+        let read_len = read.data.len() as u64;
         stats.bytes_read.fetch_add(read_len, Ordering::Relaxed);
         if io == IoModel::EmulatedLatency {
-            let service = store.device().profile().read_time(read_len, false);
+            let service = read.finish - read.start;
             let t0 = Instant::now();
-            std::thread::sleep(Duration::from_secs_f64(service));
+            std::thread::sleep(Duration::from_secs_f64(service.max(0.0)));
             stats.io_wait_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        let (images, labels) = match cfg.decode {
-            DecodeMode::Skip => (Vec::new(), meta.labels.clone()),
+        let (images, labels) = match decode {
+            DecodeMode::Skip => (Vec::new(), source.labels(idx).to_vec()),
             DecodeMode::Modeled { seconds_per_byte } => {
                 // Wall-clock realization of the modeled cost, so modeled
                 // and real runs remain comparable end to end.
                 let modeled = read_len as f64 * seconds_per_byte;
                 std::thread::sleep(Duration::from_secs_f64(modeled));
-                (Vec::new(), meta.labels.clone())
+                (Vec::new(), source.labels(idx).to_vec())
             }
             DecodeMode::Real => {
                 let t0 = Instant::now();
-                let Ok(rec) = PcrRecord::parse(&read) else { continue };
-                let gg = rec.available_groups().min(cfg.scan_group).max(1);
-                let mut images = Vec::with_capacity(rec.num_images());
-                let mut ok = true;
-                for i in 0..rec.num_images() {
-                    match rec.decode_image_with(i, gg, &mut scratch) {
-                        Ok(img) => images.push(img),
-                        Err(_) => {
-                            ok = false;
-                            break;
-                        }
-                    }
-                }
+                let decoded = source.decode_real(idx, &read.data, planner.scan_group, &mut scratch);
                 stats.decode_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                if !ok {
-                    continue;
-                }
+                let Some(images) = decoded else {
+                    continue; // undecodable record: skip
+                };
                 stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
-                let labels = rec.labels().to_vec();
-                (images, labels)
+                (images, source.labels(idx).to_vec())
             }
         };
         stats.records_loaded.fetch_add(1, Ordering::Relaxed);

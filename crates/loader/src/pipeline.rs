@@ -158,12 +158,13 @@ mod tests {
         }
         assert_eq!(total, 8);
         pipe.join();
-        // Scan-group-1 reads are much smaller than the stored records.
-        // (Wall-clock reads bypass the simulated device, so traffic is
-        // accounted in the pipeline stats, not DeviceStats.)
+        // Scan-group-1 reads are much smaller than the stored records —
+        // visible both in the pipeline stats and, since wall-clock reads
+        // run through the clocked store path, in the device statistics.
         let read = stats.bytes_read.load(Ordering::Relaxed);
         assert!(read > 0);
         assert!(read < store.total_bytes() / 2, "read {read} of {}", store.total_bytes());
+        assert_eq!(store.device_stats().bytes, read, "device saw the same traffic");
     }
 
     #[test]

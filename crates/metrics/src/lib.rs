@@ -3,8 +3,9 @@
 //! Image-quality metrics and statistics for the PCR reproduction:
 //! single-scale SSIM and multiscale SSIM (the paper's compression-tolerance
 //! estimator), summary statistics with 95% confidence intervals,
-//! ordinary-least-squares regression with slope p-values (Figure 7), and
-//! log2 histograms (Figure 12).
+//! ordinary-least-squares regression with slope p-values (Figure 7), log2
+//! histograms (Figure 12), and the JSON [`FidelityTrace`] export that
+//! records a fidelity-controlled run's per-epoch trajectory.
 //!
 //! ```
 //! use pcr_metrics::{mean_ci95, ssim, Log2Histogram, Plane};
@@ -32,6 +33,7 @@ pub mod histogram;
 pub mod regression;
 pub mod ssim;
 pub mod stats;
+pub mod trace;
 
 pub use histogram::Log2Histogram;
 pub use regression::{linear_regression, student_t_sf, LinearFit};
@@ -39,3 +41,4 @@ pub use ssim::{msssim, msssim_u8, ssim, Plane};
 pub use stats::{
     cosine_similarity, cosine_similarity_f32, mean, mean_ci95, quantile, quartiles, std_dev,
 };
+pub use trace::{FidelityEpoch, FidelityTrace};

@@ -1,0 +1,193 @@
+//! Fidelity-trace export: the per-epoch trajectory of an online
+//! fidelity-controlled run — scan group chosen, bytes read, cache hit
+//! rate, throughput, loss — serialized as JSON so bench runs can record a
+//! `BENCH_*.json` file alongside their printed tables.
+//!
+//! Serialization is hand-rolled (the workspace builds offline, without
+//! serde); the format is a single object `{"epochs": [...]}` with one
+//! entry per epoch. Non-finite floats serialize as `null` to keep the
+//! output valid JSON.
+
+use std::io;
+use std::path::Path;
+
+/// One epoch of a fidelity-controlled run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FidelityEpoch {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Scan group the controller chose for this epoch.
+    pub scan_group: usize,
+    /// Compressed bytes delivered to workers this epoch.
+    pub bytes_read: u64,
+    /// Images delivered this epoch.
+    pub images: u64,
+    /// Delivered throughput in images per wall-clock second.
+    pub images_per_sec: f64,
+    /// Store-wide cache hit rate observed at the end of the epoch.
+    pub cache_hit_rate: f64,
+    /// Training loss the controller observed for this epoch.
+    pub loss: f64,
+}
+
+/// The per-epoch trajectory of a fidelity-controlled run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FidelityTrace {
+    /// Epoch entries in order.
+    pub epochs: Vec<FidelityEpoch>,
+}
+
+impl FidelityTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one epoch entry.
+    pub fn push(&mut self, epoch: FidelityEpoch) {
+        self.epochs.push(epoch);
+    }
+
+    /// Total bytes read across all epochs.
+    pub fn total_bytes(&self) -> u64 {
+        self.epochs.iter().map(|e| e.bytes_read).sum()
+    }
+
+    /// Total images delivered across all epochs.
+    pub fn total_images(&self) -> u64 {
+        self.epochs.iter().map(|e| e.images).sum()
+    }
+
+    /// Distinct scan groups in first-use order — the controller's
+    /// decision trajectory at a glance.
+    pub fn groups_used(&self) -> Vec<usize> {
+        let mut groups = Vec::new();
+        for e in &self.epochs {
+            if !groups.contains(&e.scan_group) {
+                groups.push(e.scan_group);
+            }
+        }
+        groups
+    }
+
+    /// Serializes the trace as a JSON object `{"epochs": [...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"epochs\":[");
+        for (i, e) in self.epochs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"epoch\":{},\"scan_group\":{},\"bytes_read\":{},\"images\":{},\
+                 \"images_per_sec\":{},\"cache_hit_rate\":{},\"loss\":{}}}",
+                e.epoch,
+                e.scan_group,
+                e.bytes_read,
+                e.images,
+                json_f64(e.images_per_sec),
+                json_f64(e.cache_hit_rate),
+                json_f64(e.loss),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Writes [`FidelityTrace::to_json`] to `path`.
+    pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Formats an `f64` as a JSON value (`null` for non-finite numbers).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FidelityTrace {
+        let mut t = FidelityTrace::new();
+        t.push(FidelityEpoch {
+            epoch: 0,
+            scan_group: 10,
+            bytes_read: 1000,
+            images: 32,
+            images_per_sec: 128.5,
+            cache_hit_rate: 0.0,
+            loss: 1.25,
+        });
+        t.push(FidelityEpoch {
+            epoch: 1,
+            scan_group: 5,
+            bytes_read: 400,
+            images: 32,
+            images_per_sec: 200.0,
+            cache_hit_rate: 0.75,
+            loss: 0.8,
+        });
+        t
+    }
+
+    #[test]
+    fn totals_and_groups() {
+        let t = sample();
+        assert_eq!(t.total_bytes(), 1400);
+        assert_eq!(t.total_images(), 64);
+        assert_eq!(t.groups_used(), vec![10, 5]);
+    }
+
+    #[test]
+    fn json_contains_every_field() {
+        let json = sample().to_json();
+        for needle in [
+            "{\"epochs\":[",
+            "\"epoch\":0",
+            "\"scan_group\":10",
+            "\"bytes_read\":1000",
+            "\"images\":32",
+            "\"images_per_sec\":128.5",
+            "\"cache_hit_rate\":0.75",
+            "\"loss\":0.8",
+        ] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // Balanced and well-terminated.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut t = FidelityTrace::new();
+        t.push(FidelityEpoch {
+            epoch: 0,
+            scan_group: 1,
+            bytes_read: 0,
+            images: 0,
+            images_per_sec: f64::NAN,
+            cache_hit_rate: f64::INFINITY,
+            loss: 0.0,
+        });
+        let json = t.to_json();
+        assert!(json.contains("\"images_per_sec\":null"));
+        assert!(json.contains("\"cache_hit_rate\":null"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn write_json_round_trips_to_disk() {
+        let t = sample();
+        let path = std::env::temp_dir().join(format!("pcr_trace_{}.json", std::process::id()));
+        t.write_json(&path).unwrap();
+        let read_back = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(read_back, t.to_json());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -151,6 +151,28 @@ impl SharedDevice {
         (start, finish)
     }
 
+    /// Accounts for a read performed by a *wall-clock* worker: updates the
+    /// statistics and sequential-access history exactly like
+    /// [`SharedDevice::read_at`] and returns the modeled service time, but
+    /// does **not** advance the virtual request queue (`busy_until`). Wall
+    /// workers contend in real time — queueing them against the virtual
+    /// timeline would corrupt any virtual-time loader sharing the store.
+    pub fn service_wall(&self, object: u64, offset: u64, len: u64) -> f64 {
+        let mut g = self.inner.lock();
+        let sequential = g.last == Some((object, offset));
+        let service = self.profile.read_time(len, sequential) / g.bandwidth_scale.max(1e-6);
+        g.last = Some((object, offset + len));
+        g.stats.reads += 1;
+        if sequential {
+            g.stats.sequential_reads += 1;
+        } else {
+            g.stats.random_reads += 1;
+        }
+        g.stats.bytes += len;
+        g.stats.busy_time += service;
+        service
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> DeviceStats {
         self.inner.lock().stats

@@ -11,21 +11,28 @@
 //! these models let experiments sweep that ratio deterministically instead
 //! of requiring the authors' 16-node cluster.
 //!
-//! Reads return [`ByteView`]s — zero-copy, reference-counted windows into
-//! the stored blobs — so wall-clock loaders never duplicate record bytes:
+//! There is one read path, [`ObjectStore::read`], parameterized by a
+//! [`Clock`]: virtual-time loaders queue against the simulated device
+//! ([`Clock::Virtual`]), wall-clock workers get the modeled service time
+//! back as a duration ([`Clock::Wall`]) — and *both* share the page cache,
+//! readahead, and device/cache statistics. Reads return [`ByteView`]s —
+//! zero-copy, reference-counted windows into the stored blobs — so loaders
+//! never duplicate record bytes:
 //!
 //! ```
-//! use pcr_storage::{DeviceProfile, ObjectStore};
+//! use pcr_storage::{Clock, DeviceProfile, ObjectStore};
 //!
 //! let store = ObjectStore::new(DeviceProfile::ssd_sata());
 //! store.put("rec0", (0u8..100).collect());
 //! // A simulated-time read: data plus virtual start/finish timestamps.
-//! let read = store.read_at(0.0, "rec0", 0, 10).unwrap();
+//! let read = store.read(Clock::Virtual(0.0), "rec0", 0, 10).unwrap();
 //! assert_eq!(&read.data[..], &(0u8..10).collect::<Vec<u8>>()[..]);
 //! assert!(read.finish > read.start);
-//! // A wall-clock read: just the bytes, no virtual clock involved.
-//! let view = store.read_bytes("rec0", 90, 100).unwrap();
-//! assert_eq!(view.len(), 10);
+//! // A wall-clock read: same bytes, same statistics; `finish` is the
+//! // modeled service duration, for the caller to sleep or ignore.
+//! let view = store.read(Clock::Wall, "rec0", 90, 100).unwrap();
+//! assert_eq!(view.data.len(), 10);
+//! assert_eq!(store.device_stats().reads, 2);
 //! ```
 
 #![warn(missing_docs)]
@@ -40,4 +47,4 @@ pub use bytes::ByteView;
 pub use cache::{PageCache, PAGE_SIZE};
 pub use device::{DeviceStats, SharedDevice, SimDevice};
 pub use profile::DeviceProfile;
-pub use store::{ObjectStore, ReadResult};
+pub use store::{Clock, ObjectStore, ReadResult};

@@ -1,6 +1,13 @@
 //! An in-memory object store fronted by a simulated device: named blobs
 //! whose reads return both data and modeled completion times. This is what
 //! the data loader reads records from.
+//!
+//! There is exactly **one** read path, [`ObjectStore::read`], parameterized
+//! by a [`Clock`]: virtual-time loaders pass [`Clock::Virtual`] and get
+//! queueing against the simulated device; wall-clock workers pass
+//! [`Clock::Wall`] and get the same page cache, readahead, and device/cache
+//! statistics, with the modeled service time returned (not queued) so they
+//! can realize it as real latency if they choose.
 
 use crate::bytes::ByteView;
 use crate::cache::PageCache;
@@ -8,7 +15,28 @@ use crate::device::{DeviceStats, SharedDevice};
 use crate::profile::DeviceProfile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Which timeline a read is issued on.
+///
+/// Every read — from the virtual-time `PcrLoader` or from a wall-clock
+/// worker thread — flows through [`ObjectStore::read`] with one of these,
+/// so the block cache, readahead, and statistics see *all* traffic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Clock {
+    /// A read issued at the given virtual timestamp. The simulated device
+    /// queues it (FIFO behind any outstanding virtual requests) and the
+    /// returned [`ReadResult::start`]/[`ReadResult::finish`] are virtual
+    /// times on that shared timeline.
+    Virtual(f64),
+    /// A read issued by a real worker thread. The device records the
+    /// traffic and models the service time, but does not queue it against
+    /// the virtual timeline (real threads already contend in real time).
+    /// `start` is 0 and `finish` is the modeled service *duration* in
+    /// seconds — sleep it to emulate the device, or ignore it.
+    Wall,
+}
 
 /// A read result: the data plus virtual timing.
 #[derive(Debug, Clone)]
@@ -33,6 +61,9 @@ pub struct ObjectStore {
     objects: Mutex<HashMap<String, StoredObject>>,
     cache: Mutex<PageCache>,
     next_id: Mutex<u64>,
+    /// Readahead granularity in bytes (0 = off): device reads are extended
+    /// to the next multiple, so adjacent scan-group prefix reads coalesce.
+    readahead: AtomicU64,
 }
 
 impl ObjectStore {
@@ -53,7 +84,24 @@ impl ObjectStore {
                 PageCache::new(cache_bytes)
             }),
             next_id: Mutex::new(0),
+            readahead: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the readahead granularity in bytes (0 disables readahead).
+    ///
+    /// When set, every device read is extended to the next `bytes`
+    /// boundary (clamped to the object size) before consulting the cache,
+    /// so a later read of an *adjacent* range — the next scan-group prefix
+    /// of the same record — is served from cache instead of the device.
+    /// Delivered data is never extended; only the cached/charged range is.
+    pub fn set_readahead(&self, bytes: u64) {
+        self.readahead.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Current readahead granularity in bytes (0 = off).
+    pub fn readahead(&self) -> u64 {
+        self.readahead.load(Ordering::Relaxed)
     }
 
     /// Stores a blob under `name` (instant; ingestion is not simulated).
@@ -74,25 +122,50 @@ impl ObjectStore {
         self.objects.lock().keys().cloned().collect()
     }
 
-    /// Reads `[offset, offset+len)` of `name` as a request issued at virtual
-    /// time `now`. Out-of-range reads are clamped to the object size.
-    pub fn read_at(&self, now: f64, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
+    /// Reads `[offset, offset+len)` of `name` on the given [`Clock`].
+    /// Out-of-range reads are clamped to the object size.
+    ///
+    /// This is the single data-plane read path: both timelines consult the
+    /// page cache, extend the device range by the configured readahead, and
+    /// record device/cache statistics. They differ only in how modeled
+    /// service time is realized — queued on the virtual timeline
+    /// ([`Clock::Virtual`]) or returned as a duration for the caller to
+    /// spend ([`Clock::Wall`]).
+    pub fn read(&self, clock: Clock, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
         let (oid, data) = {
             let g = self.objects.lock();
             let (oid, data) = g.get(name)?;
             (*oid, Arc::clone(data))
         };
-        let end = (offset + len).min(data.len() as u64);
-        let offset = offset.min(data.len() as u64);
+        let size = data.len() as u64;
+        let offset = offset.min(size);
+        let end = offset.saturating_add(len).min(size);
         let len = end - offset;
-        let missed = self.cache.lock().access(oid, offset, len);
-        let cached = len.saturating_sub(missed);
-        let (start, finish) = if missed == 0 {
-            // Fully cached: only request overhead.
-            let t = self.device.profile().request_overhead_us * 1e-6;
-            (now, now + t)
-        } else {
-            self.device.read_at(now, oid, offset, missed)
+        // Readahead: extend the cached/charged range (never the delivered
+        // data) to the next boundary so adjacent prefix reads coalesce.
+        let ra = self.readahead.load(Ordering::Relaxed);
+        let span_end = if ra > 0 { end.div_ceil(ra).saturating_mul(ra).min(size) } else { end };
+        let span = span_end - offset;
+        let missed = self.cache.lock().access(oid, offset, span);
+        let cached = len.min(span.saturating_sub(missed));
+        let overhead = self.device.profile().request_overhead_us * 1e-6;
+        let (start, finish) = match clock {
+            Clock::Virtual(now) => {
+                if missed == 0 {
+                    // Fully cached: only request overhead.
+                    (now, now + overhead)
+                } else {
+                    self.device.read_at(now, oid, offset, missed)
+                }
+            }
+            Clock::Wall => {
+                let service = if missed == 0 {
+                    overhead
+                } else {
+                    self.device.service_wall(oid, offset, missed)
+                };
+                (0.0, service)
+            }
         };
         Some(ReadResult {
             data: ByteView::from_shared(data, offset as usize, end as usize),
@@ -102,16 +175,22 @@ impl ObjectStore {
         })
     }
 
-    /// Zero-copy, timing-free read of `[offset, offset+len)` of `name`
-    /// (clamped to the object size). Used by wall-clock loaders that model
-    /// device time separately; does not touch the simulated device clock,
-    /// the page cache, or the statistics.
+    /// Reads `[offset, offset+len)` of `name` as a request issued at virtual
+    /// time `now`. Convenience for [`ObjectStore::read`] with
+    /// [`Clock::Virtual`].
+    pub fn read_at(&self, now: f64, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
+        self.read(Clock::Virtual(now), name, offset, len)
+    }
+
+    /// Zero-copy read of `[offset, offset+len)` of `name` (clamped to the
+    /// object size), discarding the timing.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use ObjectStore::read with Clock::Wall — wall-clock reads now share \
+                the cache, readahead, and statistics of the clocked path"
+    )]
     pub fn read_bytes(&self, name: &str, offset: u64, len: u64) -> Option<ByteView> {
-        let g = self.objects.lock();
-        let (_, data) = g.get(name)?;
-        let end = (offset + len).min(data.len() as u64);
-        let offset = offset.min(end);
-        Some(ByteView::from_shared(Arc::clone(data), offset as usize, end as usize))
+        self.read(Clock::Wall, name, offset, len).map(|r| r.data)
     }
 
     /// Convenience: reads a whole object at time `now`.
@@ -186,6 +265,70 @@ mod tests {
         let warm = store.read_all_at(cold.finish, "a").unwrap();
         assert_eq!(warm.cached_bytes, 8 << 20);
         assert!((warm.finish - warm.start) < (cold.finish - cold.start) / 100.0);
+    }
+
+    #[test]
+    fn wall_reads_share_cache_and_statistics() {
+        let store = ObjectStore::with_cache(DeviceProfile::hdd_7200rpm(), 64 << 20);
+        store.put("a", vec![0; 4 << 20]);
+        let cold = store.read(Clock::Wall, "a", 0, 4 << 20).unwrap();
+        assert_eq!(cold.cached_bytes, 0);
+        assert!(cold.finish > 0.0, "modeled service time returned");
+        let s = store.device_stats();
+        assert_eq!(s.reads, 1);
+        assert!(s.bytes >= 4 << 20);
+        // Warm read: fully cached, only request overhead, no device read.
+        let warm = store.read(Clock::Wall, "a", 0, 4 << 20).unwrap();
+        assert_eq!(warm.cached_bytes, 4 << 20);
+        assert!(warm.finish < cold.finish / 100.0);
+        assert_eq!(store.device_stats().reads, 1);
+        assert!(store.cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn wall_reads_do_not_queue_on_the_virtual_timeline() {
+        let store = ObjectStore::new(DeviceProfile::hdd_7200rpm());
+        store.put("a", vec![0; 8 << 20]);
+        let wall = store.read(Clock::Wall, "a", 0, 8 << 20).unwrap();
+        assert_eq!(wall.start, 0.0);
+        // The wall read's `finish` is exactly the modeled service time of
+        // its (uncached) range — no queueing delay mixed in.
+        let expected = DeviceProfile::hdd_7200rpm().read_time(8 << 20, false);
+        assert!(
+            (wall.finish - expected).abs() < expected * 1e-9,
+            "wall service {} vs modeled {expected}",
+            wall.finish
+        );
+        // A virtual read issued at t=0 afterwards starts at t=0: the wall
+        // read recorded stats but left `busy_until` alone.
+        let virt = store.read(Clock::Virtual(0.0), "a", 0, 1024).unwrap();
+        assert_eq!(virt.start, 0.0);
+        assert_eq!(store.device_stats().reads, 2);
+    }
+
+    #[test]
+    fn readahead_coalesces_adjacent_prefix_reads() {
+        let store = ObjectStore::with_cache(DeviceProfile::hdd_7200rpm(), 64 << 20);
+        store.set_readahead(1 << 20);
+        store.put("rec", vec![0; 1 << 20]);
+        // A small prefix read is extended to the 1 MiB boundary...
+        let r = store.read(Clock::Wall, "rec", 0, 100_000).unwrap();
+        assert_eq!(r.data.len(), 100_000, "delivered data is never extended");
+        assert!(store.device_stats().bytes >= 1 << 20);
+        // ...so the *next* scan group's prefix is already resident.
+        let next = store.read(Clock::Wall, "rec", 0, 400_000).unwrap();
+        assert_eq!(next.cached_bytes, 400_000);
+        assert_eq!(store.device_stats().reads, 1, "no second device read");
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn read_bytes_shim_routes_through_clocked_path() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("x", (0u8..100).collect());
+        let view = store.read_bytes("x", 90, 100).unwrap();
+        assert_eq!(view.len(), 10);
+        assert_eq!(store.device_stats().reads, 1, "shim traffic is counted");
     }
 
     #[test]

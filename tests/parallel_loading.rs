@@ -1,16 +1,21 @@
 //! Integration coverage for the wall-clock parallel read path: worker-count
 //! invariance of the delivered data, agreement with the virtual-time
-//! loader's byte accounting, and a property test that prefix truncation at
-//! every scan-group boundary still decodes through the scratch-reuse path.
+//! loader's byte accounting, visibility of wall-clock traffic in the
+//! store's cache/device statistics (the clocked unified read path), epoch
+//! invariance under fidelity-controller decisions, and a property test
+//! that prefix truncation at every scan-group boundary still decodes
+//! through the scratch-reuse path.
 
 use pcr::core::{MetaDb, PcrRecord, PcrRecordBuilder, RecordScratch, SampleMeta};
 use pcr::jpeg::ImageBuf;
 use pcr::loader::{
     populate_store, DecodeMode, IoModel, LoaderConfig, ParallelConfig, ParallelLoader, PcrLoader,
+    ReadPlanner,
 };
 use pcr::storage::{DeviceProfile, ObjectStore};
 use proptest::prelude::*;
 use std::sync::Arc;
+use std::sync::OnceLock;
 
 fn pattern_image(seed: u32, w: u32, h: u32) -> ImageBuf {
     let mut data = Vec::with_capacity((w * h * 3) as usize);
@@ -106,6 +111,108 @@ fn emulated_latency_delivers_same_data() {
     let emulated = run(IoModel::EmulatedLatency);
     assert_eq!(instant.images, emulated.images);
     assert_eq!(instant.bytes, emulated.bytes);
+}
+
+/// Regression (ISSUE 3): wall-clock reads used to bypass the store's page
+/// cache and device statistics entirely (`read_bytes`). Through the unified
+/// clocked read path, parallel-loader traffic must show up in both
+/// `cache_hit_rate()` and `device_stats()`.
+#[test]
+fn parallel_loader_traffic_is_visible_to_cache_and_device_stats() {
+    let ds = pcr::datasets::SyntheticDataset::generate(
+        &pcr::datasets::DatasetSpec::ham10000_like(pcr::datasets::Scale::Tiny),
+    );
+    let (pcr_ds, _) = pcr::datasets::to_pcr_dataset(&ds, 4);
+    let store = Arc::new(ObjectStore::with_cache(DeviceProfile::ram(), 512 << 20));
+    populate_store(&store, &pcr_ds);
+    let db = Arc::new(pcr_ds.db.clone());
+
+    let cfg = ParallelConfig {
+        loader: LoaderConfig { threads: 3, decode: DecodeMode::Skip, ..LoaderConfig::at_group(4) },
+        ..ParallelConfig::default()
+    };
+    let loader = ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg);
+
+    // Cold epoch: every record's prefix must be read from the device.
+    let cold = loader.run_epoch(0);
+    let after_cold = store.device_stats();
+    assert!(after_cold.reads >= db.records.len() as u64, "every record hit the device");
+    assert!(after_cold.bytes > 0, "device saw the wall-clock traffic");
+    // Cache misses are page-granular, so the device transfers the
+    // delivered bytes rounded up by at most one page per read.
+    assert!(after_cold.bytes >= cold.bytes, "device transferred at least the delivered bytes");
+    let page = pcr::storage::PAGE_SIZE;
+    assert!(
+        after_cold.bytes <= cold.bytes + after_cold.reads * page,
+        "device bytes {} vs delivered {} + page slack",
+        after_cold.bytes,
+        cold.bytes
+    );
+
+    // Warm epoch: the same prefixes are resident, so the cache absorbs
+    // them — the hit rate moves and the device transfers nothing new.
+    let warm = loader.run_epoch(1);
+    assert_eq!(warm.bytes, cold.bytes, "delivered bytes are unchanged");
+    let after_warm = store.device_stats();
+    assert_eq!(after_warm.bytes, after_cold.bytes, "warm epoch fully served from cache");
+    assert!(
+        store.cache_hit_rate() > 0.4,
+        "cache hit rate {} must reflect wall-clock reads",
+        store.cache_hit_rate()
+    );
+}
+
+fn proptest_fixture() -> &'static (Arc<ObjectStore>, Arc<MetaDb>, Vec<u32>) {
+    static FIXTURE: OnceLock<(Arc<ObjectStore>, Arc<MetaDb>, Vec<u32>)> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let (store, db) = dermatology_fixture();
+        let mut expected: Vec<u32> = db.records.iter().flat_map(|r| r.labels.clone()).collect();
+        expected.sort_unstable();
+        (store, db, expected)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For a fixed seed, the epoch record order and the delivered label
+    /// multiset are invariant across worker counts *and* across
+    /// fidelity-controller decisions: a controller that changes the scan
+    /// group between (or during a sequence of) epochs changes how many
+    /// bytes are read, never which records are visited, in what order,
+    /// or what labels come out.
+    #[test]
+    fn epoch_order_and_multiset_invariant_across_workers_and_fidelity(
+        workers in 1usize..5,
+        seed in 0u64..1_000,
+        groups in prop::collection::vec(1usize..=10, 1..4),
+    ) {
+        let (store, db, expected) = proptest_fixture();
+        let n = db.records.len();
+        let base = LoaderConfig {
+            threads: workers,
+            seed,
+            decode: DecodeMode::Skip,
+            ..LoaderConfig::at_group(10)
+        };
+        let reference_order = ReadPlanner::from_config(&base).epoch_order(n, 0);
+        for (epoch, &g) in groups.iter().enumerate() {
+            // The schedule is a function of (seed, epoch) only — the
+            // fidelity decision `g` and the worker count never touch it.
+            let planner = ReadPlanner::from_config(&base).at_group(g);
+            let order = planner.epoch_order(n, 0);
+            prop_assert_eq!(&order, &reference_order);
+
+            // And the delivered label multiset matches the dataset.
+            let cfg = ParallelConfig { loader: base.clone(), batch_size: 5, ..ParallelConfig::default() };
+            let loader = ParallelLoader::new(Arc::clone(store), Arc::clone(db), cfg);
+            let stream = loader.spawn_epoch_at(epoch as u64, g);
+            let mut labels: Vec<u32> = stream.batches.iter().flat_map(|b| b.labels).collect();
+            stream.join();
+            labels.sort_unstable();
+            prop_assert_eq!(&labels, expected);
+        }
+    }
 }
 
 proptest! {
