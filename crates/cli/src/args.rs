@@ -1,0 +1,141 @@
+//! A tiny dependency-free command-line parser: each subcommand declares
+//! which `--flags` take a value and which are booleans; everything else
+//! is positional. `--flag=value` and `--flag value` are both accepted.
+
+use std::collections::{HashMap, HashSet};
+
+/// What a subcommand accepts.
+pub struct ArgSpec {
+    /// Flags that consume a value (`--out DIR`).
+    pub value_flags: &'static [&'static str],
+    /// Flags that are plain switches (`--verify`).
+    pub bool_flags: &'static [&'static str],
+}
+
+/// Parsed arguments of one subcommand.
+pub struct Parsed {
+    /// Positional arguments in order.
+    pub positional: Vec<String>,
+    values: HashMap<String, String>,
+    bools: HashSet<String>,
+}
+
+impl Parsed {
+    /// The value of `--name`, if given.
+    pub fn value(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    /// The value of `--name`, or `default`.
+    pub fn value_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.value(name).unwrap_or(default)
+    }
+
+    /// Whether the switch `--name` was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.bools.contains(name)
+    }
+
+    /// Parses `--name` as a number, with a default when absent.
+    pub fn number<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(s) => {
+                s.parse().map_err(|_| format!("--{name}: expected a number, got {s:?}"))
+            }
+        }
+    }
+
+    /// Parses `--name` as a comma-separated list of `usize`, with a
+    /// default when absent.
+    pub fn usize_list(&self, name: &str, default: &[usize]) -> Result<Vec<usize>, String> {
+        match self.value(name) {
+            None => Ok(default.to_vec()),
+            Some(s) => s
+                .split(',')
+                .map(|part| {
+                    part.trim()
+                        .parse()
+                        .map_err(|_| format!("--{name}: expected comma-separated numbers, got {s:?}"))
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Parses `args` against `spec`. Unknown `--flags` are errors so typos
+/// fail loudly instead of silently running with defaults.
+pub fn parse(args: &[String], spec: &ArgSpec) -> Result<Parsed, String> {
+    let mut parsed =
+        Parsed { positional: Vec::new(), values: HashMap::new(), bools: HashSet::new() };
+    let mut i = 0;
+    while i < args.len() {
+        let arg = &args[i];
+        if let Some(body) = arg.strip_prefix("--") {
+            let (name, inline) = match body.split_once('=') {
+                Some((n, v)) => (n, Some(v.to_string())),
+                None => (body, None),
+            };
+            if spec.bool_flags.contains(&name) {
+                if inline.is_some() {
+                    return Err(format!("--{name} does not take a value"));
+                }
+                parsed.bools.insert(name.to_string());
+            } else if spec.value_flags.contains(&name) {
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        i += 1;
+                        args.get(i).cloned().ok_or(format!("--{name} needs a value"))?
+                    }
+                };
+                parsed.values.insert(name.to_string(), value);
+            } else {
+                return Err(format!("unknown flag --{name}"));
+            }
+        } else {
+            parsed.positional.push(arg.clone());
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ArgSpec {
+        ArgSpec { value_flags: &["out", "workers"], bool_flags: &["verify"] }
+    }
+
+    fn strings(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn mixes_positionals_flags_and_switches() {
+        let p = parse(&strings(&["dir", "--out", "x", "--verify", "tail"]), &spec()).unwrap();
+        assert_eq!(p.positional, vec!["dir", "tail"]);
+        assert_eq!(p.value("out"), Some("x"));
+        assert!(p.flag("verify"));
+        assert!(!p.flag("missing"));
+    }
+
+    #[test]
+    fn equals_form_and_lists() {
+        let p = parse(&strings(&["--workers=1,2,8"]), &spec()).unwrap();
+        assert_eq!(p.usize_list("workers", &[4]).unwrap(), vec![1, 2, 8]);
+        let d = parse(&[], &spec()).unwrap();
+        assert_eq!(d.usize_list("workers", &[4]).unwrap(), vec![4]);
+    }
+
+    #[test]
+    fn unknown_and_malformed_flags_error() {
+        assert!(parse(&strings(&["--nope"]), &spec()).is_err());
+        assert!(parse(&strings(&["--out"]), &spec()).is_err());
+        assert!(parse(&strings(&["--verify=yes"]), &spec()).is_err());
+        let p = parse(&strings(&["--workers", "abc"]), &spec()).unwrap();
+        assert!(p.usize_list("workers", &[1]).is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! `pcr inspect`: manifest, shard, and record views of a container,
+//! including the per-scan-group fidelity byte breakdown.
+
+use crate::args::{parse, ArgSpec};
+use crate::human_bytes;
+use pcr_core::container::PcrContainer;
+use pcr_metrics::JsonValue;
+use std::path::Path;
+
+pub const HELP: &str = "pcr inspect — look inside a sharded PCR container
+
+USAGE:
+    pcr inspect <dir> [options]
+
+OPTIONS:
+    --shard <i>     Show shard i's record table instead of the manifest view
+    --record <j>    Show global record j's per-scan-group byte layout
+    --verify        Re-read every shard and verify all record checksums
+    --json          Emit the selected view as JSON on stdout
+
+The default (manifest) view ends with the fidelity byte breakdown: for
+every scan group, the bytes one epoch reads and the fraction of the
+full-quality traffic they represent.";
+
+const SPEC: ArgSpec =
+    ArgSpec { value_flags: &["shard", "record"], bool_flags: &["verify", "json"] };
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv, &SPEC)?;
+    let dir = args.positional.first().ok_or("usage: pcr inspect <dir> [options]")?;
+    let container = PcrContainer::open(Path::new(dir)).map_err(|e| e.to_string())?;
+
+    if args.flag("verify") {
+        container.verify().map_err(|e| e.to_string())?;
+        if !args.flag("json") {
+            println!(
+                "integrity OK: {} shard(s), {} record(s) verified",
+                container.shards.len(),
+                container.num_records()
+            );
+        }
+    }
+
+    let doc = if let Some(shard) = args.value("shard") {
+        let i: usize = shard.parse().map_err(|_| format!("--shard: not an index: {shard}"))?;
+        shard_view(&container, i, args.flag("json"))?
+    } else if let Some(record) = args.value("record") {
+        let j: usize =
+            record.parse().map_err(|_| format!("--record: not an index: {record}"))?;
+        record_view(&container, j, args.flag("json"))?
+    } else {
+        manifest_view(&container, args.flag("json"))
+    };
+    if let Some(json) = doc {
+        println!("{}", json.render());
+    }
+    Ok(())
+}
+
+/// Per-scan-group `(bytes, fraction of full)` rows.
+fn fidelity_rows(container: &PcrContainer) -> Vec<(usize, u64, f64)> {
+    let full = container.total_data_bytes().max(1);
+    (0..=container.num_groups())
+        .map(|g| {
+            let bytes = container.bytes_at_group(g);
+            (g, bytes, bytes as f64 / full as f64)
+        })
+        .collect()
+}
+
+fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
+    let m = &container.manifest;
+    if json {
+        let shards = m
+            .shards
+            .iter()
+            .map(|s| {
+                JsonValue::object([
+                    ("file", JsonValue::str(&*s.file_name)),
+                    ("file_bytes", JsonValue::U64(s.file_len)),
+                    ("records", JsonValue::U64(u64::from(s.records))),
+                    ("images", JsonValue::U64(u64::from(s.images))),
+                    ("footer_crc32", JsonValue::str(format!("{:#010x}", s.footer_crc))),
+                ])
+            })
+            .collect();
+        let fidelity = fidelity_rows(container)
+            .into_iter()
+            .map(|(g, bytes, frac)| {
+                JsonValue::object([
+                    ("scan_group", JsonValue::U64(g as u64)),
+                    ("epoch_bytes", JsonValue::U64(bytes)),
+                    ("fraction_of_full", JsonValue::F64(frac)),
+                ])
+            })
+            .collect();
+        return Some(JsonValue::object([
+            ("dir", JsonValue::str(container.dir.display().to_string())),
+            ("version", JsonValue::U64(u64::from(m.version))),
+            ("num_groups", JsonValue::U64(u64::from(m.num_groups))),
+            ("records", JsonValue::U64(container.num_records() as u64)),
+            ("images", JsonValue::U64(container.num_images() as u64)),
+            ("data_bytes", JsonValue::U64(container.total_data_bytes())),
+            ("file_bytes", JsonValue::U64(m.total_file_bytes())),
+            ("shards", JsonValue::Array(shards)),
+            ("fidelity", JsonValue::Array(fidelity)),
+        ]));
+    }
+    println!("container {}", container.dir.display());
+    println!(
+        "  format v{}, {} scan groups | {} shard(s), {} record(s), {} image(s)",
+        m.version,
+        m.num_groups,
+        m.shards.len(),
+        container.num_records(),
+        container.num_images()
+    );
+    println!(
+        "  {} record data in {} of shard files",
+        human_bytes(container.total_data_bytes()),
+        human_bytes(m.total_file_bytes())
+    );
+    println!("\n  {:<24} {:>12} {:>8} {:>8}", "shard", "bytes", "records", "images");
+    for s in &m.shards {
+        println!(
+            "  {:<24} {:>12} {:>8} {:>8}",
+            s.file_name, s.file_len, s.records, s.images
+        );
+    }
+    println!("\n  fidelity byte breakdown (one epoch of reads per scan group):");
+    println!("  {:>5} {:>14} {:>10} {:>9}", "group", "bytes", "", "of full");
+    for (g, bytes, frac) in fidelity_rows(container) {
+        println!(
+            "  {:>5} {:>14} {:>10} {:>8.1}%",
+            g,
+            bytes,
+            human_bytes(bytes),
+            frac * 100.0
+        );
+    }
+    None
+}
+
+fn shard_view(
+    container: &PcrContainer,
+    i: usize,
+    json: bool,
+) -> Result<Option<JsonValue>, String> {
+    let shard = container.shards.get(i).ok_or(format!(
+        "shard {i} out of range (container has {})",
+        container.shards.len()
+    ))?;
+    if json {
+        let records = shard
+            .records
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("name", JsonValue::str(&*r.name)),
+                    ("offset", JsonValue::U64(r.offset)),
+                    ("bytes", JsonValue::U64(r.len())),
+                    ("images", JsonValue::U64(u64::from(r.num_images))),
+                    (
+                        "labels",
+                        JsonValue::Array(
+                            r.labels.iter().map(|&l| JsonValue::U64(u64::from(l))).collect(),
+                        ),
+                    ),
+                    ("crc32", JsonValue::str(format!("{:#010x}", r.crc32))),
+                ])
+            })
+            .collect();
+        return Ok(Some(JsonValue::object([
+            ("file", JsonValue::str(&*shard.file_name)),
+            ("file_bytes", JsonValue::U64(shard.file_len)),
+            ("records", JsonValue::Array(records)),
+        ])));
+    }
+    println!("shard {} ({}, {})", i, shard.file_name, human_bytes(shard.file_len));
+    println!(
+        "  {:<20} {:>10} {:>10} {:>7} {:>11}  labels",
+        "record", "offset", "bytes", "images", "crc32"
+    );
+    for r in &shard.records {
+        println!(
+            "  {:<20} {:>10} {:>10} {:>7} {:>#11x}  {:?}",
+            r.name,
+            r.offset,
+            r.len(),
+            r.num_images,
+            r.crc32,
+            r.labels
+        );
+    }
+    Ok(None)
+}
+
+fn record_view(
+    container: &PcrContainer,
+    j: usize,
+    json: bool,
+) -> Result<Option<JsonValue>, String> {
+    let (shard_idx, rec) = container
+        .record(j)
+        .ok_or(format!("record {j} out of range (container has {})", container.num_records()))?;
+    let shard_file = &container.manifest.shards[shard_idx].file_name;
+    let groups: Vec<(usize, u64, u64)> = (0..rec.group_offsets.len())
+        .map(|g| {
+            let cumulative = rec.group_offsets[g];
+            let delta = if g == 0 { cumulative } else { cumulative - rec.group_offsets[g - 1] };
+            (g, cumulative, delta)
+        })
+        .collect();
+    if json {
+        let group_rows = groups
+            .iter()
+            .map(|&(g, cumulative, delta)| {
+                JsonValue::object([
+                    ("scan_group", JsonValue::U64(g as u64)),
+                    ("prefix_bytes", JsonValue::U64(cumulative)),
+                    ("group_bytes", JsonValue::U64(delta)),
+                ])
+            })
+            .collect();
+        return Ok(Some(JsonValue::object([
+            ("name", JsonValue::str(&*rec.name)),
+            ("shard", JsonValue::str(&**shard_file)),
+            ("offset", JsonValue::U64(rec.offset)),
+            ("bytes", JsonValue::U64(rec.len())),
+            ("images", JsonValue::U64(u64::from(rec.num_images))),
+            (
+                "labels",
+                JsonValue::Array(
+                    rec.labels.iter().map(|&l| JsonValue::U64(u64::from(l))).collect(),
+                ),
+            ),
+            ("crc32", JsonValue::str(format!("{:#010x}", rec.crc32))),
+            ("groups", JsonValue::Array(group_rows)),
+        ])));
+    }
+    println!("record {} ({})", j, rec.name);
+    println!(
+        "  in {} at offset {} | {} | {} image(s), labels {:?}, crc32 {:#010x}",
+        shard_file,
+        rec.offset,
+        human_bytes(rec.len()),
+        rec.num_images,
+        rec.labels,
+        rec.crc32
+    );
+    println!("  {:>5} {:>14} {:>14}", "group", "prefix bytes", "group bytes");
+    for (g, cumulative, delta) in groups {
+        println!("  {g:>5} {cumulative:>14} {delta:>14}");
+    }
+    Ok(None)
+}

@@ -1,0 +1,99 @@
+//! `pcr` — the Progressive Compressed Records container tool.
+//!
+//! The user-facing data plane over the workspace's library crates: pack
+//! datasets into the sharded on-disk container (`docs/FORMAT.md`),
+//! inspect what a container holds and what each fidelity level costs,
+//! benchmark streaming it with real worker threads, and run wall-clock
+//! training epochs under online fidelity control. `docs/GUIDE.md` walks
+//! all four commands end to end.
+
+mod args;
+mod bench;
+mod inspect;
+mod pack;
+mod train;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "pcr — Progressive Compressed Records container tool
+
+USAGE:
+    pcr <command> [options]
+
+COMMANDS:
+    pack      Pack a synthetic dataset or a directory of JPEGs into a
+              sharded PCR container
+    inspect   Show a container's manifest, shards, records, and the
+              per-scan-group fidelity byte breakdown
+    bench     Stream a container with the wall-clock parallel loader,
+              sweeping workers x scan groups
+    train     Run wall-clock training epochs from a container, optionally
+              under online (dynamic) fidelity control
+
+Run `pcr <command> --help` for per-command options.";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let rest = &argv[1..];
+    let wants_help = rest.iter().any(|a| a == "--help" || a == "-h");
+    let result = match command.as_str() {
+        "pack" if wants_help => {
+            println!("{}", pack::HELP);
+            Ok(())
+        }
+        "inspect" if wants_help => {
+            println!("{}", inspect::HELP);
+            Ok(())
+        }
+        "bench" if wants_help => {
+            println!("{}", bench::HELP);
+            Ok(())
+        }
+        "train" if wants_help => {
+            println!("{}", train::HELP);
+            Ok(())
+        }
+        "pack" => pack::run(rest),
+        "inspect" => inspect::run(rest),
+        "bench" => bench::run(rest),
+        "train" => train::run(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("pcr {command}: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// True when `PCR_BENCH_SMOKE=1`: commands clamp their work so the docs
+/// guide and CI can exercise every code path in seconds.
+pub(crate) fn smoke() -> bool {
+    std::env::var_os("PCR_BENCH_SMOKE").is_some()
+}
+
+/// Formats a byte count with a binary-unit suffix.
+pub(crate) fn human_bytes(bytes: u64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}

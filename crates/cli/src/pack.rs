@@ -1,0 +1,211 @@
+//! `pcr pack`: encode images into a sharded PCR container on disk.
+
+use crate::args::{parse, ArgSpec};
+use crate::human_bytes;
+use pcr_core::container::{write_container, ContainerManifest};
+use pcr_core::{PcrDatasetBuilder, SampleMeta, DEFAULT_NUM_GROUPS};
+use pcr_datasets::{
+    pack_to_container, DatasetSpec, Scale, SyntheticDataset, IMAGES_PER_RECORD, RECORDS_PER_SHARD,
+};
+use std::path::Path;
+
+pub const HELP: &str = "pcr pack — pack a dataset into a sharded PCR container
+
+USAGE:
+    pcr pack --dataset <name> --out <dir> [options]
+    pcr pack --images <srcdir> --out <dir> [options]
+
+SOURCES (exactly one):
+    --dataset <name>        Generate a synthetic dataset and pack it.
+                            Names: dermatology (HAM10000-like), imagenet,
+                            cars, celeba
+    --images <srcdir>       Pack existing JPEG files. Either a flat
+                            directory (every file gets label 0) or one
+                            level of class subdirectories (each class
+                            gets its sorted index as the label, the
+                            ImageFolder convention); mixing both layouts
+                            is an error. Subdirectories without JPEGs
+                            are ignored.
+
+OPTIONS:
+    --out <dir>             Output container directory (required)
+    --scale <s>             Synthetic dataset scale: tiny | small | full
+                            (default tiny)
+    --images-per-record <n> Images packed per .pcr record (default 16)
+    --records-per-shard <n> Records packed per shard file (default 8)
+    --quality <q>           JPEG quality for --images transcoding that
+                            needs re-encoding (default 85)";
+
+const SPEC: ArgSpec = ArgSpec {
+    value_flags: &[
+        "dataset",
+        "images",
+        "out",
+        "scale",
+        "images-per-record",
+        "records-per-shard",
+        "quality",
+    ],
+    bool_flags: &[],
+};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv, &SPEC)?;
+    let out = args.value("out").ok_or("--out <dir> is required")?;
+    let out = Path::new(out);
+    let images_per_record = args.number("images-per-record", IMAGES_PER_RECORD)?.max(1);
+    let records_per_shard = args.number("records-per-shard", RECORDS_PER_SHARD)?.max(1);
+
+    let manifest = match (args.value("dataset"), args.value("images")) {
+        (Some(_), Some(_)) => return Err("--dataset and --images are mutually exclusive".into()),
+        (None, None) => return Err("one of --dataset or --images is required".into()),
+        (Some(name), None) => {
+            let scale = parse_scale(args.value_or("scale", "tiny"))?;
+            let spec = dataset_spec(name, scale)?;
+            println!(
+                "generating {} at {:?} scale ({} train images)...",
+                spec.name, scale, spec.train_images
+            );
+            let ds = SyntheticDataset::generate(&spec);
+            let (manifest, secs) =
+                pack_to_container(&ds, out, images_per_record, records_per_shard)
+                    .map_err(|e| e.to_string())?;
+            println!("packed in {secs:.1}s");
+            manifest
+        }
+        (None, Some(srcdir)) => {
+            let quality: u8 = args.number("quality", 85u8)?;
+            pack_image_dir(Path::new(srcdir), out, images_per_record, records_per_shard, quality)?
+        }
+    };
+
+    println!(
+        "wrote {} -> {} shard(s), {} record(s), {} image(s), {}",
+        out.display(),
+        manifest.shards.len(),
+        manifest.num_records(),
+        manifest.num_images(),
+        human_bytes(manifest.total_file_bytes()),
+    );
+    println!("next: pcr inspect {}", out.display());
+    Ok(())
+}
+
+fn parse_scale(s: &str) -> Result<Scale, String> {
+    match s {
+        "tiny" => Ok(Scale::Tiny),
+        "small" => Ok(Scale::Small),
+        "full" => Ok(Scale::Full),
+        other => Err(format!("unknown scale {other:?} (tiny | small | full)")),
+    }
+}
+
+fn dataset_spec(name: &str, scale: Scale) -> Result<DatasetSpec, String> {
+    match name {
+        "dermatology" | "ham10000" | "ham" => Ok(DatasetSpec::ham10000_like(scale)),
+        "imagenet" => Ok(DatasetSpec::imagenet_like(scale)),
+        "cars" => Ok(DatasetSpec::cars_like(scale)),
+        "celeba" | "celebahq" => Ok(DatasetSpec::celebahq_smile_like(scale)),
+        other => Err(format!(
+            "unknown dataset {other:?} (dermatology | imagenet | cars | celeba)"
+        )),
+    }
+}
+
+/// Packs a directory of JPEG files: `<srcdir>/*.jpg` at label 0 and
+/// `<srcdir>/<class>/*.jpg` labeled by sorted class-directory index.
+fn pack_image_dir(
+    srcdir: &Path,
+    out: &Path,
+    images_per_record: usize,
+    records_per_shard: usize,
+    quality: u8,
+) -> Result<ContainerManifest, String> {
+    let mut builder =
+        PcrDatasetBuilder::new(images_per_record, DEFAULT_NUM_GROUPS).with_name_prefix("pack");
+    let mut packed = 0usize;
+    let mut skipped = 0usize;
+
+    let mut classes: Vec<(std::path::PathBuf, Vec<std::path::PathBuf>)> = Vec::new();
+    let mut loose: Vec<std::path::PathBuf> = Vec::new();
+    for entry in std::fs::read_dir(srcdir).map_err(|e| format!("{}: {e}", srcdir.display()))? {
+        let path = entry.map_err(|e| e.to_string())?.path();
+        if path.is_dir() {
+            let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(&path)
+                .map_err(|e| format!("{}: {e}", path.display()))?
+                .filter_map(|e| e.ok().map(|e| e.path()))
+                .filter(|p| p.is_file() && is_jpeg_name(p))
+                .collect();
+            // A subdirectory with no JPEGs is not a class: it must not
+            // occupy a label index and shift every later class's label.
+            if !files.is_empty() {
+                files.sort();
+                classes.push((path, files));
+            }
+        } else if is_jpeg_name(&path) {
+            loose.push(path);
+        }
+    }
+    classes.sort();
+    loose.sort();
+    // Loose files get label 0, class directories get their sorted index —
+    // the two schemes collide, so a mixed layout is ambiguous: refuse it
+    // rather than silently merging unrelated images into one class.
+    if !loose.is_empty() && !classes.is_empty() {
+        return Err(format!(
+            "{}: mixed layout — found both loose JPEG files ({}) and class \
+             subdirectories ({}); move the loose files into a class directory",
+            srcdir.display(),
+            loose.len(),
+            classes.len()
+        ));
+    }
+
+    let mut add_file = |path: &Path, label: u32, builder: &mut PcrDatasetBuilder| {
+        let Ok(bytes) = std::fs::read(path) else {
+            skipped += 1;
+            return;
+        };
+        let id = path.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default();
+        let meta = SampleMeta { label, id };
+        // Baseline JPEGs are losslessly transcoded to progressive; already-
+        // progressive streams are regrouped as-is. Anything else (or an
+        // exotic coding mode the codec lacks) is re-encoded from pixels.
+        let added = builder
+            .add_baseline_jpeg(meta.clone(), &bytes)
+            .or_else(|_| builder.add_progressive_jpeg(meta.clone(), bytes.clone()))
+            .or_else(|_| match pcr_jpeg::decode(&bytes) {
+                Ok(img) => builder.add_image(meta, &img, quality),
+                Err(e) => Err(pcr_core::Error::Jpeg(e)),
+            });
+        match added {
+            Ok(()) => packed += 1,
+            Err(e) => {
+                eprintln!("skipping {}: {e}", path.display());
+                skipped += 1;
+            }
+        }
+    };
+
+    for path in &loose {
+        add_file(path, 0, &mut builder);
+    }
+    for (label, (_, files)) in classes.iter().enumerate() {
+        for path in files {
+            add_file(path, label as u32, &mut builder);
+        }
+    }
+    if packed == 0 {
+        return Err(format!("no packable JPEG files under {}", srcdir.display()));
+    }
+    println!("packed {packed} image(s), skipped {skipped}");
+    let dataset = builder.finish().map_err(|e| e.to_string())?;
+    write_container(&dataset, out, records_per_shard).map_err(|e| e.to_string())
+}
+
+fn is_jpeg_name(path: &Path) -> bool {
+    matches!(
+        path.extension().and_then(|e| e.to_str()).map(str::to_ascii_lowercase).as_deref(),
+        Some("jpg") | Some("jpeg")
+    )
+}

@@ -1,0 +1,203 @@
+//! `pcr train`: wall-clock training epochs streamed from a container,
+//! optionally under online (dynamic) fidelity control, exporting the
+//! per-epoch trajectory as a `FidelityTrace` JSON file.
+
+use crate::args::{parse, ArgSpec};
+use crate::{human_bytes, smoke};
+use pcr_loader::{
+    open_container_store, probe_source_scores, DecodeMode, FidelityConfig, FidelityController,
+    IoModel, LoaderConfig, ParallelConfig, ParallelLoader, RecordSource, ShardStoreConfig,
+};
+use pcr_metrics::{FidelityEpoch, FidelityTrace};
+use pcr_nn::{Matrix, Mlp, ModelSpec, SgdMomentum};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Instant;
+
+pub const HELP: &str = "pcr train — wall-clock training epochs from a container
+
+USAGE:
+    pcr train <dir> [options]
+
+OPTIONS:
+    --epochs <n>      Epochs to run (default 8)
+    --dynamic         Online fidelity control: start at full quality,
+                      probe per-group MSSIM, drop the scan-group prefix
+                      when the training loss plateaus
+    --group <g>       Fixed scan group when not --dynamic (default: full)
+    --model <name>    resnet | shufflenet (default resnet)
+    --threads <n>     Loader worker threads (default 4)
+    --batch <n>       Minibatch size (default 32)
+    --lr <x>          SGD learning rate (default 0.05)
+    --io <mode>       instant | emulated (default instant)
+    --seed <s>        Model init / shuffle seed (default 42)
+    --json <path>     Write the per-epoch FidelityTrace as JSON
+
+Each epoch streams decoded minibatches from the packed shards through
+the wall-clock parallel loader and trains a small MLP on them; the loss
+the fidelity controller observes is the real training loss of that
+epoch. With PCR_BENCH_SMOKE=1 the run is clamped to at most 4 epochs.";
+
+const SPEC: ArgSpec = ArgSpec {
+    value_flags: &["epochs", "group", "model", "threads", "batch", "lr", "io", "seed", "json"],
+    bool_flags: &["dynamic"],
+};
+
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let args = parse(argv, &SPEC)?;
+    let dir = args.positional.first().ok_or("usage: pcr train <dir> [options]")?;
+    let mut epochs: u64 = args.number("epochs", 8u64)?.max(1);
+    let dynamic = args.flag("dynamic");
+    let threads = args.number("threads", 4usize)?.max(1);
+    let batch = args.number("batch", 32usize)?.max(1);
+    let lr: f32 = args.number("lr", 0.05f32)?;
+    let seed: u64 = args.number("seed", 42u64)?;
+    let io = match args.value_or("io", "instant") {
+        "instant" => IoModel::Instant,
+        "emulated" => IoModel::EmulatedLatency,
+        other => return Err(format!("unknown --io {other:?} (instant | emulated)")),
+    };
+    let model_spec = match args.value_or("model", "resnet") {
+        "resnet" => ModelSpec::resnet_like(),
+        "shufflenet" => ModelSpec::shufflenet_like(),
+        other => return Err(format!("unknown --model {other:?} (resnet | shufflenet)")),
+    };
+    if smoke() && epochs > 4 {
+        epochs = 4;
+        println!("PCR_BENCH_SMOKE=1: clamping to {epochs} epochs");
+    }
+
+    let opened = open_container_store(Path::new(dir), &ShardStoreConfig::default())
+        .map_err(|e| e.to_string())?;
+    let source = Arc::clone(&opened.source);
+    let full_group = source.num_groups().max(1);
+    let fixed_group = args.number("group", full_group)?.clamp(1, full_group);
+
+    let num_classes = (0..source.num_records())
+        .flat_map(|i| source.labels(i).iter().copied())
+        .max()
+        .map_or(2, |m| m as usize + 1)
+        .max(2);
+    println!(
+        "container {}: {} image(s) over {} shard(s), {} classes | model {}",
+        dir,
+        source.num_images(),
+        opened.container.shards.len(),
+        num_classes,
+        model_spec.name
+    );
+
+    // Dynamic mode: probe per-group quality, then let the controller
+    // pick each epoch's scan group from the observed training loss.
+    let mut controller = if dynamic {
+        let probe_images = if smoke() { 8 } else { 32 };
+        let candidates: Vec<usize> =
+            [1, 2, 5, full_group].iter().copied().filter(|&g| g <= full_group).collect();
+        let scores = probe_source_scores(&opened.store, &*source, &candidates, probe_images);
+        println!("probed MSSIM per scan group:");
+        for &(g, s) in &scores {
+            println!("  group {g:>2}: {s:.4}");
+        }
+        Some(FidelityController::new(FidelityConfig::default(), scores))
+    } else {
+        None
+    };
+
+    let loader = ParallelLoader::new(
+        Arc::clone(&opened.store),
+        Arc::clone(&source),
+        ParallelConfig {
+            loader: LoaderConfig {
+                threads,
+                decode: DecodeMode::Real,
+                seed,
+                ..LoaderConfig::at_group(full_group)
+            },
+            batch_size: batch,
+            io,
+            ..ParallelConfig::default()
+        },
+    );
+
+    let mut model = Mlp::new(model_spec.clone(), num_classes, seed);
+    let mut opt = SgdMomentum::new(0.9);
+    let dim = model_spec.input_dim();
+    let mut trace = FidelityTrace::new();
+    println!(
+        "\n{:>6} {:>6} {:>12} {:>8} {:>9} {:>9} {:>8}",
+        "epoch", "group", "bytes", "img/s", "loss", "train acc", "hit rate"
+    );
+    for epoch in 0..epochs {
+        let group = controller.as_ref().map_or(fixed_group, FidelityController::group);
+        let t0 = Instant::now();
+        let stream = loader.spawn_epoch_at(epoch, group);
+        let mut loss_sum = 0.0f64;
+        let mut correct = 0usize;
+        let mut seen = 0usize;
+        for b in stream.batches.iter() {
+            if b.images.is_empty() {
+                continue;
+            }
+            let mut features = Vec::with_capacity(b.images.len() * dim);
+            for img in &b.images {
+                features.extend(model_spec.featurize(img));
+            }
+            let x = Matrix::from_vec(b.images.len(), dim, features);
+            let step = model.backward(&x, &b.labels);
+            opt.step(&mut model, &step.grads, lr);
+            loss_sum += step.loss * step.n as f64;
+            correct += step.correct;
+            seen += step.n;
+        }
+        let stats = Arc::clone(&stream.stats);
+        stream.join();
+        let wall = t0.elapsed().as_secs_f64();
+        let bytes = stats.bytes_read.load(Ordering::Relaxed);
+        let loss = if seen > 0 { loss_sum / seen as f64 } else { f64::NAN };
+        let acc = if seen > 0 { correct as f64 / seen as f64 } else { 0.0 };
+        let images_per_sec = if wall > 0.0 { seen as f64 / wall } else { 0.0 };
+        trace.push(FidelityEpoch {
+            epoch,
+            scan_group: group,
+            bytes_read: bytes,
+            images: seen as u64,
+            images_per_sec,
+            cache_hit_rate: opened.store.cache_hit_rate(),
+            loss,
+        });
+        println!(
+            "{:>6} {:>6} {:>12} {:>8.1} {:>9.4} {:>9.3} {:>8.2}",
+            epoch,
+            group,
+            bytes,
+            images_per_sec,
+            loss,
+            acc,
+            opened.store.cache_hit_rate()
+        );
+        if let Some(ctrl) = controller.as_mut() {
+            if let Some(next) = ctrl.observe_loss(loss) {
+                println!("  -> fidelity controller drops to scan group {next} for the next epoch");
+            }
+        }
+    }
+
+    let full_cost = epochs * source.bytes_at_group(full_group);
+    println!(
+        "\ntotal bytes read: {} ({}); full-quality epochs would read {} ({})",
+        trace.total_bytes(),
+        human_bytes(trace.total_bytes()),
+        full_cost,
+        human_bytes(full_cost)
+    );
+    if let Some(ctrl) = &controller {
+        println!("controller decisions: {:?}", ctrl.decisions());
+        println!("scan groups used: {:?}", trace.groups_used());
+    }
+    if let Some(path) = args.value("json") {
+        trace.write_json(path).map_err(|e| format!("{path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,839 @@
+//! The sharded on-disk PCR container — the canonical persistent layout.
+//!
+//! The paper's encoder "transforms a set of JPEG files into a directory";
+//! at production scale that directory must be a real container tools can
+//! pack, inspect, and stream, not one loose file per record. A container
+//! is a directory of *shards* plus a manifest:
+//!
+//! ```text
+//! <dir>/
+//!   manifest.pcrm          # shard list: file names, counts, footer CRCs
+//!   shard-00000.pcrshard   # concatenated .pcr records + footer index
+//!   shard-00001.pcrshard
+//!   ...
+//! ```
+//!
+//! Each shard is self-describing: a fixed header, the record bytes
+//! back-to-back, and a footer index (per-record byte offsets, scan-group
+//! offsets, labels, CRC-32 checksums) found through a fixed-size trailer
+//! at the end of the file — so a reader seeks to the tail, parses the
+//! index, and can then serve any `[record_offset, record_offset +
+//! prefix_len(g))` range with one ranged read. That range arithmetic is
+//! exactly what `pcr-loader`'s `ShardedSource` feeds the
+//! `ObjectStore`/`ByteView` read path.
+//!
+//! The normative byte-level specification (with a worked hexdump) lives
+//! in `docs/FORMAT.md`; this module is its implementation. The older
+//! one-file-per-record layout in [`crate::fsdir`] remains for small
+//! debugging datasets but is superseded by this container.
+//!
+//! ```
+//! use pcr_core::container::{write_container, PcrContainer};
+//! use pcr_core::{PcrDatasetBuilder, SampleMeta};
+//! use pcr_jpeg::ImageBuf;
+//!
+//! let mut b = PcrDatasetBuilder::new(2, 10);
+//! for i in 0..6u32 {
+//!     let img = ImageBuf::from_raw(16, 16, 3, vec![(i * 37) as u8; 16 * 16 * 3]).unwrap();
+//!     b.add_image(SampleMeta { label: i % 2, id: format!("i{i}") }, &img, 85).unwrap();
+//! }
+//! let ds = b.finish().unwrap();
+//!
+//! let dir = std::env::temp_dir().join(format!("pcr-doc-container-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let manifest = write_container(&ds, &dir, 2).unwrap();
+//! assert_eq!(manifest.shards.len(), 2, "3 records, 2 per shard");
+//!
+//! let container = PcrContainer::open(&dir).unwrap();
+//! assert_eq!(container.num_records(), 3);
+//! assert_eq!(container.num_images(), 6);
+//! container.verify().unwrap();
+//! std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+use crate::dataset::PcrDataset;
+use crate::error::{Error, Result};
+use crate::wire::{crc32, put_bytes, put_u16, put_u32, put_u64, Reader};
+use std::fs;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::{Path, PathBuf};
+
+/// Magic prefix of a shard file.
+pub const SHARD_MAGIC: &[u8; 4] = b"PCRS";
+/// Magic suffix (last four bytes) of a shard file's trailer.
+pub const FOOTER_MAGIC: &[u8; 4] = b"PCRF";
+/// Magic prefix of the container manifest.
+pub const MANIFEST_MAGIC: &[u8; 4] = b"PCRM";
+/// File name of the manifest inside a container directory.
+pub const MANIFEST_FILE: &str = "manifest.pcrm";
+/// Container format version written by this crate.
+pub const CONTAINER_VERSION: u16 = 1;
+/// Size in bytes of a shard file's fixed header.
+pub const SHARD_HEADER_LEN: u64 = 12;
+/// Size in bytes of a shard file's fixed trailer.
+pub const SHARD_TRAILER_LEN: u64 = 12;
+
+/// One record's entry in a shard footer: everything a loader needs to plan
+/// a ranged prefix read, plus an integrity checksum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardRecord {
+    /// Record name (carried over from the metadata DB, e.g.
+    /// `train-00017.pcr`).
+    pub name: String,
+    /// Absolute byte offset of the record's first byte in the shard file.
+    pub offset: u64,
+    /// Number of images in the record.
+    pub num_images: u32,
+    /// `group_offsets[g]` = bytes of this record needed to decode at scan
+    /// group `g`, *relative to `offset`* (length `num_groups + 1`; the
+    /// last entry is the full record length).
+    pub group_offsets: Vec<u64>,
+    /// Labels of the record's images, in order.
+    pub labels: Vec<u32>,
+    /// CRC-32 of the record's bytes.
+    pub crc32: u32,
+}
+
+impl ShardRecord {
+    /// Full record length in bytes.
+    pub fn len(&self) -> u64 {
+        *self.group_offsets.last().expect("offsets nonempty")
+    }
+
+    /// True when the record holds no bytes (never produced by the writer).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of this record needed to decode every image at scan group
+    /// `g`, clamped to the record's group count — the same prefix math as
+    /// [`crate::dataset::RecordMeta::prefix_len`].
+    pub fn prefix_len(&self, g: usize) -> u64 {
+        self.group_offsets[g.min(self.group_offsets.len() - 1)]
+    }
+}
+
+/// The parsed index of one shard: header fields plus the footer entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIndex {
+    /// Shard file name (relative to the container directory).
+    pub file_name: String,
+    /// Number of scan groups per record.
+    pub num_groups: u16,
+    /// Per-record entries in on-disk order.
+    pub records: Vec<ShardRecord>,
+    /// Total shard file length in bytes (header + records + footer +
+    /// trailer).
+    pub file_len: u64,
+    /// CRC-32 of the footer bytes, as stored in the trailer.
+    pub footer_crc: u32,
+}
+
+impl ShardIndex {
+    /// Parses a complete shard file (header, trailer, footer; record
+    /// bytes are *not* checksummed here — see
+    /// [`PcrContainer::verify`]).
+    pub fn parse(file_name: &str, bytes: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(bytes);
+        if r.bytes(4, "shard magic")? != SHARD_MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = r.u16("shard version")?;
+        if version != CONTAINER_VERSION {
+            return Err(Error::BadVersion(version));
+        }
+        let num_groups = r.u16("shard group count")?;
+        let record_count = r.u32("shard record count")? as usize;
+        let file_len = bytes.len() as u64;
+        if file_len < SHARD_HEADER_LEN + SHARD_TRAILER_LEN {
+            return Err(Error::Truncated { context: "shard trailer" });
+        }
+        // Trailer: footer_len (u32), footer_crc (u32), "PCRF".
+        let trailer = &bytes[bytes.len() - SHARD_TRAILER_LEN as usize..];
+        let mut t = Reader::new(trailer);
+        let footer_len = t.u32("footer length")? as u64;
+        let footer_crc = t.u32("footer crc")?;
+        if t.bytes(4, "footer magic")? != FOOTER_MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let footer_start = file_len
+            .checked_sub(SHARD_TRAILER_LEN + footer_len)
+            .ok_or(Error::Truncated { context: "shard footer" })?;
+        if footer_start < SHARD_HEADER_LEN {
+            return Err(Error::Malformed("shard footer overlaps header".into()));
+        }
+        let footer = &bytes[footer_start as usize..(file_len - SHARD_TRAILER_LEN) as usize];
+        if crc32(footer) != footer_crc {
+            return Err(Error::Corrupt(format!("{file_name}: shard footer CRC mismatch")));
+        }
+        // The header's record_count is not covered by any CRC: bound it by
+        // what the footer could possibly hold (each entry is at least a
+        // name length, offset, image count, G+1 offsets, and a CRC) before
+        // trusting it with an allocation.
+        let min_entry = 4 + 8 + 4 + (num_groups as usize + 1) * 8 + 4;
+        if record_count > footer.len() / min_entry {
+            return Err(Error::Malformed(format!(
+                "shard claims {record_count} records but its footer is {} bytes",
+                footer.len()
+            )));
+        }
+        let mut f = Reader::new(footer);
+        let mut records = Vec::with_capacity(record_count);
+        for _ in 0..record_count {
+            let name = String::from_utf8(f.prefixed_bytes("record name")?.to_vec())
+                .map_err(|_| Error::Malformed("record name not UTF-8".into()))?;
+            let offset = f.u64("record offset")?;
+            let num_images = f.u32("record image count")?;
+            let mut group_offsets = Vec::with_capacity(num_groups as usize + 1);
+            for _ in 0..=num_groups {
+                group_offsets.push(f.u64("record group offset")?);
+            }
+            // Prefix lengths must be cumulative: a decreasing sequence
+            // would plan ranged reads past the record's end (or wrap the
+            // per-group deltas every consumer computes).
+            if group_offsets.windows(2).any(|w| w[0] > w[1]) {
+                return Err(Error::Malformed(
+                    "record group offsets are not non-decreasing".into(),
+                ));
+            }
+            if num_images as usize > f.remaining() / 4 {
+                return Err(Error::Truncated { context: "record labels" });
+            }
+            let mut labels = Vec::with_capacity(num_images as usize);
+            for _ in 0..num_images {
+                labels.push(f.u32("record label")?);
+            }
+            let crc = f.u32("record crc")?;
+            let rec = ShardRecord { name, offset, num_images, group_offsets, labels, crc32: crc };
+            // Untrusted footer fields: checked add so a crafted offset
+            // cannot wrap past the bounds check and panic at slice time.
+            if rec.offset.checked_add(rec.len()).is_none_or(|end| end > footer_start) {
+                return Err(Error::Malformed(format!(
+                    "record {} extends past the footer ({} + {} > {footer_start})",
+                    rec.name,
+                    rec.offset,
+                    rec.len()
+                )));
+            }
+            records.push(rec);
+        }
+        if f.remaining() != 0 {
+            return Err(Error::Malformed("trailing bytes in shard footer".into()));
+        }
+        Ok(Self { file_name: file_name.to_string(), num_groups, records, file_len, footer_crc })
+    }
+
+    /// Total images across the shard's records.
+    pub fn num_images(&self) -> usize {
+        self.records.iter().map(|r| r.num_images as usize).sum()
+    }
+
+    /// Total record-data bytes (excluding header, footer, and trailer).
+    pub fn data_bytes(&self) -> u64 {
+        self.records.iter().map(|r| r.len()).sum()
+    }
+
+    /// Record-data bytes a loader reads per epoch at scan group `g`.
+    pub fn bytes_at_group(&self, g: usize) -> u64 {
+        self.records.iter().map(|r| r.prefix_len(g)).sum()
+    }
+}
+
+/// One shard's summary line in the manifest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSummary {
+    /// Shard file name, relative to the container directory.
+    pub file_name: String,
+    /// Expected shard file length in bytes.
+    pub file_len: u64,
+    /// Records in the shard.
+    pub records: u32,
+    /// Images in the shard.
+    pub images: u32,
+    /// Expected CRC-32 of the shard's footer — ties the manifest to the
+    /// exact shard files it was written with.
+    pub footer_crc: u32,
+}
+
+/// The container manifest: shard enumeration plus shared parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ContainerManifest {
+    /// Container format version.
+    pub version: u16,
+    /// Scan groups per record (uniform across the container).
+    pub num_groups: u16,
+    /// Shards in order.
+    pub shards: Vec<ShardSummary>,
+}
+
+impl ContainerManifest {
+    /// Total records across all shards.
+    pub fn num_records(&self) -> usize {
+        self.shards.iter().map(|s| s.records as usize).sum()
+    }
+
+    /// Total images across all shards.
+    pub fn num_images(&self) -> usize {
+        self.shards.iter().map(|s| s.images as usize).sum()
+    }
+
+    /// Total bytes of all shard files.
+    pub fn total_file_bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.file_len).sum()
+    }
+
+    /// Serializes the manifest (ending in a CRC-32 of all prior bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        put_u16(&mut out, self.version);
+        put_u16(&mut out, self.num_groups);
+        put_u32(&mut out, self.shards.len() as u32);
+        for s in &self.shards {
+            put_bytes(&mut out, s.file_name.as_bytes());
+            put_u64(&mut out, s.file_len);
+            put_u32(&mut out, s.records);
+            put_u32(&mut out, s.images);
+            put_u32(&mut out, s.footer_crc);
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Parses a serialized manifest, verifying its checksum.
+    pub fn from_bytes(data: &[u8]) -> Result<Self> {
+        if data.len() < 4 {
+            return Err(Error::Truncated { context: "manifest checksum" });
+        }
+        let (body, tail) = data.split_at(data.len() - 4);
+        let stored = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        if crc32(body) != stored {
+            return Err(Error::Corrupt("manifest CRC mismatch".into()));
+        }
+        let mut r = Reader::new(body);
+        if r.bytes(4, "manifest magic")? != MANIFEST_MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let version = r.u16("manifest version")?;
+        if version != CONTAINER_VERSION {
+            return Err(Error::BadVersion(version));
+        }
+        let num_groups = r.u16("manifest group count")?;
+        let n = r.u32("manifest shard count")? as usize;
+        // Bound the claimed count by the bytes actually present (each
+        // entry is at least a name length + file_len + three u32s).
+        if n > r.remaining() / (4 + 8 + 4 + 4 + 4) {
+            return Err(Error::Malformed(format!(
+                "manifest claims {n} shards in {} bytes",
+                r.remaining()
+            )));
+        }
+        let mut shards = Vec::with_capacity(n);
+        for _ in 0..n {
+            let file_name = String::from_utf8(r.prefixed_bytes("shard file name")?.to_vec())
+                .map_err(|_| Error::Malformed("shard file name not UTF-8".into()))?;
+            let file_len = r.u64("shard file length")?;
+            let records = r.u32("shard record count")?;
+            let images = r.u32("shard image count")?;
+            let footer_crc = r.u32("shard footer crc")?;
+            shards.push(ShardSummary { file_name, file_len, records, images, footer_crc });
+        }
+        if r.remaining() != 0 {
+            return Err(Error::Malformed("trailing bytes in manifest".into()));
+        }
+        Ok(Self { version, num_groups, shards })
+    }
+}
+
+/// Serializes one shard (header + records + footer + trailer) from record
+/// byte blobs and their metadata. `metas` must parallel `records`.
+fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]) -> Vec<u8> {
+    let data_len: usize = records.iter().map(|(_, b)| b.len()).sum();
+    let mut out = Vec::with_capacity(SHARD_HEADER_LEN as usize + data_len);
+    out.extend_from_slice(SHARD_MAGIC);
+    put_u16(&mut out, CONTAINER_VERSION);
+    put_u16(&mut out, num_groups);
+    put_u32(&mut out, records.len() as u32);
+    debug_assert_eq!(out.len() as u64, SHARD_HEADER_LEN);
+    let mut offsets = Vec::with_capacity(records.len());
+    for (_, bytes) in records {
+        offsets.push(out.len() as u64);
+        out.extend_from_slice(bytes);
+    }
+    let mut footer = Vec::new();
+    for ((meta, bytes), offset) in records.iter().zip(offsets) {
+        put_bytes(&mut footer, meta.name.as_bytes());
+        put_u64(&mut footer, offset);
+        put_u32(&mut footer, meta.num_images);
+        for &o in &meta.group_offsets {
+            put_u64(&mut footer, o);
+        }
+        for &l in &meta.labels {
+            put_u32(&mut footer, l);
+        }
+        put_u32(&mut footer, crc32(bytes));
+    }
+    let footer_crc = crc32(&footer);
+    let footer_len = footer.len() as u32;
+    out.extend_from_slice(&footer);
+    put_u32(&mut out, footer_len);
+    put_u32(&mut out, footer_crc);
+    out.extend_from_slice(FOOTER_MAGIC);
+    out
+}
+
+/// Writes `dataset` as a sharded container under `dir` with
+/// `records_per_shard` records per shard file. Creates the directory if
+/// needed; refuses to overwrite an existing manifest. Returns the
+/// manifest that was written.
+pub fn write_container(
+    dataset: &PcrDataset,
+    dir: &Path,
+    records_per_shard: usize,
+) -> Result<ContainerManifest> {
+    if dataset.records.is_empty() {
+        return Err(Error::BadInput("container needs at least one record".into()));
+    }
+    let records_per_shard = records_per_shard.max(1);
+    fs::create_dir_all(dir).map_err(io_err("create container directory"))?;
+    let manifest_path = dir.join(MANIFEST_FILE);
+    if manifest_path.exists() {
+        return Err(Error::BadInput(format!(
+            "{} already contains a PCR container",
+            dir.display()
+        )));
+    }
+    let num_groups = dataset.db.num_groups() as u16;
+    let mut shards = Vec::new();
+    let entries: Vec<(&crate::dataset::RecordMeta, &[u8])> = dataset
+        .db
+        .records
+        .iter()
+        .zip(dataset.records.iter().map(Vec::as_slice))
+        .collect();
+    for (i, chunk) in entries.chunks(records_per_shard).enumerate() {
+        let file_name = format!("shard-{i:05}.pcrshard");
+        let bytes = build_shard(num_groups, chunk);
+        let index = ShardIndex::parse(&file_name, &bytes).expect("writer output parses");
+        fs::write(dir.join(&file_name), &bytes).map_err(io_err("write shard"))?;
+        shards.push(ShardSummary {
+            file_name,
+            file_len: bytes.len() as u64,
+            records: chunk.len() as u32,
+            images: index.num_images() as u32,
+            footer_crc: index.footer_crc,
+        });
+    }
+    let manifest = ContainerManifest { version: CONTAINER_VERSION, num_groups, shards };
+    fs::write(manifest_path, manifest.to_bytes()).map_err(io_err("write manifest"))?;
+    Ok(manifest)
+}
+
+/// An opened container: the manifest plus every shard's parsed index.
+///
+/// Opening reads only the manifest and each shard's header and footer
+/// (one tail read per shard); record bytes are read later, when a loader
+/// streams them through an object store or [`PcrContainer::verify`]
+/// checksums them.
+#[derive(Debug, Clone)]
+pub struct PcrContainer {
+    /// Directory the container lives in.
+    pub dir: PathBuf,
+    /// The parsed manifest.
+    pub manifest: ContainerManifest,
+    /// Parsed shard indexes, parallel to `manifest.shards`.
+    pub shards: Vec<ShardIndex>,
+}
+
+impl PcrContainer {
+    /// Opens a container directory: parses the manifest, then each
+    /// shard's header and footer index, cross-checking file lengths and
+    /// footer CRCs against the manifest.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let manifest_bytes =
+            fs::read(dir.join(MANIFEST_FILE)).map_err(io_err("read manifest"))?;
+        let manifest = ContainerManifest::from_bytes(&manifest_bytes)?;
+        let mut shards = Vec::with_capacity(manifest.shards.len());
+        for summary in &manifest.shards {
+            let path = dir.join(&summary.file_name);
+            let index = read_shard_index(&path, summary)?;
+            shards.push(index);
+        }
+        Ok(Self { dir: dir.to_path_buf(), manifest, shards })
+    }
+
+    /// Scan groups per record.
+    pub fn num_groups(&self) -> usize {
+        self.manifest.num_groups as usize
+    }
+
+    /// Total records across all shards.
+    pub fn num_records(&self) -> usize {
+        self.manifest.num_records()
+    }
+
+    /// Total images across all shards.
+    pub fn num_images(&self) -> usize {
+        self.manifest.num_images()
+    }
+
+    /// Total record-data bytes at full quality.
+    pub fn total_data_bytes(&self) -> u64 {
+        self.shards.iter().map(ShardIndex::data_bytes).sum()
+    }
+
+    /// Record-data bytes a loader reads per epoch at scan group `g` — the
+    /// fidelity byte breakdown `pcr inspect` prints.
+    pub fn bytes_at_group(&self, g: usize) -> u64 {
+        self.shards.iter().map(|s| s.bytes_at_group(g)).sum()
+    }
+
+    /// Path of shard `i`.
+    pub fn shard_path(&self, i: usize) -> PathBuf {
+        self.dir.join(&self.manifest.shards[i].file_name)
+    }
+
+    /// Resolves a global record index (dataset order: shard by shard) to
+    /// `(shard index, record)`.
+    pub fn record(&self, global: usize) -> Option<(usize, &ShardRecord)> {
+        let mut idx = global;
+        for (s, shard) in self.shards.iter().enumerate() {
+            if idx < shard.records.len() {
+                return Some((s, &shard.records[idx]));
+            }
+            idx -= shard.records.len();
+        }
+        None
+    }
+
+    /// Reads shard `i`'s full file from disk.
+    pub fn read_shard(&self, i: usize) -> Result<Vec<u8>> {
+        let path = self.shard_path(i);
+        let bytes = fs::read(&path).map_err(io_err("read shard"))?;
+        if bytes.len() as u64 != self.manifest.shards[i].file_len {
+            return Err(Error::Malformed(format!(
+                "{}: {} bytes on disk, manifest says {}",
+                path.display(),
+                bytes.len(),
+                self.manifest.shards[i].file_len
+            )));
+        }
+        Ok(bytes)
+    }
+
+    /// Reads shard `i` and verifies every record's CRC-32 against the
+    /// footer index, rejecting corrupted data.
+    pub fn read_shard_verified(&self, i: usize) -> Result<Vec<u8>> {
+        let bytes = self.read_shard(i)?;
+        for rec in &self.shards[i].records {
+            let start = rec.offset as usize;
+            let end = start + rec.len() as usize;
+            let stored = rec.crc32;
+            let actual = crc32(&bytes[start..end]);
+            if actual != stored {
+                return Err(Error::Corrupt(format!(
+                    "{}: record {} CRC mismatch (stored {stored:#010x}, computed {actual:#010x})",
+                    self.manifest.shards[i].file_name, rec.name
+                )));
+            }
+        }
+        Ok(bytes)
+    }
+
+    /// Full integrity pass: re-reads every shard and verifies every
+    /// record checksum. `Ok(())` means every byte of record data matches
+    /// the footers the manifest vouches for.
+    pub fn verify(&self) -> Result<()> {
+        for i in 0..self.shards.len() {
+            self.read_shard_verified(i)?;
+        }
+        Ok(())
+    }
+}
+
+/// Reads and parses one shard's index, reading only the header and the
+/// footer region (not the record data), and cross-checks it against the
+/// manifest summary.
+fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
+    let mut file = fs::File::open(path).map_err(io_err("open shard"))?;
+    let file_len = file.metadata().map_err(io_err("stat shard"))?.len();
+    if file_len != summary.file_len {
+        return Err(Error::Malformed(format!(
+            "{}: {file_len} bytes on disk, manifest says {}",
+            path.display(),
+            summary.file_len
+        )));
+    }
+    if file_len < SHARD_HEADER_LEN + SHARD_TRAILER_LEN {
+        return Err(Error::Truncated { context: "shard trailer" });
+    }
+    // Tail read: trailer tells us how far back the footer starts.
+    let mut trailer = [0u8; SHARD_TRAILER_LEN as usize];
+    file.seek(SeekFrom::End(-(SHARD_TRAILER_LEN as i64))).map_err(io_err("seek shard"))?;
+    file.read_exact(&mut trailer).map_err(io_err("read shard trailer"))?;
+    let footer_len = u64::from(u32::from_le_bytes(trailer[0..4].try_into().expect("4 bytes")));
+    let tail_len = (SHARD_TRAILER_LEN + footer_len).min(file_len - SHARD_HEADER_LEN);
+    // Header + footer + trailer, skipping the record data in between.
+    let mut head = [0u8; SHARD_HEADER_LEN as usize];
+    file.seek(SeekFrom::Start(0)).map_err(io_err("seek shard"))?;
+    file.read_exact(&mut head).map_err(io_err("read shard header"))?;
+    let mut tail = vec![0u8; tail_len as usize];
+    file.seek(SeekFrom::End(-(tail_len as i64))).map_err(io_err("seek shard"))?;
+    file.read_exact(&mut tail).map_err(io_err("read shard footer"))?;
+    // Reassemble a sparse image of the file for the parser: the record
+    // region's contents are irrelevant to index parsing (offsets are
+    // validated against the footer start, data is not checksummed here).
+    let mut image = Vec::with_capacity((SHARD_HEADER_LEN + file_len - tail_len) as usize);
+    image.extend_from_slice(&head);
+    image.resize((file_len - tail_len) as usize, 0);
+    image.extend_from_slice(&tail);
+    let file_name =
+        path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let index = ShardIndex::parse(&file_name, &image)?;
+    if index.footer_crc != summary.footer_crc {
+        return Err(Error::Corrupt(format!(
+            "{}: footer CRC {:#010x} does not match manifest {:#010x}",
+            path.display(),
+            index.footer_crc,
+            summary.footer_crc
+        )));
+    }
+    Ok(index)
+}
+
+fn io_err(context: &'static str) -> impl Fn(std::io::Error) -> Error {
+    move |e| Error::BadInput(format!("{context}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::PcrDatasetBuilder;
+    use crate::record::{PcrRecord, SampleMeta};
+    use pcr_jpeg::ImageBuf;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "pcr-container-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn build(n_images: usize, per_record: usize) -> PcrDataset {
+        let mut b = PcrDatasetBuilder::new(per_record, 10).with_name_prefix("train");
+        for i in 0..n_images as u32 {
+            let mut data = Vec::new();
+            for y in 0..24u32 {
+                for x in 0..24u32 {
+                    data.push(((x * 5 + y * 3 + i * 11) % 256) as u8);
+                    data.push(((x + y) % 256) as u8);
+                    data.push((x % 256) as u8);
+                }
+            }
+            let img = ImageBuf::from_raw(24, 24, 3, data).unwrap();
+            b.add_image(SampleMeta { label: i % 3, id: format!("f{i}") }, &img, 85).unwrap();
+        }
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn pack_open_roundtrip_preserves_all_metadata() {
+        let dir = tmpdir("roundtrip");
+        let ds = build(10, 2); // 5 records
+        let manifest = write_container(&ds, &dir, 2).unwrap();
+        assert_eq!(manifest.shards.len(), 3); // 2 + 2 + 1 records
+        let c = PcrContainer::open(&dir).unwrap();
+        assert_eq!(c.num_records(), 5);
+        assert_eq!(c.num_images(), 10);
+        assert_eq!(c.num_groups(), 10);
+        assert_eq!(c.total_data_bytes(), ds.db.total_bytes());
+        for g in 0..=10 {
+            assert_eq!(c.bytes_at_group(g), ds.db.bytes_at_group(g), "group {g}");
+        }
+        // Record names, labels, and group offsets survive byte-for-byte.
+        for (i, meta) in ds.db.records.iter().enumerate() {
+            let (_, rec) = c.record(i).unwrap();
+            assert_eq!(rec.name, meta.name);
+            assert_eq!(rec.labels, meta.labels);
+            assert_eq!(rec.group_offsets, meta.group_offsets);
+        }
+        c.verify().unwrap();
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shard_ranges_decode_as_records() {
+        let dir = tmpdir("decode");
+        let ds = build(6, 3);
+        write_container(&ds, &dir, 1).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let bytes = c.read_shard_verified(0).unwrap();
+        let (_, rec_meta) = c.record(0).unwrap();
+        let start = rec_meta.offset as usize;
+        // Full record parses; a scan-group-2 prefix decodes at group 2.
+        let full = PcrRecord::parse(&bytes[start..start + rec_meta.len() as usize]).unwrap();
+        assert_eq!(full.num_images(), 3);
+        let prefix = &bytes[start..start + rec_meta.prefix_len(2) as usize];
+        let view = PcrRecord::parse(prefix).unwrap();
+        assert_eq!(view.available_groups(), 2);
+        assert_eq!(view.decode_image(0, 2).unwrap().width(), 24);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_record_fails_verification() {
+        let dir = tmpdir("corrupt");
+        let ds = build(4, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        // Flip one byte in the middle of the first record's data.
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        let (_, rec) = c.record(0).unwrap();
+        let victim = rec.offset as usize + rec.len() as usize / 2;
+        bytes[victim] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+        let err = c.verify().unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_footer_is_rejected_at_open() {
+        let dir = tmpdir("footer");
+        let ds = build(4, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a label inside the footer (between data end and trailer).
+        let n = bytes.len();
+        bytes[n - SHARD_TRAILER_LEN as usize - 5] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        let err = PcrContainer::open(&dir).unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_shard_is_rejected_at_open() {
+        let dir = tmpdir("trunc");
+        let ds = build(4, 4);
+        write_container(&ds, &dir, 4).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        assert!(PcrContainer::open(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crafted_offset_overflow_is_malformed_not_panic() {
+        let dir = tmpdir("overflow");
+        let ds = build(2, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let mut bytes = fs::read(c.shard_path(0)).unwrap();
+        let n = bytes.len();
+        let footer_len =
+            u32::from_le_bytes(bytes[n - 12..n - 8].try_into().unwrap()) as usize;
+        let footer_start = n - 12 - footer_len;
+        // Patch the first record's offset (right after its prefixed name)
+        // to near-u64::MAX, then recompute the footer CRC so only the
+        // bounds check can reject it.
+        let name_len =
+            u32::from_le_bytes(bytes[footer_start..footer_start + 4].try_into().unwrap())
+                as usize;
+        let off_pos = footer_start + 4 + name_len;
+        bytes[off_pos..off_pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let crc = crc32(&bytes[footer_start..n - 12]);
+        bytes[n - 8..n - 4].copy_from_slice(&crc.to_le_bytes());
+        let err = ShardIndex::parse("shard-00000.pcrshard", &bytes).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn decreasing_group_offsets_are_malformed_not_panic() {
+        let dir = tmpdir("monotone");
+        let ds = build(2, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let mut bytes = fs::read(c.shard_path(0)).unwrap();
+        let n = bytes.len();
+        let footer_len =
+            u32::from_le_bytes(bytes[n - 12..n - 8].try_into().unwrap()) as usize;
+        let footer_start = n - 12 - footer_len;
+        // Patch group_offsets[1] of the first record (after name, offset,
+        // and image count) to exceed group_offsets[2], recomputing the
+        // footer CRC so only the monotonicity check can reject it.
+        let name_len =
+            u32::from_le_bytes(bytes[footer_start..footer_start + 4].try_into().unwrap())
+                as usize;
+        let go1 = footer_start + 4 + name_len + 8 + 4 + 8;
+        bytes[go1..go1 + 8].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        let crc = crc32(&bytes[footer_start..n - 12]);
+        bytes[n - 8..n - 4].copy_from_slice(&crc.to_le_bytes());
+        let err = ShardIndex::parse("shard-00000.pcrshard", &bytes).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn oversized_record_count_is_malformed_not_abort() {
+        let dir = tmpdir("count");
+        let ds = build(2, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let mut bytes = fs::read(c.shard_path(0)).unwrap();
+        // The header's record_count is not covered by any CRC; a flipped
+        // bit there must not drive a giant allocation.
+        bytes[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        let err = ShardIndex::parse("shard-00000.pcrshard", &bytes).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_corruption() {
+        let dir = tmpdir("manifest");
+        let ds = build(6, 2);
+        let manifest = write_container(&ds, &dir, 2).unwrap();
+        let bytes = manifest.to_bytes();
+        assert_eq!(ContainerManifest::from_bytes(&bytes).unwrap(), manifest);
+        let mut bad = bytes.clone();
+        bad[6] ^= 0x10;
+        assert!(matches!(ContainerManifest::from_bytes(&bad), Err(Error::Corrupt(_))));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refuses_double_pack() {
+        let dir = tmpdir("double");
+        let ds = build(4, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        assert!(write_container(&ds, &dir, 2).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let dir = tmpdir("version");
+        let ds = build(2, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        bytes[4] = 0xFE; // version low byte
+        fs::write(&path, &bytes).unwrap();
+        // The shard index parse rejects the version before any CRC check.
+        let err = ShardIndex::parse("shard-00000.pcrshard", &bytes).unwrap_err();
+        assert!(matches!(err, Error::BadVersion(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -23,6 +23,9 @@ pub enum Error {
         /// Groups actually available.
         available: usize,
     },
+    /// Stored bytes fail checksum verification (bit rot, torn write, or
+    /// tampering) — raised by the sharded container reader.
+    Corrupt(String),
     /// An underlying JPEG codec failure.
     Jpeg(pcr_jpeg::Error),
     /// Encoder input invalid.
@@ -39,6 +42,7 @@ impl fmt::Display for Error {
             Error::GroupUnavailable { requested, available } => {
                 write!(f, "scan group {requested} unavailable (have {available})")
             }
+            Error::Corrupt(s) => write!(f, "checksum mismatch: {s}"),
             Error::Jpeg(e) => write!(f, "jpeg error: {e}"),
             Error::BadInput(s) => write!(f, "bad input: {s}"),
         }

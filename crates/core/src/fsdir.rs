@@ -1,6 +1,13 @@
-//! Filesystem persistence for PCR datasets: the paper's encoder "transforms
-//! a set of JPEG files into a directory, which contains: a database for PCR
-//! metadata, and at least one .pcr file".
+//! One-file-per-record filesystem persistence — the *legacy* toy layout,
+//! kept for small debugging datasets and the tests that predate the
+//! container. The canonical on-disk format is the **sharded container**
+//! ([`crate::container`], spec in `docs/FORMAT.md`): it packs many
+//! records per file with a footer index, per-record checksums, and a
+//! manifest, which is what `pcr pack` writes and every loader streams.
+//!
+//! This module implements the paper's original description — the encoder
+//! "transforms a set of JPEG files into a directory, which contains: a
+//! database for PCR metadata, and at least one .pcr file" — literally.
 //!
 //! Layout on disk:
 //!

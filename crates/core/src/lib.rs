@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod container;
 pub mod dataset;
 pub mod error;
 pub mod fsdir;
@@ -42,6 +43,9 @@ pub mod record;
 pub mod wire;
 
 pub use baseline::{FilePerImageDataset, RecordFile, RecordFileBuilder};
+pub use container::{
+    write_container, ContainerManifest, PcrContainer, ShardIndex, ShardRecord, ShardSummary,
+};
 pub use dataset::{MetaDb, PcrDataset, PcrDatasetBuilder, RecordMeta};
 pub use error::{Error, Result};
 pub use record::{

@@ -23,6 +23,37 @@ pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
     out.extend_from_slice(v);
 }
 
+/// Byte-at-a-time CRC-32 lookup table for the reflected polynomial
+/// `0xEDB88320`, computed at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            let mask = 0u32.wrapping_sub(crc & 1);
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`) of `data` — the
+/// checksum the sharded container format stores per record and per shard
+/// footer. Table-driven: container opens verify every record by default,
+/// so this runs over whole datasets, not just at pack time.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
+    }
+    !crc
+}
+
 /// Sequential reader with context-tagged truncation errors.
 #[derive(Debug, Clone)]
 pub struct Reader<'a> {
@@ -98,6 +129,14 @@ mod tests {
         assert_eq!(r.u64("c").unwrap(), 0x0123_4567_89AB_CDEF);
         assert_eq!(r.prefixed_bytes("d").unwrap(), b"hello");
         assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The standard CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
     }
 
     #[test]

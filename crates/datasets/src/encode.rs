@@ -1,11 +1,19 @@
 //! Encoding synthetic datasets into the storage formats under comparison:
-//! PCR datasets, fixed-quality record files, and file-per-image layouts.
+//! PCR datasets, fixed-quality record files, and file-per-image layouts —
+//! plus the on-disk sharded container packer behind `pcr pack`.
 
 use crate::generate::SyntheticDataset;
+use pcr_core::container::{write_container, ContainerManifest};
 use pcr_core::{
     FilePerImageDataset, PcrDataset, PcrDatasetBuilder, RecordFileBuilder, SampleMeta,
 };
 use pcr_jpeg::EncodeConfig;
+use std::path::Path;
+
+/// Default records per shard file (the `pcr pack` default). Paired with
+/// [`IMAGES_PER_RECORD`] this keeps shards at tens of records, so even
+/// test-scale datasets exercise multi-shard streaming.
+pub const RECORDS_PER_SHARD: usize = 8;
 
 /// Images per record used throughout the experiments. The paper uses
 /// roughly 1024 images/record on ImageNet; we scale down with our dataset
@@ -30,6 +38,24 @@ pub fn to_pcr_dataset(ds: &SyntheticDataset, images_per_record: usize) -> (PcrDa
     }
     let out = b.finish().expect("non-empty dataset");
     (out, start.elapsed().as_secs_f64())
+}
+
+/// Packs the training split straight to an on-disk sharded container
+/// (progressive PCR encode → `pcr-core::container::write_container`) —
+/// the library face of `pcr pack`.
+///
+/// Returns the written manifest and the total encode+write wall-clock
+/// seconds (the Figure 15 conversion-time quantity, now including I/O).
+pub fn pack_to_container(
+    ds: &SyntheticDataset,
+    dir: &Path,
+    images_per_record: usize,
+    records_per_shard: usize,
+) -> pcr_core::Result<(ContainerManifest, f64)> {
+    let start = std::time::Instant::now();
+    let (pcr, _) = to_pcr_dataset(ds, images_per_record);
+    let manifest = write_container(&pcr, dir, records_per_shard)?;
+    Ok((manifest, start.elapsed().as_secs_f64()))
 }
 
 /// Encodes the training split as fixed-quality record files (the static
@@ -136,6 +162,27 @@ mod tests {
         }
         let native: Vec<u32> = ds.train.iter().map(|s| s.label).collect();
         assert_eq!(stored, native);
+    }
+
+    #[test]
+    fn pack_to_container_roundtrips_on_disk() {
+        let ds = tiny();
+        let dir = std::env::temp_dir().join(format!(
+            "pcr-pack-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (manifest, secs) = pack_to_container(&ds, &dir, 4, 2).unwrap();
+        assert!(secs > 0.0);
+        assert_eq!(manifest.num_images(), ds.train.len());
+        let container = pcr_core::PcrContainer::open(&dir).unwrap();
+        container.verify().unwrap();
+        assert_eq!(container.num_images(), ds.train.len());
+        let (pcr, _) = to_pcr_dataset(&ds, 4);
+        assert_eq!(container.num_records(), pcr.num_records());
+        assert_eq!(container.bytes_at_group(2), pcr.db.bytes_at_group(2));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod labels;
 pub mod spec;
 
 pub use encode::{
-    test_progressive_jpegs, to_file_per_image, to_pcr_dataset, to_record_files, IMAGES_PER_RECORD,
+    pack_to_container, test_progressive_jpegs, to_file_per_image, to_pcr_dataset, to_record_files,
+    IMAGES_PER_RECORD, RECORDS_PER_SHARD,
 };
 pub use generate::{generate_image, Sample, SyntheticDataset};
 pub use labels::LabelMap;

@@ -1,10 +1,22 @@
-//! Loaders for the baseline storage formats, sharing the PCR loader's
-//! worker/timing model so throughput comparisons are apples-to-apples:
+//! Loaders for the baseline storage formats — not parallel
+//! implementations but *sources* plugged into the same single data
+//! plane as the PCR loaders: baseline objects implement
+//! [`crate::source::RecordSource`] with whole-object read plans, the
+//! shared [`crate::loader::run_virtual_epoch`] engine supplies the
+//! worker/timing model, and every byte flows through the store's one
+//! clocked read path (`ObjectStore::read(Clock::Virtual, …)`), so the
+//! page cache, readahead, and device statistics treat baseline and PCR
+//! traffic identically. Throughput comparisons are apples-to-apples by
+//! construction, not by discipline:
 //!
 //! * [`RecordFileLoader`] reads whole fixed-quality record files
 //!   sequentially (TFRecord-style).
 //! * [`FilePerImageLoader`] reads one object per image — the small random
 //!   accesses of PyTorch's `ImageFolder` (paper Figure 1).
+//!
+//! Neither has a scan-group knob: [`crate::source::ReadPlanner`] plans
+//! the full object regardless of the configured group, which is exactly
+//! the cost the paper's Figure 1 charges them with.
 
 use crate::config::LoaderConfig;
 use crate::loader::{run_virtual_epoch, EpochResult};

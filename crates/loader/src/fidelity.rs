@@ -131,6 +131,22 @@ pub fn probe_group_scores(
     candidates: &[usize],
     max_images: usize,
 ) -> Vec<(usize, f64)> {
+    probe_source_scores(store, db, candidates, max_images)
+}
+
+/// [`probe_group_scores`] over any PCR-format
+/// [`RecordSource`](crate::source::RecordSource) — e.g. a
+/// `ShardedSource` whose plans point into packed shard objects. Full
+/// records are fetched via the source's own full-quality read plan, so
+/// the probe works identically for per-record objects and shard ranges.
+/// (Baseline sources whose bytes are not `.pcr` records contribute no
+/// samples; their candidates score 0.)
+pub fn probe_source_scores<S: crate::source::RecordSource + ?Sized>(
+    store: &ObjectStore,
+    source: &S,
+    candidates: &[usize],
+    max_images: usize,
+) -> Vec<(usize, f64)> {
     let mut candidates: Vec<usize> = candidates.to_vec();
     candidates.sort_unstable();
     candidates.dedup();
@@ -140,8 +156,10 @@ pub fn probe_group_scores(
     let mut counts = vec![0u64; candidates.len()];
     let mut measured = 0usize;
     let mut scratch = RecordScratch::new();
-    'records: for meta in &db.records {
-        let Some(read) = store.read(Clock::Wall, &meta.name, 0, meta.total_len()) else {
+    'records: for idx in 0..source.num_records() {
+        // A plan at usize::MAX clamps to the full record for PCR sources.
+        let plan = source.plan(idx, usize::MAX);
+        let Some(read) = store.read(Clock::Wall, plan.name, plan.offset, plan.len) else {
             continue;
         };
         let Ok(rec) = PcrRecord::parse(&read.data) else { continue };
@@ -176,7 +194,7 @@ pub fn probe_group_scores(
         .collect()
 }
 
-impl ParallelLoader {
+impl<S: crate::source::RecordSource + ?Sized + 'static> ParallelLoader<S> {
     /// Runs `epochs` wall-clock epochs under online fidelity control:
     /// each epoch reads at the controller's current scan group, `loss_of`
     /// reports that epoch's training loss back to the controller (which

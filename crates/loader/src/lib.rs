@@ -60,14 +60,18 @@ pub mod fidelity;
 pub mod loader;
 pub mod parallel;
 pub mod pipeline;
+pub mod sharded;
 pub mod source;
 
 pub use baseline_loader::{FilePerImageLoader, ObjectMeta, RecordFileLoader};
 pub use config::{DecodeMode, LoaderConfig};
-pub use fidelity::{probe_group_scores, FidelityConfig, FidelityController, FidelityDecision};
+pub use fidelity::{
+    probe_group_scores, probe_source_scores, FidelityConfig, FidelityController, FidelityDecision,
+};
 pub use loader::{populate_store, run_virtual_epoch, EpochResult, LoadedRecord, PcrLoader};
 pub use parallel::{
     EpochStream, IoModel, Minibatch, ParallelConfig, ParallelLoader, ParallelStats, WallClockEpoch,
 };
 pub use pipeline::{spawn_epoch, PipelineConfig, PipelineStats, RunningPipeline};
+pub use sharded::{open_container_store, OpenedContainer, ShardStoreConfig, ShardedSource};
 pub use source::{ReadPlan, ReadPlanner, RecordSource};

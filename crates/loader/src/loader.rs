@@ -85,25 +85,39 @@ impl EpochResult {
 }
 
 /// The PCR loader over an object store populated with `.pcr` records.
+///
+/// Generic over its [`RecordSource`]: the default `MetaDb` plans
+/// whole-object prefix reads over records stored one object each
+/// ([`populate_store`]); a `ShardedSource` (see [`crate::sharded`]) plans
+/// ranged reads into packed shard files. Construct the former with
+/// [`PcrLoader::new`], anything else with [`PcrLoader::over`].
 #[derive(Debug)]
-pub struct PcrLoader<'a> {
+pub struct PcrLoader<'a, S: RecordSource + ?Sized = MetaDb> {
     store: &'a ObjectStore,
-    db: &'a MetaDb,
+    source: &'a S,
     config: LoaderConfig,
 }
 
-impl<'a> PcrLoader<'a> {
-    /// Creates a loader. Records must exist in `store` under the names in
-    /// `db` (use [`populate_store`]).
+impl<'a> PcrLoader<'a, MetaDb> {
+    /// Creates a loader over a metadata DB. Records must exist in `store`
+    /// under the names in `db` (use [`populate_store`]).
     pub fn new(store: &'a ObjectStore, db: &'a MetaDb, config: LoaderConfig) -> Self {
-        Self { store, db, config }
+        Self::over(store, db, config)
+    }
+}
+
+impl<'a, S: RecordSource + ?Sized> PcrLoader<'a, S> {
+    /// Creates a loader over any [`RecordSource`] — e.g. a
+    /// `ShardedSource` whose plans point into packed shard objects.
+    pub fn over(store: &'a ObjectStore, source: &'a S, config: LoaderConfig) -> Self {
+        Self { store, source, config }
     }
 
     /// Streams one epoch starting at virtual time `start`, returning every
     /// record with its ready timestamp.
     pub fn run_epoch(&self, epoch: u64, start: f64) -> EpochResult {
         let planner = ReadPlanner::from_config(&self.config);
-        run_virtual_epoch(self.store, self.db, &self.config, &planner, epoch, start)
+        run_virtual_epoch(self.store, self.source, &self.config, &planner, epoch, start)
     }
 }
 

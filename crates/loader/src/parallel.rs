@@ -215,19 +215,35 @@ impl WallClockEpoch {
 }
 
 /// The wall-clock parallel loader over an object store populated with
-/// `.pcr` records (use [`crate::loader::populate_store`]).
-#[derive(Debug, Clone)]
-pub struct ParallelLoader {
+/// `.pcr` records (use [`crate::loader::populate_store`]) or packed
+/// shards (see [`crate::sharded`]).
+///
+/// Generic over its [`RecordSource`], defaulting to `MetaDb`; every
+/// source streams through the identical worker pool, channels, and
+/// clocked read path, so sharded and per-record layouts are compared on
+/// mechanism-identical footing.
+#[derive(Debug)]
+pub struct ParallelLoader<S: RecordSource + ?Sized = MetaDb> {
     store: Arc<ObjectStore>,
-    db: Arc<MetaDb>,
+    source: Arc<S>,
     config: ParallelConfig,
 }
 
-impl ParallelLoader {
-    /// Creates a loader. Records must exist in `store` under the names in
-    /// `db`.
-    pub fn new(store: Arc<ObjectStore>, db: Arc<MetaDb>, config: ParallelConfig) -> Self {
-        Self { store, db, config }
+impl<S: RecordSource + ?Sized> Clone for ParallelLoader<S> {
+    fn clone(&self) -> Self {
+        Self {
+            store: Arc::clone(&self.store),
+            source: Arc::clone(&self.source),
+            config: self.config.clone(),
+        }
+    }
+}
+
+impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
+    /// Creates a loader. The source's planned object names must exist in
+    /// `store`.
+    pub fn new(store: Arc<ObjectStore>, source: Arc<S>, config: ParallelConfig) -> Self {
+        Self { store, source, config }
     }
 
     /// The configuration.
@@ -240,9 +256,18 @@ impl ParallelLoader {
         &self.store
     }
 
-    /// The metadata DB this loader plans reads over.
-    pub fn db(&self) -> &Arc<MetaDb> {
-        &self.db
+    /// The record source this loader plans reads over.
+    pub fn source(&self) -> &Arc<S> {
+        &self.source
+    }
+
+    /// The record source this loader plans reads over (historical name,
+    /// kept for callers written against the `MetaDb`-only loader; will
+    /// be deleted in 0.2.0 alongside `ObjectStore::read_bytes`).
+    #[deprecated(since = "0.1.0", note = "use ParallelLoader::source; this alias will be \
+                                          deleted in 0.2.0")]
+    pub fn db(&self) -> &Arc<S> {
+        &self.source
     }
 
     /// Spawns the worker pool and assembler for one epoch and returns the
@@ -264,7 +289,7 @@ impl ParallelLoader {
 
         // Work queue: record indices in the shared epoch order.
         let (work_tx, work_rx) = unbounded::<usize>();
-        for idx in planner.epoch_order(self.db.records.len(), epoch) {
+        for idx in planner.epoch_order(self.source.num_records(), epoch) {
             work_tx.send(idx).expect("queue open");
         }
         drop(work_tx);
@@ -277,7 +302,7 @@ impl ParallelLoader {
             let work_rx = work_rx.clone();
             let rec_tx = rec_tx.clone();
             let store = Arc::clone(&self.store);
-            let db = Arc::clone(&self.db);
+            let source = Arc::clone(&self.source);
             let stats = Arc::clone(&stats);
             let decode = cfg.loader.decode;
             let planner = planner.clone();
@@ -285,7 +310,7 @@ impl ParallelLoader {
             let handle = std::thread::Builder::new()
                 .name(format!("pcr-parallel-{w}"))
                 .spawn(move || {
-                    worker_loop(&work_rx, &rec_tx, &store, &*db, &stats, &planner, decode, io)
+                    worker_loop(&work_rx, &rec_tx, &store, &*source, &stats, &planner, decode, io)
                 })
                 .expect("spawn worker");
             workers.push(handle);

@@ -1,13 +1,18 @@
 //! Compatibility facade over [`crate::parallel`] — the original
-//! multi-threaded decode pipeline API, now implemented by the wall-clock
-//! [`ParallelLoader`].
+//! multi-threaded decode pipeline API, now a thin adapter onto the
+//! wall-clock [`ParallelLoader`] and therefore onto the unified data
+//! plane: reads planned by `RecordSource`/`ReadPlanner` and executed
+//! through the store's single clocked path
+//! (`ObjectStore::read(Clock::Wall, …)`), so pipeline traffic shows up
+//! in the page cache and device statistics like every other loader's.
 //!
 //! New code should use [`crate::parallel`] directly: it shares
-//! [`LoaderConfig`]/[`DecodeMode`] with the
-//! virtual-time loader, supports emulated storage latency, per-worker
-//! decode scratch reuse, and wall-clock epoch reporting. This module keeps
-//! the earlier `spawn_epoch(store, db, PipelineConfig, epoch)` shape
-//! working for existing callers.
+//! [`LoaderConfig`]/[`DecodeMode`] with the virtual-time loader, supports
+//! emulated storage latency, per-worker decode scratch reuse, wall-clock
+//! epoch reporting, and non-`MetaDb` sources (e.g.
+//! [`crate::sharded::ShardedSource`]). This module keeps the earlier
+//! `spawn_epoch(store, db, PipelineConfig, epoch)` shape working for
+//! existing callers and adds nothing of its own.
 
 use crate::config::{DecodeMode, LoaderConfig};
 use crate::parallel::{EpochStream, IoModel, ParallelConfig, ParallelLoader};

@@ -60,6 +60,25 @@ pub trait RecordSource: Send + Sync {
     ) -> Option<Vec<ImageBuf>>;
 }
 
+/// Decodes a planned `.pcr` record prefix into images at `scan_group`,
+/// clamped to the groups the bytes actually contain — the one decode
+/// implementation every PCR-format source (`MetaDb`,
+/// [`crate::sharded::ShardedSource`]) shares, so clamping semantics can
+/// never diverge between the per-record and sharded layouts.
+pub(crate) fn decode_pcr_prefix(
+    bytes: &[u8],
+    scan_group: usize,
+    scratch: &mut RecordScratch,
+) -> Option<Vec<ImageBuf>> {
+    let rec = PcrRecord::parse(bytes).ok()?;
+    let g = rec.available_groups().min(scan_group).max(1);
+    let mut images = Vec::with_capacity(rec.num_images());
+    for i in 0..rec.num_images() {
+        images.push(rec.decode_image_with(i, g, scratch).ok()?);
+    }
+    Some(images)
+}
+
 impl RecordSource for MetaDb {
     fn num_records(&self) -> usize {
         self.records.len()
@@ -81,13 +100,7 @@ impl RecordSource for MetaDb {
         scan_group: usize,
         scratch: &mut RecordScratch,
     ) -> Option<Vec<ImageBuf>> {
-        let rec = PcrRecord::parse(bytes).ok()?;
-        let g = rec.available_groups().min(scan_group).max(1);
-        let mut images = Vec::with_capacity(rec.num_images());
-        for i in 0..rec.num_images() {
-            images.push(rec.decode_image_with(i, g, scratch).ok()?);
-        }
-        Some(images)
+        decode_pcr_prefix(bytes, scan_group, scratch)
     }
 }
 

@@ -1,0 +1,163 @@
+//! A minimal JSON document builder — the one serializer behind every
+//! machine-readable artifact the workspace emits (`FidelityTrace`
+//! exports, `pcr inspect --json`, `pcr bench --json`).
+//!
+//! The workspace builds offline without serde, so JSON writing is
+//! hand-rolled once here instead of once per call site. Only
+//! serialization is provided (nothing in the repo parses JSON);
+//! non-finite floats render as `null` so output is always valid JSON.
+//!
+//! ```
+//! use pcr_metrics::JsonValue;
+//!
+//! let doc = JsonValue::object([
+//!     ("shards", JsonValue::U64(3)),
+//!     ("name", JsonValue::str("derm-tiny")),
+//!     ("hit_rate", JsonValue::F64(0.75)),
+//!     ("groups", JsonValue::Array(vec![JsonValue::U64(1), JsonValue::U64(5)])),
+//! ]);
+//! assert_eq!(
+//!     doc.render(),
+//!     r#"{"shards":3,"name":"derm-tiny","hit_rate":0.75,"groups":[1,5]}"#
+//! );
+//! ```
+
+use std::fmt::Write as _;
+
+/// A JSON value; build a tree, then [`JsonValue::render`] it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Unsigned integer (rendered without a decimal point).
+    U64(u64),
+    /// Signed integer (rendered without a decimal point).
+    I64(i64),
+    /// Floating point; non-finite values render as `null`.
+    F64(f64),
+    /// String (escaped on render).
+    Str(String),
+    /// Array of values.
+    Array(Vec<JsonValue>),
+    /// Object: key-value pairs rendered in insertion order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience: a string value from anything string-like.
+    pub fn str(s: impl Into<String>) -> Self {
+        JsonValue::Str(s.into())
+    }
+
+    /// Convenience: an object from `(key, value)` pairs.
+    pub fn object<K: Into<String>>(pairs: impl IntoIterator<Item = (K, JsonValue)>) -> Self {
+        JsonValue::Object(pairs.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Renders the value as compact JSON (no whitespace).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::U64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::I64(v) => {
+                let _ = write!(out, "{v}");
+            }
+            JsonValue::F64(v) => {
+                if v.is_finite() {
+                    let _ = write!(out, "{v}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            JsonValue::Str(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(JsonValue::Null.render(), "null");
+        assert_eq!(JsonValue::Bool(true).render(), "true");
+        assert_eq!(JsonValue::U64(42).render(), "42");
+        assert_eq!(JsonValue::I64(-7).render(), "-7");
+        assert_eq!(JsonValue::F64(1.5).render(), "1.5");
+        assert_eq!(JsonValue::F64(f64::NAN).render(), "null");
+        assert_eq!(JsonValue::F64(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let v = JsonValue::str("a\"b\\c\nd\u{1}");
+        assert_eq!(v.render(), "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn nested_structures_render_in_order() {
+        let v = JsonValue::object([
+            ("b", JsonValue::Array(vec![JsonValue::U64(1), JsonValue::Null])),
+            ("a", JsonValue::object([("x", JsonValue::Bool(false))])),
+        ]);
+        assert_eq!(v.render(), r#"{"b":[1,null],"a":{"x":false}}"#);
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(JsonValue::Array(vec![]).render(), "[]");
+        assert_eq!(JsonValue::Object(vec![]).render(), "{}");
+    }
+}

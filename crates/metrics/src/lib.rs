@@ -30,12 +30,14 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod json;
 pub mod regression;
 pub mod ssim;
 pub mod stats;
 pub mod trace;
 
 pub use histogram::Log2Histogram;
+pub use json::JsonValue;
 pub use regression::{linear_regression, student_t_sf, LinearFit};
 pub use ssim::{msssim, msssim_u8, ssim, Plane};
 pub use stats::{

@@ -3,11 +3,13 @@
 //! rate, throughput, loss — serialized as JSON so bench runs can record a
 //! `BENCH_*.json` file alongside their printed tables.
 //!
-//! Serialization is hand-rolled (the workspace builds offline, without
-//! serde); the format is a single object `{"epochs": [...]}` with one
-//! entry per epoch. Non-finite floats serialize as `null` to keep the
-//! output valid JSON.
+//! Serialization goes through the workspace's hand-rolled
+//! [`JsonValue`] builder (the build is offline,
+//! without serde); the format is a single object `{"epochs": [...]}`
+//! with one entry per epoch. Non-finite floats serialize as `null` to
+//! keep the output valid JSON.
 
+use crate::json::JsonValue;
 use std::io;
 use std::path::Path;
 
@@ -70,41 +72,35 @@ impl FidelityTrace {
         groups
     }
 
+    /// The trace as a [`JsonValue`] tree, for embedding into larger
+    /// documents (e.g. `pcr bench --json` reports).
+    pub fn to_json_value(&self) -> JsonValue {
+        let epochs = self
+            .epochs
+            .iter()
+            .map(|e| {
+                JsonValue::object([
+                    ("epoch", JsonValue::U64(e.epoch)),
+                    ("scan_group", JsonValue::U64(e.scan_group as u64)),
+                    ("bytes_read", JsonValue::U64(e.bytes_read)),
+                    ("images", JsonValue::U64(e.images)),
+                    ("images_per_sec", JsonValue::F64(e.images_per_sec)),
+                    ("cache_hit_rate", JsonValue::F64(e.cache_hit_rate)),
+                    ("loss", JsonValue::F64(e.loss)),
+                ])
+            })
+            .collect();
+        JsonValue::object([("epochs", JsonValue::Array(epochs))])
+    }
+
     /// Serializes the trace as a JSON object `{"epochs": [...]}`.
     pub fn to_json(&self) -> String {
-        let mut out = String::from("{\"epochs\":[");
-        for (i, e) in self.epochs.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push_str(&format!(
-                "{{\"epoch\":{},\"scan_group\":{},\"bytes_read\":{},\"images\":{},\
-                 \"images_per_sec\":{},\"cache_hit_rate\":{},\"loss\":{}}}",
-                e.epoch,
-                e.scan_group,
-                e.bytes_read,
-                e.images,
-                json_f64(e.images_per_sec),
-                json_f64(e.cache_hit_rate),
-                json_f64(e.loss),
-            ));
-        }
-        out.push_str("]}");
-        out
+        self.to_json_value().render()
     }
 
     /// Writes [`FidelityTrace::to_json`] to `path`.
     pub fn write_json<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
         std::fs::write(path, self.to_json())
-    }
-}
-
-/// Formats an `f64` as a JSON value (`null` for non-finite numbers).
-fn json_f64(v: f64) -> String {
-    if v.is_finite() {
-        format!("{v}")
-    } else {
-        "null".to_string()
     }
 }
 

@@ -75,6 +75,21 @@ impl DeviceProfile {
         }
     }
 
+    /// A local NVMe-class flash drive — the default device profile for
+    /// *file-backed* shard containers (`pcr-core::container`) opened on a
+    /// workstation: microsecond-scale command latency and multi-GiB/s
+    /// sequential bandwidth, so emulated-latency runs against packed
+    /// shards behave like a modern local disk rather than the paper's
+    /// SATA-era hardware.
+    pub fn nvme_local() -> Self {
+        Self {
+            name: "nvme-local".into(),
+            seek_latency_us: 20.0,
+            request_overhead_us: 8.0,
+            sequential_bw_mib_s: 3_000.0,
+        }
+    }
+
     /// In-memory "device": effectively instant (used as the compute-bound
     /// reference, e.g. the paper's from-RAM training rates).
     pub fn ram() -> Self {

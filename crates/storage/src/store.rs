@@ -131,6 +131,24 @@ impl ObjectStore {
     /// service time is realized — queued on the virtual timeline
     /// ([`Clock::Virtual`]) or returned as a duration for the caller to
     /// spend ([`Clock::Wall`]).
+    ///
+    /// # `Clock::Wall` semantics
+    ///
+    /// For a wall-clock read the returned [`ReadResult`] is interpreted as:
+    ///
+    /// * `start` is always `0.0` — wall reads have no position on the
+    ///   virtual timeline and never queue behind virtual requests (real
+    ///   threads already contend in real time).
+    /// * `finish` is the modeled service **duration** in seconds for the
+    ///   *uncached* portion of the (readahead-extended) range; a fully
+    ///   cached read costs only the device's request overhead. Sleep it to
+    ///   emulate the device (`IoModel::EmulatedLatency` in `pcr-loader`)
+    ///   or ignore it for memory-speed reads.
+    /// * the device's `busy_until` is untouched, but its byte/request
+    ///   statistics and the page cache **do** observe the read — wall
+    ///   traffic is fully visible in [`ObjectStore::device_stats`] and
+    ///   [`ObjectStore::cache_hit_rate`], and it warms the cache for
+    ///   either timeline.
     pub fn read(&self, clock: Clock, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
         let (oid, data) = {
             let g = self.objects.lock();
@@ -184,10 +202,17 @@ impl ObjectStore {
 
     /// Zero-copy read of `[offset, offset+len)` of `name` (clamped to the
     /// object size), discarding the timing.
+    ///
+    /// Removal timeline: this shim exists only so out-of-tree callers of
+    /// the pre-unification API keep compiling against 0.1.x. It has zero
+    /// in-repo call sites and **will be deleted in 0.2.0**; migrate to
+    /// [`ObjectStore::read`] with [`Clock::Wall`] (the returned
+    /// [`ReadResult::data`] is the same [`ByteView`]).
     #[deprecated(
         since = "0.1.0",
         note = "use ObjectStore::read with Clock::Wall — wall-clock reads now share \
-                the cache, readahead, and statistics of the clocked path"
+                the cache, readahead, and statistics of the clocked path; this shim \
+                will be deleted in 0.2.0"
     )]
     pub fn read_bytes(&self, name: &str, offset: u64, len: u64) -> Option<ByteView> {
         self.read(Clock::Wall, name, offset, len).map(|r| r.data)

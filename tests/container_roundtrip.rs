@@ -1,0 +1,184 @@
+//! Container round-trip: packing a freshly generated dermatology dataset
+//! to on-disk shards and streaming it back through `ShardedSource` must
+//! be *observationally identical* to the in-memory `MetaDb` path — same
+//! record/label multisets, same per-scan-group byte counts — and
+//! corrupted shards must be rejected before any loader runs.
+
+use pcr::core::{PcrContainer, PcrDataset};
+use pcr::datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+use pcr::loader::{
+    open_container_store, populate_store, DecodeMode, FidelityConfig, FidelityController,
+    LoaderConfig, OpenedContainer, ParallelConfig, ParallelLoader, PcrLoader, RecordSource,
+    ShardStoreConfig,
+};
+use pcr::storage::{DeviceProfile, ObjectStore};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pcr-roundtrip-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A freshly generated dermatology (HAM10000-like) dataset, encoded once.
+fn dermatology() -> (SyntheticDataset, PcrDataset) {
+    let ds = SyntheticDataset::generate(&DatasetSpec::ham10000_like(Scale::Tiny));
+    let (pcr, _) = to_pcr_dataset(&ds, 4);
+    (ds, pcr)
+}
+
+fn pack(pcr: &PcrDataset, tag: &str, records_per_shard: usize) -> (PathBuf, OpenedContainer) {
+    let dir = tmpdir(tag);
+    pcr::core::write_container(pcr, &dir, records_per_shard).expect("pack");
+    let opened = open_container_store(&dir, &ShardStoreConfig::default()).expect("open");
+    (dir, opened)
+}
+
+/// Sorted (record name, labels) pairs delivered by a virtual epoch — the
+/// record multiset, not just the label multiset.
+fn epoch_records(
+    store: &ObjectStore,
+    source: &(impl RecordSource + ?Sized),
+    names: &dyn Fn(usize) -> String,
+    g: usize,
+    epoch: u64,
+) -> (Vec<(String, Vec<u32>)>, u64) {
+    let cfg = LoaderConfig { decode: DecodeMode::Skip, ..LoaderConfig::at_group(g) };
+    let result = PcrLoader::over(store, source, cfg).run_epoch(epoch, 0.0);
+    let mut pairs: Vec<(String, Vec<u32>)> =
+        result.records.iter().map(|r| (names(r.record), r.labels.clone())).collect();
+    pairs.sort();
+    (pairs, result.bytes)
+}
+
+#[test]
+fn sharded_epoch_matches_in_memory_loader_exactly() {
+    let (_, pcr) = dermatology();
+    let (dir, opened) = pack(&pcr, "exact", 3);
+
+    let mem_store = ObjectStore::new(DeviceProfile::nvme_local());
+    populate_store(&mem_store, &pcr);
+
+    let shard_names = {
+        let source = Arc::clone(&opened.source);
+        move |idx: usize| source.record_name(idx).to_string()
+    };
+    let db = pcr.db.clone();
+    let mem_names = move |idx: usize| db.records[idx].name.clone();
+
+    for g in [1usize, 2, 5, 10] {
+        for epoch in [0u64, 3] {
+            let (sharded, sharded_bytes) =
+                epoch_records(&opened.store, &*opened.source, &shard_names, g, epoch);
+            let (memory, memory_bytes) =
+                epoch_records(&mem_store, &pcr.db, &mem_names, g, epoch);
+            assert_eq!(sharded, memory, "record multiset at group {g} epoch {epoch}");
+            assert_eq!(sharded_bytes, memory_bytes, "bytes at group {g} epoch {epoch}");
+            assert_eq!(
+                sharded_bytes,
+                pcr.db.bytes_at_group(g),
+                "per-group byte count matches the metadata DB"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn wall_clock_dynamic_run_from_shards_matches_in_memory_traffic() {
+    // The acceptance-criterion path: pack a fresh dermatology dataset,
+    // then run a dynamic-fidelity wall-clock training loop from the
+    // on-disk shards, and check its per-epoch traffic equals the
+    // in-memory loader's under the identical controller trajectory.
+    let (_, pcr) = dermatology();
+    let (dir, opened) = pack(&pcr, "dynamic", 3);
+    let epochs = 5u64;
+    let scores = vec![(1, 0.90), (2, 0.96), (5, 0.99), (10, 1.0)];
+    let losses = |e: u64| if e == 0 { 1.0 } else { 0.5 }; // plateau after epoch 1
+
+    let run = |loader: ParallelLoader<dyn RecordSource>| {
+        let fidelity = FidelityConfig { plateau_window: 1, ..FidelityConfig::default() };
+        let mut ctrl = FidelityController::new(fidelity, scores.clone());
+        loader.run_dynamic(epochs, &mut ctrl, |e, _| losses(e))
+    };
+
+    let cfg = ParallelConfig {
+        loader: LoaderConfig { threads: 2, decode: DecodeMode::Skip, ..LoaderConfig::at_group(10) },
+        ..ParallelConfig::default()
+    };
+
+    let sharded_loader: ParallelLoader<dyn RecordSource> = ParallelLoader::new(
+        Arc::clone(&opened.store),
+        Arc::clone(&opened.source) as Arc<dyn RecordSource>,
+        cfg.clone(),
+    );
+    let sharded_trace = run(sharded_loader);
+
+    let mem_store = Arc::new(ObjectStore::new(DeviceProfile::nvme_local()));
+    populate_store(&mem_store, &pcr);
+    let mem_loader: ParallelLoader<dyn RecordSource> = ParallelLoader::new(
+        Arc::clone(&mem_store),
+        Arc::new(pcr.db.clone()) as Arc<dyn RecordSource>,
+        cfg,
+    );
+    let mem_trace = run(mem_loader);
+
+    assert_eq!(sharded_trace.epochs.len(), epochs as usize);
+    assert_eq!(sharded_trace.groups_used(), mem_trace.groups_used());
+    assert_eq!(sharded_trace.groups_used(), vec![10, 2], "full quality, then tuned");
+    for (s, m) in sharded_trace.epochs.iter().zip(&mem_trace.epochs) {
+        assert_eq!(s.scan_group, m.scan_group, "epoch {}", s.epoch);
+        assert_eq!(s.bytes_read, m.bytes_read, "epoch {}", s.epoch);
+        assert_eq!(s.images, m.images, "epoch {}", s.epoch);
+        assert_eq!(s.bytes_read, pcr.db.bytes_at_group(s.scan_group));
+    }
+    assert!(sharded_trace.total_bytes() < epochs * pcr.db.bytes_at_group(10));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_shard_checksum_is_rejected() {
+    let (_, pcr) = dermatology();
+    let dir = tmpdir("corrupt");
+    pcr::core::write_container(&pcr, &dir, 2).expect("pack");
+
+    // Flip a single record byte; the footer CRC still parses fine, so
+    // only per-record verification can catch it.
+    let container = PcrContainer::open(&dir).expect("open");
+    let (_, rec) = container.record(1).expect("record 1");
+    let path = container.shard_path(0);
+    let mut bytes = std::fs::read(&path).unwrap();
+    let victim = rec.offset as usize + rec.len() as usize / 3;
+    bytes[victim] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+
+    let err = open_container_store(&dir, &ShardStoreConfig::default()).unwrap_err();
+    assert!(matches!(err, pcr::core::Error::Corrupt(_)), "{err:?}");
+    assert!(container.verify().is_err(), "verify() agrees");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn metadb_view_survives_disk_roundtrip() {
+    // The flattened sharded view carries exactly the metadata the
+    // in-memory DB had: same names, labels, group offsets, totals.
+    let (_, pcr) = dermatology();
+    let (dir, opened) = pack(&pcr, "view", 4);
+    let src = &opened.source;
+    assert_eq!(src.num_records(), pcr.db.records.len());
+    assert_eq!(src.num_images(), pcr.db.num_images());
+    assert_eq!(src.num_groups(), pcr.db.num_groups());
+    for (i, meta) in pcr.db.records.iter().enumerate() {
+        assert_eq!(src.record_name(i), meta.name);
+        assert_eq!(src.labels(i), &meta.labels[..]);
+        for g in 0..=pcr.db.num_groups() {
+            assert_eq!(src.plan(i, g).len, meta.prefix_len(g), "record {i} group {g}");
+        }
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
