@@ -1,0 +1,186 @@
+//! Decode hot-path microbenchmark: single-thread JPEG decode throughput
+//! (images per CPU-second) on the synthetic dermatology (HAM10000-like)
+//! dataset at full scan groups — the number the repo's perf trajectory
+//! (`BENCH_decode.json` at the repo root) tracks PR over PR.
+//!
+//! The measurement drives the loader's decode unit exactly as a
+//! wall-clock worker does — planned prefix reads through the clocked
+//! store path (RAM profile, so storage adds nothing), then
+//! [`RecordSource::decode_real`] through a pooled `RecordScratch` →
+//! `pcr_jpeg::decode_with` — but on one thread with timers around only
+//! the decode calls, so the CPU number has no channel or scheduler noise
+//! in it (CI runners are often single-core).
+//!
+//! Outputs and gating:
+//!
+//! * writes a fresh `target/BENCH_decode.json` with the measured number
+//!   (plus the committed trajectory, echoed for context);
+//! * if a committed `BENCH_decode.json` exists at the repo root, the run
+//!   **fails** when the measured throughput drops more than
+//!   `PCR_BENCH_TOLERANCE` (default 0.20, i.e. 20%) below the committed
+//!   `current.images_per_cpu_sec` — the CI regression gate. Absolute
+//!   throughput varies across machines; re-baseline the committed file
+//!   from the machine that owns the trajectory when hardware changes.
+//!
+//! `PCR_BENCH_SMOKE=1` (CI) shrinks the epoch count so the gate runs in
+//! seconds.
+
+use pcr_core::{MetaDb, RecordScratch};
+use pcr_datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+use pcr_loader::{populate_store, LoaderConfig, RecordSource, ReadPlanner};
+use pcr_metrics::JsonValue;
+use pcr_storage::{Clock, DeviceProfile, ObjectStore};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn smoke() -> bool {
+    std::env::var_os("PCR_BENCH_SMOKE").is_some()
+}
+
+fn setup() -> (Arc<ObjectStore>, Arc<MetaDb>) {
+    let ds = SyntheticDataset::generate(&DatasetSpec::ham10000_like(Scale::Tiny));
+    let (pcr, _) = to_pcr_dataset(&ds, 8);
+    let store = Arc::new(ObjectStore::new(DeviceProfile::ram()));
+    populate_store(&store, &pcr);
+    (store, Arc::new(pcr.db.clone()))
+}
+
+/// Runs `epochs` epochs of the loader's decode unit on one thread —
+/// planned prefix reads through the clocked store path, then
+/// `RecordSource::decode_real` through a pooled `RecordScratch` — timing
+/// only the decode calls. Single-threaded on purpose: no channel or
+/// scheduler noise in the CPU number (this box may well be one core).
+/// Returns (images decoded, summed decode seconds, images/CPU-sec).
+fn measure(store: &Arc<ObjectStore>, db: &Arc<MetaDb>, epochs: u64) -> (u64, f64, f64) {
+    let full_group = db.num_groups();
+    let cfg = LoaderConfig { threads: 1, scan_group: full_group, ..LoaderConfig::default() };
+    let planner = ReadPlanner::from_config(&cfg);
+    let mut scratch = RecordScratch::new();
+    let source: &MetaDb = db;
+    let n = source.num_records();
+    // Per-record best decode time across epochs. Scheduler preemption and
+    // noisy-neighbor CPU steal only ever *add* time, and they hit random
+    // slices of the run, so with several epochs each record gets at least
+    // one clean decode; summing the per-record minima reconstructs an
+    // uncontended epoch. (Plain per-epoch totals on a shared box swing
+    // 2x between quiet and stolen phases.)
+    let mut best = vec![u64::MAX; n];
+    let mut record_images = vec![0u64; n];
+    let mut nanos_total = 0u64;
+    for e in 0..epochs {
+        for idx in planner.epoch_order(n, e) {
+            let plan = planner.plan(source, idx);
+            let read = store
+                .read(Clock::Wall, plan.name, plan.offset, plan.len)
+                .expect("record bytes present");
+            let t0 = Instant::now();
+            let decoded = source
+                .decode_real(idx, &read.data, planner.scan_group, &mut scratch)
+                .expect("decodable record");
+            let dt = t0.elapsed().as_nanos() as u64;
+            nanos_total += dt;
+            best[idx] = best[idx].min(dt);
+            record_images[idx] = decoded.len() as u64;
+        }
+    }
+    let images_per_epoch: u64 = record_images.iter().sum();
+    let best_nanos: u64 = best.iter().sum();
+    let images = images_per_epoch * epochs;
+    let secs = nanos_total as f64 / 1e9;
+    let rate =
+        if best_nanos > 0 { images_per_epoch as f64 * 1e9 / best_nanos as f64 } else { 0.0 };
+    (images, secs, rate)
+}
+
+/// Extracts `"images_per_cpu_sec":<number>` following `"<section>":{` in a
+/// committed BENCH_decode.json (the workspace has no JSON parser; the file
+/// is machine-written by this bench, so a positional scan is reliable).
+fn committed_number(text: &str, section: &str) -> Option<f64> {
+    let sec = text.find(&format!("\"{section}\""))?;
+    let tail = &text[sec..];
+    let key = tail.find("\"images_per_cpu_sec\":")?;
+    let num = &tail[key + "\"images_per_cpu_sec\":".len()..];
+    let end = num.find([',', '}'])?;
+    num[..end].trim().parse().ok()
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--test") {
+        return; // `cargo test --benches` compiles + smoke-invokes only
+    }
+    let (store, db) = setup();
+    let full_group = db.num_groups();
+
+    // Warm-up epoch: page in the store, fault in code, size scratch pools.
+    let _ = measure(&store, &db, 1);
+
+    let epochs = if smoke() { 2 } else { 24 };
+    let (images, cpu_secs, rate) = measure(&store, &db, epochs);
+    println!(
+        "decode_hot: {images} images in {cpu_secs:.3} CPU-sec over {epochs} epochs \
+         (1 worker, scan group {full_group}) -> {rate:.1} images/CPU-sec"
+    );
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let committed_path = format!("{root}/BENCH_decode.json");
+    let committed = std::fs::read_to_string(&committed_path).ok();
+    let committed_current = committed.as_deref().and_then(|t| committed_number(t, "current"));
+    let committed_baseline =
+        committed.as_deref().and_then(|t| committed_number(t, "baseline_pre_pr"));
+
+    let doc = JsonValue::object([
+        ("bench", JsonValue::str("decode_hot")),
+        ("dataset", JsonValue::str("ham10000_like/tiny, 8 images per record")),
+        ("scan_group", JsonValue::U64(full_group as u64)),
+        ("workers", JsonValue::U64(1)),
+        ("epochs", JsonValue::U64(epochs)),
+        ("images", JsonValue::U64(images)),
+        ("decode_cpu_seconds", JsonValue::F64(cpu_secs)),
+        (
+            "baseline_pre_pr",
+            JsonValue::object([(
+                "images_per_cpu_sec",
+                committed_baseline.map_or(JsonValue::Null, JsonValue::F64),
+            )]),
+        ),
+        (
+            "current",
+            JsonValue::object([
+                ("images_per_cpu_sec", JsonValue::F64(rate)),
+                (
+                    "speedup_vs_baseline",
+                    committed_baseline
+                        .filter(|b| *b > 0.0)
+                        .map_or(JsonValue::Null, |b| JsonValue::F64(rate / b)),
+                ),
+            ]),
+        ),
+    ]);
+    let out = format!("{root}/target/BENCH_decode.json");
+    match std::fs::write(&out, doc.render() + "\n") {
+        Ok(()) => println!("measurement written to {out}"),
+        Err(e) => println!("could not write {out}: {e}"),
+    }
+
+    // Regression gate against the committed trajectory point.
+    if let Some(committed) = committed_current.filter(|c| *c > 0.0) {
+        let tolerance: f64 = std::env::var("PCR_BENCH_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.20);
+        let floor = committed * (1.0 - tolerance);
+        println!(
+            "committed current: {committed:.1} images/CPU-sec, floor at {:.0}% = {floor:.1}",
+            (1.0 - tolerance) * 100.0
+        );
+        assert!(
+            rate >= floor,
+            "decode throughput regression: measured {rate:.1} images/CPU-sec is more than \
+             {:.0}% below the committed {committed:.1} (floor {floor:.1}); investigate or \
+             re-baseline BENCH_decode.json",
+            tolerance * 100.0
+        );
+    } else {
+        println!("no committed BENCH_decode.json current number: gate skipped");
+    }
+}

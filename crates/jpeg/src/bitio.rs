@@ -1,7 +1,42 @@
 //! Bit-level I/O for entropy-coded JPEG segments, including 0xFF byte
 //! stuffing (writer) and stuffing removal / marker detection (reader).
+//!
+//! The reader is the decode hot path's innermost primitive, so it is
+//! *batched*: a 64-bit accumulator is refilled 32 bits at a time from the
+//! underlying slice (a word-at-a-time scan locates the next 0xFF once, and
+//! every byte before it is appended without per-byte stuffing checks).
+//! The entropy decoders consume it through the branch-light
+//! [`BitSource::peek_bits`] / [`BitSource::consume`] pair: one refill
+//! check, one shift, one mask per probe. The same 0xFF scanner
+//! ([`find_ff`]) backs `SegmentReader::skip_entropy`, which is how
+//! `scansplit` walks scan boundaries without decoding.
 
 use crate::error::{Error, Result};
+
+/// Index of the first `0xFF` byte at or after `from` (returns
+/// `data.len()` if there is none). Word-at-a-time: eight bytes are tested
+/// per iteration with the classic "has zero byte" trick applied to the
+/// complement, so entropy segments are scanned at memory speed. Shared by
+/// the [`BitReader`] refill (run length of stuffing-free bytes) and the
+/// marker-level entropy skip behind `scansplit`.
+#[inline]
+pub fn find_ff(data: &[u8], from: usize) -> usize {
+    const LO: u64 = 0x0101_0101_0101_0101;
+    const HI: u64 = 0x8080_8080_8080_8080;
+    let mut p = from;
+    while p + 8 <= data.len() {
+        let w = u64::from_ne_bytes(data[p..p + 8].try_into().expect("8 bytes"));
+        // A byte equals 0xFF iff its complement is zero.
+        if (!w).wrapping_sub(LO) & w & HI != 0 {
+            break; // an 0xFF is among these 8 bytes: pinpoint it below
+        }
+        p += 8;
+    }
+    while p < data.len() && data[p] != 0xFF {
+        p += 1;
+    }
+    p
+}
 
 /// Writes bits MSB-first into a byte buffer, inserting a 0x00 stuff byte
 /// after every literal 0xFF as required by T.81 section B.1.1.5.
@@ -64,13 +99,66 @@ impl BitWriter {
     }
 }
 
+/// The bit-level source entropy decoders read from.
+///
+/// Implemented by the batched [`BitReader`] (production) and by the
+/// retained per-byte reference reader (tests), so the scan-decoding logic
+/// in [`crate::dentropy`] is written exactly once and the bit-exactness
+/// suite can run it against both primitives.
+///
+/// Contract shared by all implementations (the *refill contract*):
+///
+/// * bits are delivered MSB-first;
+/// * `peek_bits(n)`/`get_bits(n)` support `n <= 16` and transparently
+///   refill from the underlying slice, removing `0xFF 0x00` stuffing;
+/// * encountering a real marker (`0xFF` followed by anything but `0x00`)
+///   or the end of the slice ends the entropy data: all further bits read
+///   as zero (T.81 behaviour, which truncated progressive streams rely
+///   on) and the reader reports itself exhausted;
+/// * `consume(n)` discards bits previously made available by a peek and
+///   never refills.
+pub trait BitSource {
+    /// Reads `n` bits (`n <= 16`) MSB-first.
+    fn get_bits(&mut self, n: u32) -> Result<u32>;
+    /// Peeks `n` bits (`n <= 16`) without consuming them (zero-padded past
+    /// the end of the entropy data).
+    fn peek_bits(&mut self, n: u32) -> Result<u32>;
+    /// Consumes `n` bits previously peeked.
+    fn consume(&mut self, n: u32) -> Result<()>;
+    /// Reads a single bit.
+    #[inline]
+    fn get_bit(&mut self) -> Result<u32> {
+        self.get_bits(1)
+    }
+    /// Hint that a multi-peek decode step is about to run: tops the
+    /// buffer up so the following `peek_bits`/`consume` calls hit their
+    /// never-taken refill branches. Default: no-op (correctness never
+    /// depends on it — peeks refill on demand).
+    #[inline]
+    fn prefetch(&mut self) {}
+}
+
 /// Reads bits MSB-first from an entropy-coded segment, transparently
 /// removing 0xFF 0x00 stuffing and stopping at any real marker.
+///
+/// Batched: the accumulator keeps its valid bits *top-aligned* in a
+/// `u64` (everything below them is zero), so inside a stuffing-free run
+/// — located once per run by [`find_ff`] — a refill is branch-free: one
+/// unaligned 8-byte big-endian load, one shift, one `or`, topping the
+/// buffer up to at least 56 bits. Peek is a single shift from the top;
+/// consume is a shift up. Only bytes at the scanner's 0xFF mark (or past
+/// the end) take the per-byte slow path. After any refill at least 56
+/// valid bits are buffered, so a two-probe Huffman lookup (8 + 16 bits)
+/// never refills twice.
 #[derive(Debug)]
 pub struct BitReader<'a> {
     data: &'a [u8],
+    /// Next unread byte (bytes before `pos` are in `acc` or consumed).
     pos: usize,
-    acc: u32,
+    /// Index of the next 0xFF at or after `pos` (`data.len()` if none).
+    ff_ahead: usize,
+    /// Top `nbits` bits are valid; all lower bits are zero.
+    acc: u64,
     nbits: u32,
     /// Set when a non-stuffed 0xFF marker byte was encountered; entropy data
     /// is exhausted at that point.
@@ -81,10 +169,12 @@ impl<'a> BitReader<'a> {
     /// Creates a reader over `data`, which should start at the first
     /// entropy-coded byte (just after an SOS header).
     pub fn new(data: &'a [u8]) -> Self {
-        Self { data, pos: 0, acc: 0, nbits: 0, marker_hit: None }
+        Self { data, pos: 0, ff_ahead: find_ff(data, 0), acc: 0, nbits: 0, marker_hit: None }
     }
 
-    /// Byte offset of the next unread byte within the input slice.
+    /// Byte offset of the next byte not yet pulled into the accumulator.
+    /// Refills are batched, so this can run ahead of the logical bit
+    /// position by up to 8 bytes.
     pub fn byte_pos(&self) -> usize {
         self.pos
     }
@@ -94,47 +184,64 @@ impl<'a> BitReader<'a> {
         self.marker_hit
     }
 
-    #[inline]
-    fn fill(&mut self) -> Result<()> {
-        // After hitting a marker, T.81 behaviour is to feed zero bits; a
-        // well-formed stream never needs them, and a truncated progressive
-        // stream decodes its remaining EOB runs harmlessly.
-        if self.marker_hit.is_some() {
-            self.acc <<= 8;
-            self.nbits += 8;
-            return Ok(());
-        }
-        if self.pos >= self.data.len() {
-            // Truncated stream: treat like marker-hit and pad with zeros so
-            // callers can finish the current MCU then notice exhaustion.
-            self.marker_hit = Some(0x00);
-            self.acc <<= 8;
-            self.nbits += 8;
-            return Ok(());
-        }
-        let b = self.data[self.pos];
-        self.pos += 1;
-        if b == 0xFF {
-            match self.data.get(self.pos) {
-                Some(0x00) => {
-                    self.pos += 1; // stuffed 0xFF
-                    self.acc = (self.acc << 8) | 0xFF;
-                }
-                Some(&m) => {
-                    self.marker_hit = Some(m);
-                    self.pos -= 1; // leave reader at the 0xFF
-                    self.acc <<= 8;
-                }
-                None => {
-                    self.marker_hit = Some(0x00);
-                    self.acc <<= 8;
+    /// Byte-at-a-time refill for the cases the branch-free path cannot
+    /// handle: near an 0xFF (stuffing or marker) or near the end of the
+    /// slice. Zero bits flow once a marker/EOF is hit.
+    #[cold]
+    fn refill_slow(&mut self) {
+        while self.nbits <= 56 {
+            if self.marker_hit.is_some() {
+                // Zero-padding: the bits below the top are already zero.
+                self.nbits += 8;
+            } else if self.pos < self.ff_ahead {
+                self.acc |= u64::from(self.data[self.pos]) << (56 - self.nbits);
+                self.pos += 1;
+                self.nbits += 8;
+            } else if self.pos >= self.data.len() {
+                // Truncated stream: treat like marker-hit and pad with
+                // zeros so callers can finish the current MCU then notice
+                // exhaustion.
+                self.marker_hit = Some(0x00);
+                self.nbits += 8;
+            } else {
+                debug_assert_eq!(self.data[self.pos], 0xFF);
+                match self.data.get(self.pos + 1) {
+                    Some(0x00) => {
+                        self.acc |= 0xFFu64 << (56 - self.nbits);
+                        self.pos += 2; // stuffed 0xFF
+                        self.ff_ahead = find_ff(self.data, self.pos);
+                        self.nbits += 8;
+                    }
+                    Some(&m) => {
+                        self.marker_hit = Some(m);
+                        // Leave `pos` at the 0xFF; feed zero bits from here.
+                        self.nbits += 8;
+                    }
+                    None => {
+                        self.marker_hit = Some(0x00);
+                        self.nbits += 8;
+                    }
                 }
             }
-        } else {
-            self.acc = (self.acc << 8) | u32::from(b);
         }
-        self.nbits += 8;
-        Ok(())
+    }
+
+    /// Refills the accumulator to at least 56 valid bits. Safe at any
+    /// `nbits < 64`: inside a stuffing-free run the top-up is branch-free
+    /// (one unaligned load, shift, or), so callers may invoke it
+    /// unconditionally rather than branching on the buffer level.
+    #[inline]
+    fn refill(&mut self) {
+        if self.pos + 8 <= self.ff_ahead {
+            let w = u64::from_be_bytes(
+                self.data[self.pos..self.pos + 8].try_into().expect("8 bytes"),
+            );
+            self.acc |= w >> self.nbits;
+            self.pos += ((63 - self.nbits) >> 3) as usize;
+            self.nbits |= 56;
+        } else if self.nbits < 32 {
+            self.refill_slow();
+        }
     }
 
     /// Reads `n` bits (n <= 16) MSB-first.
@@ -144,27 +251,35 @@ impl<'a> BitReader<'a> {
             return Ok(0);
         }
         debug_assert!(n <= 16);
-        while self.nbits < n {
-            self.fill()?;
+        if self.nbits < n {
+            self.refill();
         }
+        let v = (self.acc >> (64 - n)) as u32;
+        self.acc <<= n;
         self.nbits -= n;
-        Ok((self.acc >> self.nbits) & ((1u32 << n) - 1))
+        Ok(v)
     }
 
     /// Reads a single bit.
     #[inline]
     pub fn get_bit(&mut self) -> Result<u32> {
-        self.get_bits(1)
+        if self.nbits == 0 {
+            self.refill();
+        }
+        let v = (self.acc >> 63) as u32;
+        self.acc <<= 1;
+        self.nbits -= 1;
+        Ok(v)
     }
 
     /// Peeks up to 16 bits without consuming them (zero-padded past EOF).
     #[inline]
     pub fn peek_bits(&mut self, n: u32) -> Result<u32> {
-        debug_assert!(n <= 16);
-        while self.nbits < n {
-            self.fill()?;
+        debug_assert!((1..=16).contains(&n));
+        if self.nbits < n {
+            self.refill();
         }
-        Ok((self.acc >> (self.nbits - n)) & ((1u32 << n) - 1))
+        Ok((self.acc >> (64 - n)) as u32)
     }
 
     /// Consumes `n` bits previously peeked.
@@ -173,30 +288,55 @@ impl<'a> BitReader<'a> {
         if self.nbits < n {
             return Err(Error::CorruptData("consume past fill".into()));
         }
+        self.acc <<= n;
         self.nbits -= n;
         Ok(())
     }
 
-    /// True once the reader has both hit a marker/EOF and drained its
-    /// buffered whole bytes.
+    /// True once the reader has hit a marker or the end of the data;
+    /// every bit from that point on reads as zero.
     pub fn exhausted(&self) -> bool {
         self.marker_hit.is_some()
     }
 }
 
+impl BitSource for BitReader<'_> {
+    #[inline]
+    fn get_bits(&mut self, n: u32) -> Result<u32> {
+        BitReader::get_bits(self, n)
+    }
+    #[inline]
+    fn peek_bits(&mut self, n: u32) -> Result<u32> {
+        BitReader::peek_bits(self, n)
+    }
+    #[inline]
+    fn consume(&mut self, n: u32) -> Result<()> {
+        BitReader::consume(self, n)
+    }
+    #[inline]
+    fn get_bit(&mut self) -> Result<u32> {
+        BitReader::get_bit(self)
+    }
+    #[inline]
+    fn prefetch(&mut self) {
+        self.refill();
+    }
+}
+
 /// Sign-extends an `n`-bit magnitude per T.81 F.2.2.1 `EXTEND`.
+///
+/// Branch-free: whether the magnitude is in the negative half is a
+/// random data bit in real streams, so a conditional here would
+/// mispredict constantly in the per-coefficient hot loop.
 #[inline]
 pub fn extend(v: u32, n: u32) -> i32 {
     if n == 0 {
         return 0;
     }
-    let vt = 1i32 << (n - 1);
     let v = v as i32;
-    if v < vt {
-        v - (1i32 << n) + 1
-    } else {
-        v
-    }
+    let vt = 1i32 << (n - 1);
+    // v < vt  =>  add (1 - 2^n); otherwise add 0.
+    v + (((v < vt) as i32) * (1i32.wrapping_sub(1i32 << n)))
 }
 
 /// Number of bits needed to represent `|v|` (the JPEG "size" category).
@@ -209,6 +349,7 @@ pub fn bit_size(v: i32) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::reference::ReferenceBitReader;
 
     #[test]
     fn roundtrip_simple_bits() {
@@ -245,7 +386,9 @@ mod tests {
         let mut r = BitReader::new(&data);
         assert_eq!(r.get_bits(8).unwrap(), 0xFF);
         assert_eq!(r.get_bits(8).unwrap(), 0xAB);
-        assert!(r.marker().is_none());
+        // Batched refill reads eagerly, so the end-of-data sentinel is
+        // already visible; no *real* marker was seen.
+        assert_ne!(r.marker(), Some(0xD9));
     }
 
     #[test]
@@ -265,6 +408,22 @@ mod tests {
         assert_eq!(r.get_bits(4).unwrap(), 0b1010);
         assert_eq!(r.get_bits(8).unwrap(), 0);
         assert!(r.exhausted());
+    }
+
+    #[test]
+    fn find_ff_scans_words() {
+        assert_eq!(find_ff(&[], 0), 0);
+        assert_eq!(find_ff(&[0xFF], 0), 0);
+        let mut data = vec![0u8; 100];
+        assert_eq!(find_ff(&data, 0), 100);
+        for at in [0usize, 3, 7, 8, 9, 63, 64, 65, 99] {
+            data.fill(0x11);
+            data[at] = 0xFF;
+            assert_eq!(find_ff(&data, 0), at, "position {at}");
+            if at > 0 {
+                assert_eq!(find_ff(&data, at + 1), 100);
+            }
+        }
     }
 
     #[test]
@@ -304,5 +463,69 @@ mod tests {
         for &(v, n) in &vals {
             assert_eq!(r.get_bits(n).unwrap(), v & ((1 << n) - 1));
         }
+    }
+
+    /// Drives the batched reader and the retained per-byte reference
+    /// reader through an identical schedule of mixed peek / consume /
+    /// get_bits calls and asserts every returned value and the final
+    /// marker state agree. Streams include heavy 0xFF stuffing and a
+    /// terminating marker.
+    fn assert_readers_agree(data: &[u8], schedule_seed: u32) {
+        let mut fast = BitReader::new(data);
+        let mut reference = ReferenceBitReader::new(data);
+        let mut s = schedule_seed | 1;
+        for step in 0..4000 {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            let n = (s >> 7) % 17; // 0..=16
+            match s % 3 {
+                0 => {
+                    let a = fast.peek_bits(n.max(1)).unwrap();
+                    let b = reference.peek_bits(n.max(1)).unwrap();
+                    assert_eq!(a, b, "peek({n}) at step {step}");
+                }
+                1 => {
+                    let a = fast.get_bits(n).unwrap();
+                    let b = reference.get_bits(n).unwrap();
+                    assert_eq!(a, b, "get_bits({n}) at step {step}");
+                }
+                _ => {
+                    let m = (n % 8).min(8);
+                    let a = fast.peek_bits(8).unwrap();
+                    let b = reference.peek_bits(8).unwrap();
+                    assert_eq!(a, b, "peek(8) at step {step}");
+                    fast.consume(m).unwrap();
+                    reference.consume(m).unwrap();
+                }
+            }
+            if fast.exhausted() && reference.exhausted() && step > 600 {
+                break;
+            }
+        }
+        assert_eq!(fast.exhausted(), reference.exhausted());
+        assert_eq!(fast.marker(), reference.marker());
+    }
+
+    #[test]
+    fn batched_reader_matches_reference_on_stuffed_streams() {
+        // Stuffed-heavy stream: long 0xFF 0x00 runs, clean runs, marker tail.
+        let mut data = Vec::new();
+        for i in 0..96u32 {
+            if i % 5 == 0 {
+                data.extend_from_slice(&[0xFF, 0x00]);
+            } else {
+                data.push((i.wrapping_mul(97) & 0xFF) as u8);
+                if data.last() == Some(&0xFF) {
+                    data.push(0x00);
+                }
+            }
+        }
+        data.extend_from_slice(&[0xFF, 0xD9]);
+        for seed in [1u32, 7, 1234, 99991] {
+            assert_readers_agree(&data, seed);
+        }
+        // Truncated (no marker) and empty streams.
+        assert_readers_agree(&data[..data.len().saturating_sub(7)], 5);
+        assert_readers_agree(&[], 3);
+        assert_readers_agree(&[0xFF], 11); // lone 0xFF at end
     }
 }

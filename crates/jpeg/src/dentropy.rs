@@ -1,28 +1,32 @@
 //! Entropy decoding for baseline and progressive scans, mirroring
 //! `entropy.rs` (encode side) and libjpeg's `jdhuff.c`/`jdphuff.c`.
 
-use crate::bitio::{extend, BitReader};
+use crate::bitio::{extend, BitSource};
 use crate::consts::ZIGZAG;
 use crate::error::{Error, Result};
 use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
-use crate::huffman::HuffDecoder;
+use crate::huffman::{HuffDecoder, SymbolDecoder};
 
 /// Huffman decoder tables available to a scan.
-pub struct DecodeTables<'a> {
+///
+/// Generic over the symbol-decoder type `D` (defaulting to the production
+/// two-level [`HuffDecoder`]) so the bit-exactness suite can run the
+/// identical scan logic over the retained canonical decoder.
+pub struct DecodeTables<'a, D = HuffDecoder> {
     /// DC decoders by table id.
-    pub dc: &'a [Option<HuffDecoder>; 4],
+    pub dc: &'a [Option<D>; 4],
     /// AC decoders by table id.
-    pub ac: &'a [Option<HuffDecoder>; 4],
+    pub ac: &'a [Option<D>; 4],
 }
 
-impl DecodeTables<'_> {
-    fn dc_table(&self, id: u8) -> Result<&HuffDecoder> {
+impl<D> DecodeTables<'_, D> {
+    fn dc_table(&self, id: u8) -> Result<&D> {
         self.dc
             .get(id as usize)
             .and_then(Option::as_ref)
             .ok_or_else(|| Error::BadHuffman(format!("missing DC table {id}")))
     }
-    fn ac_table(&self, id: u8) -> Result<&HuffDecoder> {
+    fn ac_table(&self, id: u8) -> Result<&D> {
         self.ac
             .get(id as usize)
             .and_then(Option::as_ref)
@@ -35,12 +39,12 @@ impl DecodeTables<'_> {
 /// Returns normally at the end of the scan's MCUs; a truncated stream decodes
 /// zero bits for the remainder (graceful degradation, which the PCR partial
 /// read path relies on between scan-group boundaries).
-pub fn decode_scan(
+pub fn decode_scan<D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    tables: &DecodeTables<'_>,
-    r: &mut BitReader<'_>,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
 ) -> Result<()> {
     scan.validate(frame)?;
     if !frame.progressive {
@@ -88,33 +92,41 @@ fn for_each_block(
     Ok(())
 }
 
-fn decode_sequential(
+fn decode_sequential<D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    tables: &DecodeTables<'_>,
-    r: &mut BitReader<'_>,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
 ) -> Result<()> {
     let mut preds = vec![0i32; scan.components.len()];
+    // Resolve Huffman tables once per scan, not once per block.
+    let comp_tables: Vec<(&D, &D)> = scan
+        .components
+        .iter()
+        .map(|sc| Ok((tables.dc_table(sc.dc_table)?, tables.ac_table(sc.ac_table)?)))
+        .collect::<Result<_>>()?;
     for_each_block(frame, scan, |slot, row, col| {
         let sc = scan.components[slot];
-        let dctbl = tables.dc_table(sc.dc_table)?;
-        let actbl = tables.ac_table(sc.ac_table)?;
-        let s = u32::from(dctbl.decode(r)?);
+        let (dctbl, actbl) = comp_tables[slot];
+        // Fused symbol + magnitude reads: one peek serves both.
+        let (s_sym, dc_bits) = dctbl.decode_then_bits(r, |s| u32::from(s.min(15)))?;
+        let s = u32::from(s_sym);
         let diff = if s > 0 {
             if s > 15 {
                 return Err(Error::CorruptData("DC size > 15".into()));
             }
-            extend(r.get_bits(s)?, s)
+            extend(dc_bits, s)
         } else {
             0
         };
         preds[slot] += diff;
-        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+        let block: &mut [i16; 64] =
+            coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
         block[0] = preds[slot] as i16;
         let mut k = 1usize;
         while k < 64 {
-            let rs = actbl.decode(r)?;
+            let (rs, bits) = actbl.decode_then_bits(r, |rs| u32::from(rs & 0x0F))?;
             let run = usize::from(rs >> 4);
             let size = u32::from(rs & 0x0F);
             if size == 0 {
@@ -128,32 +140,37 @@ fn decode_sequential(
             if k > 63 {
                 return Err(Error::CorruptData("AC run past block end".into()));
             }
-            let v = extend(r.get_bits(size)?, size);
-            block[ZIGZAG[k]] = v as i16;
+            block[ZIGZAG[k]] = extend(bits, size) as i16;
             k += 1;
         }
         Ok(())
     })
 }
 
-fn decode_dc_first(
+fn decode_dc_first<D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    tables: &DecodeTables<'_>,
-    r: &mut BitReader<'_>,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
 ) -> Result<()> {
     let al = u32::from(scan.al);
     let mut preds = vec![0i32; scan.components.len()];
+    let comp_tables: Vec<&D> = scan
+        .components
+        .iter()
+        .map(|sc| tables.dc_table(sc.dc_table))
+        .collect::<Result<_>>()?;
     for_each_block(frame, scan, |slot, row, col| {
         let sc = scan.components[slot];
-        let dctbl = tables.dc_table(sc.dc_table)?;
-        let s = u32::from(dctbl.decode(r)?);
+        let (s_sym, dc_bits) =
+            comp_tables[slot].decode_then_bits(r, |s| u32::from(s.min(15)))?;
+        let s = u32::from(s_sym);
         let diff = if s > 0 {
             if s > 15 {
                 return Err(Error::CorruptData("DC size > 15".into()));
             }
-            extend(r.get_bits(s)?, s)
+            extend(dc_bits, s)
         } else {
             0
         };
@@ -163,11 +180,11 @@ fn decode_dc_first(
     })
 }
 
-fn decode_dc_refine(
+fn decode_dc_refine<R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    r: &mut BitReader<'_>,
+    r: &mut R,
 ) -> Result<()> {
     let p1 = 1i16 << scan.al;
     for_each_block(frame, scan, |slot, row, col| {
@@ -180,12 +197,12 @@ fn decode_dc_refine(
     })
 }
 
-fn decode_ac_first(
+fn decode_ac_first<D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    tables: &DecodeTables<'_>,
-    r: &mut BitReader<'_>,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
 ) -> Result<()> {
     let sc = scan.components[0];
     let actbl = tables.ac_table(sc.ac_table)?;
@@ -196,10 +213,19 @@ fn decode_ac_first(
             eobrun -= 1;
             return Ok(());
         }
-        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
+        let block: &mut [i16; 64] =
+            coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
         let mut k = scan.ss as usize;
         while k <= scan.se as usize {
-            let rs = actbl.decode(r)?;
+            // One fused read covers the symbol plus either its magnitude
+            // bits (size != 0) or its EOB run-length bits (size == 0).
+            let (rs, bits) = actbl.decode_then_bits(r, |rs| {
+                // Branch-free: magnitude bits for a coefficient symbol,
+                // EOB run-length bits otherwise (0 for ZRL).
+                let size = u32::from(rs & 0x0F);
+                let run = u32::from(rs >> 4);
+                size + (u32::from(size == 0) & u32::from(run != 15)) * run
+            })?;
             let run = usize::from(rs >> 4);
             let size = u32::from(rs & 0x0F);
             if size != 0 {
@@ -207,16 +233,12 @@ fn decode_ac_first(
                 if k > scan.se as usize {
                     return Err(Error::CorruptData("AC run past band end".into()));
                 }
-                let v = extend(r.get_bits(size)?, size);
-                block[ZIGZAG[k]] = (v << al) as i16;
+                block[ZIGZAG[k]] = (extend(bits, size) << al) as i16;
                 k += 1;
             } else if run == 15 {
                 k += 16;
             } else {
-                eobrun = 1 << run;
-                if run > 0 {
-                    eobrun += r.get_bits(run as u32)?;
-                }
+                eobrun = (1 << run) + bits;
                 eobrun -= 1; // this block ends the run
                 break;
             }
@@ -225,77 +247,126 @@ fn decode_ac_first(
     })
 }
 
-fn decode_ac_refine(
+/// Bit mask of positions `0..n` (saturating: `n >= 64` selects all).
+#[inline]
+fn low_mask(n: usize) -> u64 {
+    if n >= 64 {
+        !0
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Emits one correction bit (T.81 G.1.2.3) for every position set in
+/// `corr` (ascending zigzag order), batching the bit reads through 16-bit
+/// peeks: one refill check and one consume per batch instead of one per
+/// bit.
+#[inline]
+fn apply_corrections<R: BitSource>(
+    r: &mut R,
+    block: &mut [i16; 64],
+    mut corr: u64,
+    p1: i32,
+    m1: i32,
+) -> Result<()> {
+    while corr != 0 {
+        let batch = corr.count_ones().min(16);
+        let win = r.peek_bits(16)?;
+        for i in 0..batch {
+            let pos = corr.trailing_zeros() as usize;
+            corr &= corr - 1;
+            let bit = ((win >> (15 - i)) & 1) as i32;
+            let idx = ZIGZAG[pos];
+            let cur = i32::from(block[idx]);
+            // Branch-free update: the correction bit is random data, and
+            // a conditional store here would mispredict half the time.
+            let apply = bit & i32::from(cur & p1 == 0);
+            let delta = if cur >= 0 { p1 } else { m1 }; // cmov
+            block[idx] = (cur + apply * delta) as i16;
+        }
+        r.consume(batch)?;
+    }
+    Ok(())
+}
+
+fn decode_ac_refine<D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
     coeffs: &mut CoeffPlanes,
     scan: &ScanInfo,
-    tables: &DecodeTables<'_>,
-    r: &mut BitReader<'_>,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
 ) -> Result<()> {
     let sc = scan.components[0];
     let actbl = tables.ac_table(sc.ac_table)?;
     let p1 = 1i32 << scan.al;
     let m1 = -(1i32 << scan.al);
+    let ss = scan.ss as usize;
+    let se = scan.se as usize;
     let mut eobrun = 0u32;
     for_each_block(frame, scan, |_slot, row, col| {
-        let block = coeffs.block_mut(frame, sc.comp_index, row, col);
-        let mut k = scan.ss as usize;
+        let block: &mut [i16; 64] =
+            coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
+        // Bitmap of already-nonzero band positions (bit k = zigzag index
+        // k), built branchlessly once per block. Insertions only ever
+        // happen behind the advancing cursor, so the snapshot stays valid
+        // for every lookahead this block performs.
+        let mut nz = 0u64;
+        for k in ss..=se {
+            nz |= u64::from(block[ZIGZAG[k]] != 0) << k;
+        }
+        let mut k = ss;
         if eobrun == 0 {
-            while k <= scan.se as usize {
-                let rs = actbl.decode(r)?;
-                let run = rs >> 4;
+            while k <= se {
+                // Fused: the sign bit (size == 1) or EOB run-length bits
+                // (size == 0, run < 15) ride the symbol's peek.
+                let (rs, bits) = actbl.decode_then_bits(r, |rs| {
+                    // Branch-free: 1 for a coefficient's sign bit, the
+                    // run length for an EOB symbol, 0 otherwise.
+                    let size = u32::from(rs & 0x0F);
+                    let run = u32::from(rs >> 4);
+                    u32::from(size == 1)
+                        + (u32::from(size == 0) & u32::from(run != 15)) * run
+                })?;
+                let run = usize::from(rs >> 4);
                 let size = rs & 0x0F;
                 let mut newval = 0i32;
-                let mut run = i32::from(run);
                 if size != 0 {
                     if size != 1 {
                         return Err(Error::CorruptData(
                             "refinement coefficient size must be 1".into(),
                         ));
                     }
-                    newval = if r.get_bit()? != 0 { p1 } else { m1 };
+                    newval = if bits != 0 { p1 } else { m1 };
                 } else if run != 15 {
-                    eobrun = 1 << run;
-                    if run > 0 {
-                        eobrun += r.get_bits(run as u32)?;
-                    }
+                    eobrun = (1 << run) + bits;
                     break; // remaining handled by EOB logic below
                 }
-                // Advance over already-nonzero coefficients (appending
-                // correction bits) and `run` still-zero ones.
-                while k <= scan.se as usize {
-                    let idx = ZIGZAG[k];
-                    let cur = i32::from(block[idx]);
-                    if cur != 0 {
-                        if r.get_bit()? != 0 && (cur & p1) == 0 {
-                            block[idx] = (cur + if cur >= 0 { p1 } else { m1 }) as i16;
-                        }
-                    } else {
-                        run -= 1;
-                        if run < 0 {
-                            break;
-                        }
-                    }
-                    k += 1;
+                // The cursor stops at the (run+1)-th still-zero position
+                // (or the band end): find it with bit math instead of a
+                // per-position walk.
+                let band = low_mask(se + 1) & !low_mask(k);
+                let mut z = !nz & band;
+                for _ in 0..run {
+                    z &= z.wrapping_sub(1);
                 }
+                let target = if z == 0 { se + 1 } else { z.trailing_zeros() as usize };
+                // Existing nonzero coefficients passed on the way receive
+                // one correction bit each, in zigzag order.
+                apply_corrections(r, block, nz & band & low_mask(target), p1, m1)?;
                 if newval != 0 {
-                    if k > scan.se as usize {
+                    if target > se {
                         return Err(Error::CorruptData("refine run past band end".into()));
                     }
-                    block[ZIGZAG[k]] = newval as i16;
+                    block[ZIGZAG[target]] = newval as i16;
                 }
-                k += 1;
+                k = target + 1;
             }
         }
         if eobrun > 0 {
-            // Append correction bits to remaining nonzero coefficients.
-            while k <= scan.se as usize {
-                let idx = ZIGZAG[k];
-                let cur = i32::from(block[idx]);
-                if cur != 0 && r.get_bit()? != 0 && (cur & p1) == 0 {
-                    block[idx] = (cur + if cur >= 0 { p1 } else { m1 }) as i16;
-                }
-                k += 1;
+            // Append correction bits to every remaining nonzero
+            // coefficient of the block.
+            if k <= se {
+                apply_corrections(r, block, nz & low_mask(se + 1) & !low_mask(k), p1, m1)?;
             }
             eobrun -= 1;
         }
@@ -306,7 +377,7 @@ fn decode_ac_refine(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::bitio::BitWriter;
+    use crate::bitio::{BitReader, BitWriter};
     use crate::entropy::{encode_scan, StatsSink, WriteSink};
     use crate::frame::{ScanComponent, Subsampling};
     use crate::huffman::{gen_optimal_table, HuffDecoder, HuffEncoder};

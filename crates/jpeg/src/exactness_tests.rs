@@ -1,0 +1,329 @@
+//! The bit-exactness suite: proves the fast decode hot path — two-level
+//! LUT Huffman, batched bit reader, AAN butterfly DCT — produces
+//! **byte-identical** pixels to the retained reference implementations
+//! (canonical per-bit Huffman walk, per-byte reader, basis-matrix DCT)
+//! on every stream shape the PCR read path produces, at *every*
+//! scan-group truncation level.
+//!
+//! Structure:
+//!
+//! * golden corpus tests: encode a varied corpus (modes × subsampling ×
+//!   quality × geometry), cut every scan prefix with `scansplit`, decode
+//!   each through both stacks, compare pixels byte for byte;
+//! * property tests over random coefficient blocks (decode kernel),
+//!   random sample blocks (encode quantization), random Huffman tables
+//!   (two-level LUT vs canonical walk), and random stuffed bitstreams
+//!   (batched vs per-byte reader).
+
+use crate::bitio::{BitReader, BitSource, BitWriter};
+use crate::dct::{descale, forward_dct_raw, forward_quant_scales};
+use crate::decoder::decode;
+use crate::encoder::{encode, EncodeConfig};
+use crate::frame::Subsampling;
+use crate::huffman::{gen_optimal_table, HuffDecoder, HuffEncoder, SymbolDecoder};
+use crate::image::ImageBuf;
+use crate::reference;
+use crate::reference::{ReferenceBitReader, ReferenceHuffDecoder};
+use crate::sample::{BlockIdct, FastBlockIdct};
+use crate::scansplit::{assemble_prefix, split_scans};
+use proptest::prelude::*;
+
+/// A deliberately varied image: smooth gradients, block edges, and
+/// per-pixel noise whose mix depends on `kind`.
+fn test_image(w: u32, h: u32, channels: u8, kind: u32) -> ImageBuf {
+    let mut data = Vec::with_capacity((w * h * u32::from(channels)) as usize);
+    let mut seed = kind.wrapping_mul(0x9E37_79B9).wrapping_add(w * 31 + h);
+    for y in 0..h {
+        for x in 0..w {
+            seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+            let noise = (seed >> 24) as i32 - 128;
+            let base = match kind % 3 {
+                0 => ((x * 3 + y * 2) % 256) as i32,
+                1 => (((x / 8 + y / 8) % 2) * 220) as i32 + 18,
+                _ => (128.0 + 90.0 * ((x as f32) * 0.21).sin() * ((y as f32) * 0.13).cos()) as i32,
+            };
+            let mix = (base + noise * (kind as i32 % 4) / 3).clamp(0, 255) as u8;
+            data.push(mix);
+            if channels == 3 {
+                data.push(mix.wrapping_add(55));
+                data.push(200u8.wrapping_sub(mix / 2));
+            }
+        }
+    }
+    ImageBuf::from_raw(w, h, channels, data).unwrap()
+}
+
+/// The golden corpus: both frame modes, both subsamplings, gray and
+/// color, low through maximum quality, MCU-unaligned geometries.
+fn corpus() -> Vec<(String, Vec<u8>)> {
+    let mut streams = Vec::new();
+    let cases: &[(u32, u32, u8, Subsampling, u8, bool)] = &[
+        (48, 32, 3, Subsampling::S420, 85, true),
+        (41, 23, 3, Subsampling::S444, 100, true),
+        (64, 64, 3, Subsampling::S420, 100, true),
+        (33, 57, 1, Subsampling::S444, 92, true),
+        (40, 40, 3, Subsampling::S420, 60, true),
+        (48, 32, 3, Subsampling::S420, 90, false),
+        (17, 9, 1, Subsampling::S444, 100, false),
+    ];
+    for (i, &(w, h, ch, sub, q, progressive)) in cases.iter().enumerate() {
+        let img = test_image(w, h, ch, i as u32);
+        let cfg = EncodeConfig {
+            quality: q,
+            subsampling: sub,
+            progressive,
+            optimize_huffman: progressive,
+        };
+        let name = format!("{w}x{h} ch{ch} q{q} {}", if progressive { "prog" } else { "base" });
+        streams.push((name, encode(&img, &cfg).unwrap()));
+    }
+    streams
+}
+
+/// The acceptance property: for every corpus stream and every scan-group
+/// truncation level, the fast decoder's pixels equal the reference
+/// decoder's pixels byte for byte.
+#[test]
+fn fast_decoder_matches_reference_at_every_truncation_level() {
+    for (name, stream) in corpus() {
+        let layout = split_scans(&stream).unwrap();
+        for n in 1..=layout.num_scans() {
+            let prefix = assemble_prefix(&stream, &layout, n).unwrap();
+            let fast = decode(&prefix).unwrap();
+            let oracle = reference::reference_decode(&prefix).unwrap();
+            assert_eq!(
+                fast.data(),
+                oracle.data(),
+                "pixel mismatch: {name}, scans 1..={n}"
+            );
+        }
+    }
+}
+
+/// Byte-truncated streams (mid-scan cuts, not just scan boundaries)
+/// decode identically through both stacks — the zero-padding semantics
+/// of the two readers agree everywhere, not only at clean boundaries.
+#[test]
+fn fast_decoder_matches_reference_on_ragged_truncations() {
+    let (_, stream) = corpus().swap_remove(1); // 41x23 S444 q100 progressive
+    for frac in [30usize, 55, 71, 83, 97] {
+        let cut = stream.len() * frac / 100;
+        let fast = decode(&stream[..cut]);
+        let oracle = reference::reference_decode(&stream[..cut]);
+        match (fast, oracle) {
+            (Ok(f), Ok(o)) => assert_eq!(f.data(), o.data(), "cut at {frac}%"),
+            (Err(_), Err(_)) => {}
+            (f, o) => panic!("divergent outcome at {frac}%: fast={f:?} oracle={o:?}"),
+        }
+    }
+}
+
+/// Coefficient-level identity: decoding to coefficients through the fast
+/// entropy stack equals the reference entropy stack exactly (i16), for
+/// every truncation level of a dense progressive stream.
+#[test]
+fn coefficients_match_reference_exactly() {
+    let img = test_image(56, 48, 3, 7);
+    let stream = encode(&img, &EncodeConfig::progressive(100)).unwrap();
+    let layout = split_scans(&stream).unwrap();
+    for n in 1..=layout.num_scans() {
+        let prefix = assemble_prefix(&stream, &layout, n).unwrap();
+        let fast = crate::decoder::decode_coeffs(&prefix).unwrap();
+        let oracle = reference::reference_decode_coeffs(&prefix).unwrap();
+        assert_eq!(fast.coeffs, oracle.coeffs, "coefficients at scans 1..={n}");
+    }
+}
+
+fn reference_quantize(spatial: &[f64; 64], q: &[u16; 64]) -> [i16; 64] {
+    let mut freq = [0f64; 64];
+    reference::reference_forward_dct(spatial, &mut freq);
+    core::array::from_fn(|i| descale(freq[i] / f64::from(q[i].max(1))) as i16)
+}
+
+fn fast_quantize(spatial: &[f64; 64], q: &[u16; 64]) -> [i16; 64] {
+    let qm = forward_quant_scales(q);
+    let mut raw = [0f64; 64];
+    forward_dct_raw(spatial, &mut raw);
+    core::array::from_fn(|i| descale(raw[i] * qm[i]) as i16)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Decode kernel: random (realistically bounded) coefficient blocks
+    /// with random 8-bit quantization tables produce byte-identical
+    /// pixels through the fast f32 AAN kernel and the f64 basis-matrix
+    /// oracle.
+    #[test]
+    fn pixel_kernel_matches_reference_on_random_blocks(
+        coeffs in proptest::collection::vec(-2048i32..2048, 64),
+        qseed in any::<u32>(),
+        sparsity in 0u32..4,
+    ) {
+        let mut q = [0u16; 64];
+        let mut s = qseed | 1;
+        for v in q.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = 1 + ((s >> 16) % 255) as u16;
+        }
+        let mut block = [0i16; 64];
+        for (i, &c) in coeffs.iter().enumerate() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            // Randomly sparsify: real blocks have structured zero runs.
+            let keep = sparsity == 0 || !(s >> 28).is_multiple_of(sparsity);
+            // Keep |coeff * q| in the conformant DCT range so the float
+            // contract's error margin applies.
+            let c = c.clamp(-(4096 / i32::from(q[i])), 4096 / i32::from(q[i]));
+            block[i] = if keep { c as i16 } else { 0 };
+        }
+        let mut fast = FastBlockIdct::default();
+        fast.begin_table(&q);
+        let mut fast_px = [0u8; 64];
+        fast.transform(&block, &mut fast_px);
+
+        // Reference: f64 dequant, basis-matrix IDCT, same descale contract.
+        let mut freq = [0f64; 64];
+        for i in 0..64 {
+            freq[i] = f64::from(block[i]) * f64::from(q[i]);
+        }
+        let mut spatial = [0f64; 64];
+        reference::reference_inverse_dct(&freq, &mut spatial);
+        let mut ref_px = [0u8; 64];
+        for i in 0..64 {
+            ref_px[i] = (descale(spatial[i]) + 128).clamp(0, 255) as u8;
+        }
+        prop_assert_eq!(fast_px, ref_px);
+    }
+
+    /// Encode kernel: random sample blocks quantize to identical
+    /// coefficients through the fast AAN forward path (folded
+    /// multipliers) and the reference basis-matrix + division path.
+    #[test]
+    fn forward_quantize_matches_reference_on_random_blocks(
+        samples in proptest::collection::vec(0u32..256, 64),
+        qseed in any::<u32>(),
+    ) {
+        let mut q = [0u16; 64];
+        let mut s = qseed | 1;
+        for v in q.iter_mut() {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            *v = 1 + ((s >> 16) % 255) as u16;
+        }
+        let mut spatial = [0f64; 64];
+        for i in 0..64 {
+            spatial[i] = f64::from(samples[i]) - 128.0;
+        }
+        prop_assert_eq!(fast_quantize(&spatial, &q), reference_quantize(&spatial, &q));
+    }
+
+    /// Huffman: the two-level LUT decoder and the canonical walk agree
+    /// symbol-for-symbol over random optimal tables (random skew, random
+    /// alphabet size — long codes included) and random messages.
+    #[test]
+    fn lut_decoder_matches_canonical_on_random_tables(
+        fseed in any::<u32>(),
+        nsyms in 2usize..257,
+        msg_seed in any::<u32>(),
+    ) {
+        let mut freq = vec![0u32; 256];
+        let mut s = fseed | 1;
+        for f in freq.iter_mut().take(nsyms) {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            // Heavy skew produces long codes; +1 keeps every symbol coded.
+            *f = 1 + ((s >> 8) % 65_536) * u32::from(s.is_multiple_of(7)) + (s >> 28);
+        }
+        let table = gen_optimal_table(&freq).unwrap();
+        let enc = HuffEncoder::from_table(&table).unwrap();
+        let fast = HuffDecoder::from_table(&table).unwrap();
+        let oracle = ReferenceHuffDecoder::from_table(&table).unwrap();
+        let mut s = msg_seed | 1;
+        let msg: Vec<u8> = (0..600)
+            .map(|_| {
+                s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+                ((s >> 16) as usize % nsyms) as u8
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for &sym in &msg {
+            enc.encode(&mut w, sym);
+        }
+        let bytes = w.finish();
+        let mut rf = BitReader::new(&bytes);
+        let mut rr = ReferenceBitReader::new(&bytes);
+        for &sym in &msg {
+            prop_assert_eq!(fast.decode(&mut rf).unwrap(), sym);
+            prop_assert_eq!(oracle.decode_symbol(&mut rr).unwrap(), sym);
+        }
+    }
+
+    /// Readers: the batched 64-bit reader and the per-byte reference
+    /// reader return identical bits under a random mixed schedule of
+    /// peek / consume / get_bits over random stuffing-heavy streams.
+    #[test]
+    fn batched_reader_matches_reference_on_random_streams(
+        body in proptest::collection::vec(any::<u8>(), 0..400),
+        with_marker in any::<bool>(),
+        schedule_seed in any::<u32>(),
+    ) {
+        // Re-stuff the raw body so it is a legal entropy segment.
+        let mut data = Vec::with_capacity(body.len() * 2 + 2);
+        for &b in &body {
+            data.push(b);
+            if b == 0xFF {
+                data.push(0x00);
+            }
+        }
+        if with_marker {
+            data.extend_from_slice(&[0xFF, 0xD9]);
+        }
+        let mut fast = BitReader::new(&data);
+        let mut oracle = ReferenceBitReader::new(&data);
+        let mut s = schedule_seed | 1;
+        for step in 0..2000 {
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            let n = (s >> 7) % 16 + 1; // 1..=16
+            match s % 3 {
+                0 => prop_assert_eq!(
+                    fast.peek_bits(n).unwrap(),
+                    oracle.peek_bits(n).unwrap(),
+                    "peek({}) at step {}", n, step
+                ),
+                1 => prop_assert_eq!(
+                    fast.get_bits(n).unwrap(),
+                    oracle.get_bits(n).unwrap(),
+                    "get_bits({}) at step {}", n, step
+                ),
+                _ => {
+                    let m = n.min(8);
+                    prop_assert_eq!(fast.peek_bits(m).unwrap(), oracle.peek_bits(m).unwrap());
+                    fast.consume(m).unwrap();
+                    oracle.consume(m).unwrap();
+                }
+            }
+            if fast.exhausted() && oracle.exhausted() && step > 800 {
+                break;
+            }
+        }
+        prop_assert_eq!(fast.marker(), oracle.marker());
+    }
+
+    /// End to end on random images: full fast decode equals full
+    /// reference decode at a random scan prefix.
+    #[test]
+    fn random_images_decode_identically(
+        w in 9u32..70,
+        h in 9u32..70,
+        kind in any::<u32>(),
+        quality in 55u8..101,
+    ) {
+        let img = test_image(w, h, 3, kind);
+        let stream = encode(&img, &EncodeConfig::progressive(quality)).unwrap();
+        let layout = split_scans(&stream).unwrap();
+        let n = (kind as usize % layout.num_scans()) + 1;
+        let prefix = assemble_prefix(&stream, &layout, n).unwrap();
+        let fast = decode(&prefix).unwrap();
+        let oracle = reference::reference_decode(&prefix).unwrap();
+        prop_assert_eq!(fast.data(), oracle.data());
+    }
+}
+

@@ -2,8 +2,15 @@
 //! encoder/decoder table derivation, and optimal table construction from
 //! symbol frequencies (the libjpeg `jpeg_gen_optimal_table` algorithm used
 //! by `jpegtran -optimize`, which progressive encoding relies on).
+//!
+//! Decoding is table-driven and two-level: a 10-bit first-level lookup
+//! resolves every code of that length or shorter (the overwhelming
+//! majority in real streams) to its symbol *and* length in a single
+//! probe; longer codes escape to a compact per-prefix second-level table
+//! indexed by the remaining bits, so any legal JPEG code (<= 16 bits)
+//! decodes in at most two probes with no bit-at-a-time loop.
 
-use crate::bitio::{BitReader, BitWriter};
+use crate::bitio::{BitSource, BitWriter};
 use crate::error::{Error, Result};
 
 /// A Huffman table in canonical (DHT) form: `bits[l]` = number of codes of
@@ -110,84 +117,167 @@ impl HuffEncoder {
     }
 }
 
-const LOOKUP_BITS: u32 = 9;
+/// First-level lookup width in bits: covers the overwhelming majority of
+/// codes in one probe (canonical JPEG tables put their hot symbols in
+/// short codes; dense high-quality scans still mostly stay <= 10 bits).
+const LOOKUP_BITS: u32 = 10;
+/// Longest legal JPEG code; the second level indexes the remaining
+/// `MAX_CODE_BITS - LOOKUP_BITS` bits.
+const MAX_CODE_BITS: u32 = 16;
+/// Marks a first-level entry as an escape into the second-level table.
+const ESCAPE: u16 = 0x8000;
 
-/// Fast Huffman decoder: a 9-bit first-level lookup with slow-path fallback
-/// for longer codes.
+/// A symbol resolver the scan decoder pulls coefficients through:
+/// implemented by the table-driven [`HuffDecoder`] (production) and the
+/// retained canonical decoder (tests), so `dentropy`'s scan logic is
+/// written once and the bit-exactness suite can swap the primitive.
+pub trait SymbolDecoder {
+    /// Decodes one Huffman symbol from `r`.
+    fn decode_symbol<R: BitSource>(&self, r: &mut R) -> Result<u8>;
+
+    /// Decodes one symbol, then immediately reads `size_of(symbol)` raw
+    /// bits (the JPEG magnitude / EOB-run pattern). Semantically
+    /// identical to [`SymbolDecoder::decode_symbol`] followed by
+    /// `r.get_bits(size_of(sym))` — which is exactly what this default
+    /// does; the production decoder overrides it to serve the symbol and
+    /// its trailing bits from a single 16-bit peek. `size_of` must return
+    /// at most 16.
+    #[inline]
+    fn decode_then_bits<R: BitSource>(
+        &self,
+        r: &mut R,
+        size_of: impl Fn(u8) -> u32,
+    ) -> Result<(u8, u32)> {
+        let sym = self.decode_symbol(r)?;
+        let v = r.get_bits(size_of(sym))?;
+        Ok((sym, v))
+    }
+}
+
+/// Fast two-level table-driven Huffman decoder.
+///
+/// `lut1` has one `u16` entry per `LOOKUP_BITS`-bit (10-bit) window:
+/// `(len << 8) | symbol` for codes of up to `LOOKUP_BITS` bits, `0` for
+/// bit patterns that are no code's prefix, or `ESCAPE | offset` pointing
+/// at a second-level block in `lut2` indexed by the following
+/// `MAX_CODE_BITS - LOOKUP_BITS` bits (entries again `(len << 8) |
+/// symbol` with the *full* code length). Decoding is one peek + one probe
+/// for short codes, two for long ones — never a per-bit loop.
 #[derive(Debug, Clone)]
 pub struct HuffDecoder {
-    /// lookup[prefix] = (symbol, length) for codes <= LOOKUP_BITS.
-    lookup: Vec<(u8, u8)>,
-    /// mincode/maxcode/valptr per length for the canonical slow path.
-    mincode: [i32; 17],
-    maxcode: [i32; 17],
-    valptr: [usize; 17],
-    vals: Vec<u8>,
+    lut1: [u16; 1 << LOOKUP_BITS],
+    lut2: Vec<u16>,
 }
 
 impl HuffDecoder {
-    /// Builds decoding structures from a canonical table.
+    /// Builds the two-level lookup from a canonical table.
     pub fn from_table(t: &HuffTable) -> Result<Self> {
-        let mut mincode = [0i32; 17];
-        let mut maxcode = [-1i32; 17];
-        let mut valptr = [0usize; 17];
-        let mut code = 0i32;
-        let mut k = 0usize;
-        for l in 1..=16usize {
-            if t.bits[l - 1] > 0 {
-                valptr[l] = k;
-                mincode[l] = code;
-                code += i32::from(t.bits[l - 1]);
-                k += t.bits[l - 1] as usize;
-                maxcode[l] = code - 1;
-            } else {
-                maxcode[l] = -1;
-            }
-            code <<= 1;
-        }
-        // First-level lookup table.
-        let mut lookup = vec![(0u8, 0u8); 1 << LOOKUP_BITS];
+        let mut lut1 = [0u16; 1 << LOOKUP_BITS];
+        let mut lut2: Vec<u16> = Vec::new();
         let mut c = 0u32;
         let mut idx = 0usize;
         for l in 1..=16u32 {
             for _ in 0..t.bits[(l - 1) as usize] {
+                if c >= 1 << l {
+                    return Err(Error::BadHuffman("code overflow".into()));
+                }
+                let entry = (l as u16) << 8 | u16::from(t.vals[idx]);
                 if l <= LOOKUP_BITS {
-                    let prefix = c << (LOOKUP_BITS - l);
-                    let n = 1u32 << (LOOKUP_BITS - l);
-                    for p in prefix..prefix + n {
-                        lookup[p as usize] = (t.vals[idx], l as u8);
-                    }
+                    // All windows starting with this code resolve to it.
+                    let first = (c << (LOOKUP_BITS - l)) as usize;
+                    let span = 1usize << (LOOKUP_BITS - l);
+                    lut1[first..first + span].fill(entry);
+                } else {
+                    // Long code: route its first-level prefix to a
+                    // second-level block (allocated on first use), then
+                    // fill the block's windows for the remaining bits.
+                    let prefix = (c >> (l - LOOKUP_BITS)) as usize;
+                    let base = if lut1[prefix] & ESCAPE != 0 {
+                        (lut1[prefix] & !ESCAPE) as usize
+                    } else {
+                        let base = lut2.len();
+                        if base >= (ESCAPE as usize) {
+                            return Err(Error::BadHuffman("second-level overflow".into()));
+                        }
+                        lut2.resize(base + (1 << (MAX_CODE_BITS - LOOKUP_BITS)), 0);
+                        lut1[prefix] = ESCAPE | base as u16;
+                        base
+                    };
+                    let rem = c & ((1 << (l - LOOKUP_BITS)) - 1);
+                    let first = (rem << (MAX_CODE_BITS - l)) as usize;
+                    let span = 1usize << (MAX_CODE_BITS - l);
+                    lut2[base + first..base + first + span].fill(entry);
                 }
                 c += 1;
                 idx += 1;
             }
             c <<= 1;
         }
-        Ok(Self { lookup, mincode, maxcode, valptr, vals: t.vals.clone() })
+        Ok(Self { lut1, lut2 })
     }
 
-    /// Decodes one symbol from the bit reader.
+    /// Decodes one symbol from the bit source: at most two table probes.
     #[inline]
-    pub fn decode(&self, r: &mut BitReader<'_>) -> Result<u8> {
-        let peek = r.peek_bits(LOOKUP_BITS)?;
-        let (sym, len) = self.lookup[peek as usize];
-        if len > 0 {
-            r.consume(u32::from(len))?;
-            return Ok(sym);
-        }
-        // Slow path: codes longer than LOOKUP_BITS.
-        let mut code = r.get_bits(LOOKUP_BITS)? as i32;
-        let mut l = LOOKUP_BITS as usize;
-        loop {
-            if l > 16 {
+    pub fn decode<R: BitSource>(&self, r: &mut R) -> Result<u8> {
+        r.prefetch();
+        let window = r.peek_bits(LOOKUP_BITS)?;
+        let entry = self.lut1[window as usize];
+        if entry & ESCAPE == 0 {
+            if entry == 0 {
                 return Err(Error::CorruptData("invalid Huffman code".into()));
             }
-            if self.maxcode[l] >= 0 && code <= self.maxcode[l] {
-                let off = (code - self.mincode[l]) as usize;
-                return Ok(self.vals[self.valptr[l] + off]);
-            }
-            code = (code << 1) | r.get_bit()? as i32;
-            l += 1;
+            r.consume(u32::from(entry >> 8))?;
+            return Ok(entry as u8);
+        }
+        let tail = r.peek_bits(MAX_CODE_BITS)? & ((1 << (MAX_CODE_BITS - LOOKUP_BITS)) - 1);
+        let entry = self.lut2[(entry & !ESCAPE) as usize + tail as usize];
+        if entry == 0 {
+            return Err(Error::CorruptData("invalid Huffman code".into()));
+        }
+        r.consume(u32::from(entry >> 8))?;
+        Ok(entry as u8)
+    }
+}
+
+impl SymbolDecoder for HuffDecoder {
+    #[inline]
+    fn decode_symbol<R: BitSource>(&self, r: &mut R) -> Result<u8> {
+        self.decode(r)
+    }
+
+    /// Fused fast path: one 16-bit peek resolves the code through both
+    /// table levels *and*, whenever `len + size <= 16`, the symbol's
+    /// trailing raw bits — one refill check and one consume for the whole
+    /// decode-coefficient step.
+    #[inline]
+    fn decode_then_bits<R: BitSource>(
+        &self,
+        r: &mut R,
+        size_of: impl Fn(u8) -> u32,
+    ) -> Result<(u8, u32)> {
+        r.prefetch();
+        let w = r.peek_bits(MAX_CODE_BITS)?;
+        let entry = self.lut1[(w >> (MAX_CODE_BITS - LOOKUP_BITS)) as usize];
+        let entry = if entry & ESCAPE == 0 {
+            entry
+        } else {
+            self.lut2[(entry & !ESCAPE) as usize
+                + (w & ((1 << (MAX_CODE_BITS - LOOKUP_BITS)) - 1)) as usize]
+        };
+        if entry == 0 {
+            return Err(Error::CorruptData("invalid Huffman code".into()));
+        }
+        let sym = entry as u8;
+        let len = u32::from(entry >> 8);
+        let size = size_of(sym);
+        if len + size <= MAX_CODE_BITS {
+            r.consume(len + size)?;
+            let v = (w >> (MAX_CODE_BITS - len - size)) & ((1u32 << size) - 1);
+            Ok((sym, v))
+        } else {
+            r.consume(len)?;
+            let v = r.get_bits(size)?;
+            Ok((sym, v))
         }
     }
 }
@@ -314,6 +404,8 @@ pub fn gen_optimal_table(freq_in: &[u32]) -> Result<HuffTable> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::bitio::BitReader;
+    use crate::reference::ReferenceHuffDecoder;
 
     #[test]
     fn standard_tables_build() {
@@ -417,9 +509,9 @@ mod tests {
     }
 
     #[test]
-    fn long_codes_use_slow_path() {
-        // Build a table with a 12-bit code (beyond the 9-bit lookup) by
-        // making a deep skew.
+    fn long_codes_use_second_level() {
+        // Build a table with a 12-bit code (beyond the 8-bit first level)
+        // by making a deep skew.
         let mut freq = vec![0u32; 64];
         for (i, f) in freq.iter_mut().enumerate() {
             *f = 1u32 << (24u32.saturating_sub(i as u32)).min(24);
@@ -428,7 +520,7 @@ mod tests {
         let enc = HuffEncoder::from_table(&t).unwrap();
         let dec = HuffDecoder::from_table(&t).unwrap();
         let longest = (0..64u8).max_by_key(|&s| enc.code_len(s)).unwrap();
-        assert!(enc.code_len(longest) > 9, "need a long code for this test");
+        assert!(enc.code_len(longest) > 8, "need a long code for this test");
         let mut w = BitWriter::new();
         enc.encode(&mut w, longest);
         enc.encode(&mut w, 0);
@@ -436,5 +528,47 @@ mod tests {
         let mut r = BitReader::new(&bytes);
         assert_eq!(dec.decode(&mut r).unwrap(), longest);
         assert_eq!(dec.decode(&mut r).unwrap(), 0);
+    }
+
+    /// The two-level LUT decoder and the retained canonical
+    /// mincode/maxcode decoder must agree symbol-for-symbol on every
+    /// table shape: standard tables, optimal skewed tables (long codes),
+    /// and randomized frequency tables.
+    #[test]
+    fn lut_decode_matches_reference_decode() {
+        let mut tables = vec![
+            HuffTable::std_dc_luma(),
+            HuffTable::std_dc_chroma(),
+            HuffTable::std_ac_luma(),
+            HuffTable::std_ac_chroma(),
+        ];
+        let mut seed = 0x2468_ACE1u32;
+        for nsyms in [2usize, 17, 64, 200, 256] {
+            let mut freq = vec![0u32; 256];
+            for f in freq.iter_mut().take(nsyms) {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                *f = 1 + (seed >> 16) % 10_000;
+            }
+            tables.push(gen_optimal_table(&freq).unwrap());
+        }
+        for t in &tables {
+            let enc = HuffEncoder::from_table(t).unwrap();
+            let fast = HuffDecoder::from_table(t).unwrap();
+            let reference = ReferenceHuffDecoder::from_table(t).unwrap();
+            // A message covering every symbol several times, shuffled-ish.
+            let msg: Vec<u8> =
+                (0..6).flat_map(|i| t.vals.iter().cycle().skip(i * 7).take(t.vals.len())).copied().collect();
+            let mut w = BitWriter::new();
+            for &s in &msg {
+                enc.encode(&mut w, s);
+            }
+            let bytes = w.finish();
+            let mut rf = BitReader::new(&bytes);
+            let mut rr = BitReader::new(&bytes);
+            for &s in &msg {
+                assert_eq!(fast.decode(&mut rf).unwrap(), s);
+                assert_eq!(reference.decode_symbol(&mut rr).unwrap(), s);
+            }
+        }
     }
 }

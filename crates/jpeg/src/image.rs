@@ -136,33 +136,78 @@ impl ImageBuf {
     }
 }
 
+/// Rounds a 16.16 fixed-point value to u8 with clamping (ties toward +∞).
+#[inline]
+fn fix_to_u8(v: i32) -> u8 {
+    ((v + (1 << 15)) >> 16).clamp(0, 255) as u8
+}
+
 /// RGB -> YCbCr (JFIF / BT.601 full range), rounded to u8.
+///
+/// 16.16 fixed-point: exact integer arithmetic (deterministic across
+/// platforms, no float rounding in the per-pixel loop). Coefficient
+/// triples sum to exactly `1 << 16`, so neutral gray maps to itself and
+/// `Cb`/`Cr` of gray are exactly 128.
 #[inline]
 pub fn rgb_to_ycbcr(r: u8, g: u8, b: u8) -> (u8, u8, u8) {
-    let (r, g, b) = (f32::from(r), f32::from(g), f32::from(b));
-    let y = 0.299 * r + 0.587 * g + 0.114 * b;
-    let cb = -0.168_736 * r - 0.331_264 * g + 0.5 * b + 128.0;
-    let cr = 0.5 * r - 0.418_688 * g - 0.081_312 * b + 128.0;
+    let (r, g, b) = (i32::from(r), i32::from(g), i32::from(b));
+    let y = 19_595 * r + 38_470 * g + 7_471 * b; // 0.299, 0.587, 0.114
+    let cb = -11_059 * r - 21_709 * g + 32_768 * b; // -0.168736, -0.331264, 0.5
+    let cr = 32_768 * r - 27_439 * g - 5_329 * b; // 0.5, -0.418688, -0.081312
     (
-        y.round().clamp(0.0, 255.0) as u8,
-        cb.round().clamp(0.0, 255.0) as u8,
-        cr.round().clamp(0.0, 255.0) as u8,
+        fix_to_u8(y),
+        fix_to_u8(cb + (128 << 16)),
+        fix_to_u8(cr + (128 << 16)),
     )
 }
 
+/// Per-Cr red offset: `round(1.402 · (cr − 128))` in 16.16 fixed point.
+/// `(y·2¹⁶ + t + 2¹⁵) >> 16 == y + ((t + 2¹⁵) >> 16)` exactly, so folding
+/// the rounding into the table preserves the fixed-point result bit for
+/// bit while turning the per-pixel work into one add.
+static R_CR: [i32; 256] = build_rounded_lut(91_881); // 1.402
+/// Per-Cb blue offset: `round(1.772 · (cb − 128))`.
+static B_CB: [i32; 256] = build_rounded_lut(116_130); // 1.772
+/// Raw green contributions (summed, then rounded once).
+static G_CB: [i32; 256] = build_raw_lut(-22_554); // -0.344136
+/// Raw green Cr contribution.
+static G_CR: [i32; 256] = build_raw_lut(-46_802); // -0.714136
+
+const fn build_rounded_lut(mul: i32) -> [i32; 256] {
+    let mut t = [0i32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = (mul * (i as i32 - 128) + (1 << 15)) >> 16;
+        i += 1;
+    }
+    t
+}
+
+const fn build_raw_lut(mul: i32) -> [i32; 256] {
+    let mut t = [0i32; 256];
+    let mut i = 0;
+    while i < 256 {
+        t[i] = mul * (i as i32 - 128);
+        i += 1;
+    }
+    t
+}
+
 /// YCbCr -> RGB (JFIF / BT.601 full range), rounded to u8.
+///
+/// The decode pixel hot path's final step: precomputed 16.16 fixed-point
+/// offset tables reduce each channel to table loads, adds, and a clamp —
+/// bit-identical to evaluating the fixed-point multiplies per pixel.
 #[inline]
 pub fn ycbcr_to_rgb(y: u8, cb: u8, cr: u8) -> (u8, u8, u8) {
-    let y = f32::from(y);
-    let cb = f32::from(cb) - 128.0;
-    let cr = f32::from(cr) - 128.0;
-    let r = y + 1.402 * cr;
-    let g = y - 0.344_136 * cb - 0.714_136 * cr;
-    let b = y + 1.772 * cb;
+    let y = i32::from(y);
+    let r = y + R_CR[cr as usize];
+    let g = y + ((G_CB[cb as usize] + G_CR[cr as usize] + (1 << 15)) >> 16);
+    let b = y + B_CB[cb as usize];
     (
-        r.round().clamp(0.0, 255.0) as u8,
-        g.round().clamp(0.0, 255.0) as u8,
-        b.round().clamp(0.0, 255.0) as u8,
+        r.clamp(0, 255) as u8,
+        g.clamp(0, 255) as u8,
+        b.clamp(0, 255) as u8,
     )
 }
 

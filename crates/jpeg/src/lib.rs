@@ -37,7 +37,11 @@ pub mod frame;
 pub mod huffman;
 pub mod image;
 pub mod marker;
+#[cfg(test)]
+mod exactness_tests;
 pub mod metrics_psnr;
+#[cfg(test)]
+pub(crate) mod reference;
 pub mod sample;
 pub mod scansplit;
 pub mod transcode;

@@ -164,24 +164,25 @@ impl<'a> SegmentReader<'a> {
     }
 
     /// Advances past entropy-coded data to the next real marker, returning
-    /// the entropy byte range.
+    /// the entropy byte range. Uses the word-at-a-time 0xFF scanner shared
+    /// with the entropy bit-reader ([`crate::bitio::find_ff`]), so scan
+    /// splitting walks stuffing-free runs at memory speed.
     pub fn skip_entropy(&mut self) -> (usize, usize) {
         let start = self.pos;
         let mut p = self.pos;
-        while p + 1 < self.data.len() {
-            if self.data[p] == 0xFF {
-                let m = self.data[p + 1];
-                if m != 0x00 && !is_rst(m) {
-                    self.pos = p;
-                    return (start, p);
-                }
-                p += 2;
-            } else {
-                p += 1;
+        loop {
+            p = crate::bitio::find_ff(self.data, p);
+            if p + 1 >= self.data.len() {
+                self.pos = self.data.len();
+                return (start, self.data.len());
             }
+            let m = self.data[p + 1];
+            if m != 0x00 && !is_rst(m) {
+                self.pos = p;
+                return (start, p);
+            }
+            p += 2; // stuffed 0xFF 0x00 or restart marker: still entropy data
         }
-        self.pos = self.data.len();
-        (start, self.data.len())
     }
 }
 

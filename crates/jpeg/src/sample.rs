@@ -1,7 +1,7 @@
 //! Pixel <-> coefficient conversion: color planes, chroma subsampling,
 //! block splitting, forward/inverse DCT and quantization.
 
-use crate::dct::{forward_dct, inverse_dct};
+use crate::dct::{descale, forward_dct_raw, forward_quant_scales, inverse_dct_pixels, inverse_quant_scales};
 use crate::error::Result;
 use crate::frame::{CoeffPlanes, FrameInfo};
 use crate::image::{rgb_to_ycbcr, ycbcr_to_rgb, ImageBuf};
@@ -37,12 +37,12 @@ impl SamplePlane {
     }
 
     #[inline]
-    fn get(&self, x: usize, y: usize) -> u8 {
+    pub(crate) fn get(&self, x: usize, y: usize) -> u8 {
         self.data[y * self.width + x]
     }
 
     #[inline]
-    fn set(&mut self, x: usize, y: usize, v: u8) {
+    pub(crate) fn set(&mut self, x: usize, y: usize, v: u8) {
         self.data[y * self.width + x] = v;
     }
 }
@@ -140,38 +140,78 @@ pub fn image_to_planes(img: &ImageBuf, frame: &FrameInfo) -> Result<Vec<SamplePl
 
 /// Forward transforms sample planes into quantized coefficients.
 ///
-/// `qtables[tq]` must be present (natural order) for every component.
+/// `qtables[tq]` must be present (natural order) for every component. The
+/// AAN descale factors are folded into per-table quantization multipliers
+/// once ([`forward_quant_scales`]), so quantizing is one multiply and one
+/// [`descale`] per coefficient — no division in the block loop.
 pub fn planes_to_coeffs(
     planes: &[SamplePlane],
     frame: &FrameInfo,
     qtables: &[Option<[u16; 64]>; 4],
 ) -> Result<CoeffPlanes> {
     let mut coeffs = CoeffPlanes::new(frame);
-    let mut spatial = [0f32; 64];
-    let mut freq = [0f32; 64];
+    let mut spatial = [0f64; 64];
+    let mut freq = [0f64; 64];
     for (ci, comp) in frame.components.iter().enumerate() {
         let q = qtables[comp.tq as usize]
             .ok_or_else(|| crate::error::Error::BadQuant(format!("missing table {}", comp.tq)))?;
+        let qm = forward_quant_scales(&q);
         let plane = &planes[ci];
         for brow in 0..comp.alloc_h {
             for bcol in 0..comp.alloc_w {
                 for y in 0..8 {
+                    let sy = brow as usize * 8 + y;
+                    let row = &plane.data[sy * plane.width + bcol as usize * 8..];
                     for x in 0..8 {
-                        let sx = bcol as usize * 8 + x;
-                        let sy = brow as usize * 8 + y;
-                        spatial[y * 8 + x] = f32::from(plane.get(sx, sy)) - 128.0;
+                        spatial[y * 8 + x] = f64::from(row[x]) - 128.0;
                     }
                 }
-                forward_dct(&spatial, &mut freq);
+                forward_dct_raw(&spatial, &mut freq);
                 let block = coeffs.block_mut(frame, ci, brow, bcol);
                 for i in 0..64 {
-                    let qv = f32::from(q[i]);
-                    block[i] = (freq[i] / qv).round() as i16;
+                    block[i] = descale(freq[i] * qm[i]) as i16;
                 }
             }
         }
     }
     Ok(coeffs)
+}
+
+/// The per-block inverse transform the pixel-reconstruction loop is
+/// parameterized over: the production AAN kernel ([`FastBlockIdct`]) or,
+/// in the bit-exactness suite, the retained basis-matrix oracle. Both
+/// implement the same [`descale`]-based rounding contract, which is what
+/// makes their pixel outputs byte-comparable.
+pub(crate) trait BlockIdct {
+    /// Called once per component with its (natural-order) quantization
+    /// table before any [`BlockIdct::transform`] call for that component.
+    fn begin_table(&mut self, q: &[u16; 64]);
+    /// Dequantizes and inverse transforms one 64-coefficient block into
+    /// final clamped pixels (row-major 8x8).
+    fn transform(&mut self, coeffs: &[i16], out: &mut [u8; 64]);
+}
+
+/// Production kernel: folded dequantization + AAN butterfly with a
+/// vectorizable column pass ([`inverse_dct_pixels`]).
+#[derive(Debug)]
+pub(crate) struct FastBlockIdct {
+    dq: [f64; 64],
+}
+
+impl Default for FastBlockIdct {
+    fn default() -> Self {
+        Self { dq: [0.0; 64] }
+    }
+}
+
+impl BlockIdct for FastBlockIdct {
+    fn begin_table(&mut self, q: &[u16; 64]) {
+        self.dq = inverse_quant_scales(q);
+    }
+    #[inline]
+    fn transform(&mut self, coeffs: &[i16], out: &mut [u8; 64]) {
+        inverse_dct_pixels(coeffs, &self.dq, out);
+    }
 }
 
 /// Dequantizes and inverse transforms coefficients back into sample planes.
@@ -192,29 +232,38 @@ pub fn coeffs_to_planes_pooled(
     qtables: &[Option<[u16; 64]>; 4],
     pool: &mut Vec<Vec<u8>>,
 ) -> Result<Vec<SamplePlane>> {
+    reconstruct_planes_with(coeffs, frame, qtables, pool, &mut FastBlockIdct::default())
+}
+
+/// Pixel reconstruction over an injectable per-block kernel: the one copy
+/// of the dequantize → IDCT → pixel-store loop, shared by the production
+/// path and the reference oracle so their outputs differ only by the
+/// kernel under test.
+pub(crate) fn reconstruct_planes_with<K: BlockIdct>(
+    coeffs: &CoeffPlanes,
+    frame: &FrameInfo,
+    qtables: &[Option<[u16; 64]>; 4],
+    pool: &mut Vec<Vec<u8>>,
+    kernel: &mut K,
+) -> Result<Vec<SamplePlane>> {
     let mut planes: Vec<SamplePlane> = frame
         .components
         .iter()
         .map(|c| SamplePlane::with_pool(c.alloc_w as usize * 8, c.alloc_h as usize * 8, pool))
         .collect();
-    let mut freq = [0f32; 64];
-    let mut spatial = [0f32; 64];
+    let mut pixels = [0u8; 64];
     for (ci, comp) in frame.components.iter().enumerate() {
         let q = qtables[comp.tq as usize]
             .ok_or_else(|| crate::error::Error::BadQuant(format!("missing table {}", comp.tq)))?;
+        kernel.begin_table(&q);
+        let p = &mut planes[ci];
         for brow in 0..comp.alloc_h {
             for bcol in 0..comp.alloc_w {
                 let block = coeffs.block(frame, ci, brow, bcol);
-                for i in 0..64 {
-                    freq[i] = f32::from(block[i]) * f32::from(q[i]);
-                }
-                inverse_dct(&freq, &mut spatial);
-                let p = &mut planes[ci];
+                kernel.transform(block, &mut pixels);
                 for y in 0..8 {
-                    for x in 0..8 {
-                        let v = (spatial[y * 8 + x] + 128.0).round().clamp(0.0, 255.0) as u8;
-                        p.set(bcol as usize * 8 + x, brow as usize * 8 + y, v);
-                    }
+                    let dst = (brow as usize * 8 + y) * p.width + bcol as usize * 8;
+                    p.data[dst..dst + 8].copy_from_slice(&pixels[y * 8..y * 8 + 8]);
                 }
             }
         }
@@ -224,30 +273,57 @@ pub fn coeffs_to_planes_pooled(
 
 /// Reassembles an [`ImageBuf`] from component planes (nearest-neighbour
 /// chroma upsampling).
+///
+/// Hot-path note: the per-pixel subsample index `(x·h)/hmax` of the naive
+/// formulation costs two integer divisions per component per pixel —
+/// more than the color math itself. Horizontal maps are precomputed once
+/// per image and vertical indices once per row, so the pixel loop is
+/// loads, multiplies, and adds only.
 pub fn planes_to_image(planes: &[SamplePlane], frame: &FrameInfo) -> Result<ImageBuf> {
     let w = frame.width as usize;
     let h = frame.height as usize;
     if frame.components.len() == 1 {
-        let mut data = Vec::with_capacity(w * h);
         let p = &planes[0];
-        for y in 0..h {
-            for x in 0..w {
-                data.push(p.get(x, y));
-            }
+        let mut data = vec![0u8; w * h];
+        for (y, out) in data.chunks_exact_mut(w).enumerate() {
+            out.copy_from_slice(&p.data[y * p.width..y * p.width + w]);
         }
         return ImageBuf::from_raw(frame.width, frame.height, 1, data);
     }
-    let mut data = Vec::with_capacity(w * h * 3);
-    for y in 0..h {
-        for x in 0..w {
-            let mut ycc = [0u8; 3];
-            for (ci, comp) in frame.components.iter().enumerate().take(3) {
-                let cx = (x * usize::from(comp.h)) / usize::from(frame.hmax);
-                let cy = (y * usize::from(comp.v)) / usize::from(frame.vmax);
-                ycc[ci] = planes[ci].get(cx, cy);
+    // Horizontal subsample maps: None = full resolution (identity).
+    let cx_map: Vec<Option<Vec<u32>>> = frame
+        .components
+        .iter()
+        .take(3)
+        .map(|comp| {
+            if comp.h == frame.hmax {
+                None
+            } else {
+                let (ch, hmax) = (usize::from(comp.h), usize::from(frame.hmax));
+                Some((0..w).map(|x| (x * ch / hmax) as u32).collect())
             }
-            let (r, g, b) = ycbcr_to_rgb(ycc[0], ycc[1], ycc[2]);
-            data.extend_from_slice(&[r, g, b]);
+        })
+        .collect();
+    let mut data = vec![0u8; w * h * 3];
+    for (y, out) in data.chunks_exact_mut(w * 3).enumerate() {
+        // Per-row vertical indices and row slices per component.
+        let mut rows: [&[u8]; 3] = [&[], &[], &[]];
+        for (ci, comp) in frame.components.iter().enumerate().take(3) {
+            let cy = y * usize::from(comp.v) / usize::from(frame.vmax);
+            let p = &planes[ci];
+            rows[ci] = &p.data[cy * p.width..(cy + 1) * p.width];
+        }
+        for (x, px) in out.chunks_exact_mut(3).enumerate() {
+            let sample = |ci: usize| -> u8 {
+                match &cx_map[ci] {
+                    None => rows[ci][x],
+                    Some(map) => rows[ci][map[x] as usize],
+                }
+            };
+            let (r, g, b) = ycbcr_to_rgb(sample(0), sample(1), sample(2));
+            px[0] = r;
+            px[1] = g;
+            px[2] = b;
         }
     }
     ImageBuf::from_raw(frame.width, frame.height, 3, data)

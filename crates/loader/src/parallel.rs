@@ -261,15 +261,6 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         &self.source
     }
 
-    /// The record source this loader plans reads over (historical name,
-    /// kept for callers written against the `MetaDb`-only loader; will
-    /// be deleted in 0.2.0 alongside `ObjectStore::read_bytes`).
-    #[deprecated(since = "0.1.0", note = "use ParallelLoader::source; this alias will be \
-                                          deleted in 0.2.0")]
-    pub fn db(&self) -> &Arc<S> {
-        &self.source
-    }
-
     /// Spawns the worker pool and assembler for one epoch and returns the
     /// live stream. Reads at the configured scan group; see
     /// [`ParallelLoader::spawn_epoch_at`] for a per-epoch override.
@@ -295,7 +286,10 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         drop(work_tx);
 
         // Worker → assembler channel (bounded: the prefetch queue).
-        let (rec_tx, rec_rx) = bounded::<(Vec<ImageBuf>, Vec<u32>)>(cfg.prefetch_records.max(1));
+        // Workers send the record *index* with the decoded images; the
+        // assembler resolves labels straight from the shared source, so
+        // no per-record label Vec is ever allocated or copied.
+        let (rec_tx, rec_rx) = bounded::<(Vec<ImageBuf>, usize)>(cfg.prefetch_records.max(1));
         let threads = cfg.loader.threads.max(1);
         let mut workers = Vec::with_capacity(threads);
         for w in 0..threads {
@@ -321,14 +315,15 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         let (batch_tx, batch_rx) = bounded::<Minibatch>(cfg.prefetch_batches.max(1));
         let batch_size = cfg.batch_size.max(1);
         let pairs_images = matches!(cfg.loader.decode, DecodeMode::Real);
+        let asm_source = Arc::clone(&self.source);
         let assembler = std::thread::Builder::new()
             .name("pcr-assembler".into())
             .spawn(move || {
                 let mut images: Vec<ImageBuf> = Vec::new();
                 let mut labels: Vec<u32> = Vec::new();
-                while let Ok((imgs, labs)) = rec_rx.recv() {
+                while let Ok((imgs, idx)) = rec_rx.recv() {
                     images.extend(imgs);
-                    labels.extend(labs);
+                    labels.extend_from_slice(asm_source.labels(idx));
                     // Under Real decode images and labels stay parallel;
                     // otherwise images is empty and labels set the pace.
                     let filled = |i: &Vec<ImageBuf>, l: &Vec<u32>| {
@@ -392,7 +387,7 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<S: RecordSource + ?Sized>(
     work_rx: &Receiver<usize>,
-    rec_tx: &crossbeam::channel::Sender<(Vec<ImageBuf>, Vec<u32>)>,
+    rec_tx: &crossbeam::channel::Sender<(Vec<ImageBuf>, usize)>,
     store: &ObjectStore,
     source: &S,
     stats: &ParallelStats,
@@ -418,14 +413,17 @@ fn worker_loop<S: RecordSource + ?Sized>(
             std::thread::sleep(Duration::from_secs_f64(service.max(0.0)));
             stats.io_wait_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         }
-        let (images, labels) = match decode {
-            DecodeMode::Skip => (Vec::new(), source.labels(idx).to_vec()),
+        // Labels travel as the record index — the assembler reads the
+        // slices out of the shared source, so the per-record
+        // `labels().to_vec()` allocation is gone from the hot loop.
+        let images = match decode {
+            DecodeMode::Skip => Vec::new(),
             DecodeMode::Modeled { seconds_per_byte } => {
                 // Wall-clock realization of the modeled cost, so modeled
                 // and real runs remain comparable end to end.
                 let modeled = read_len as f64 * seconds_per_byte;
                 std::thread::sleep(Duration::from_secs_f64(modeled));
-                (Vec::new(), source.labels(idx).to_vec())
+                Vec::new()
             }
             DecodeMode::Real => {
                 let t0 = Instant::now();
@@ -435,11 +433,11 @@ fn worker_loop<S: RecordSource + ?Sized>(
                     continue; // undecodable record: skip
                 };
                 stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
-                (images, source.labels(idx).to_vec())
+                images
             }
         };
         stats.records_loaded.fetch_add(1, Ordering::Relaxed);
-        if rec_tx.send((images, labels)).is_err() {
+        if rec_tx.send((images, idx)).is_err() {
             return; // consumer gone
         }
     }

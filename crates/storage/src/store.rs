@@ -200,24 +200,6 @@ impl ObjectStore {
         self.read(Clock::Virtual(now), name, offset, len)
     }
 
-    /// Zero-copy read of `[offset, offset+len)` of `name` (clamped to the
-    /// object size), discarding the timing.
-    ///
-    /// Removal timeline: this shim exists only so out-of-tree callers of
-    /// the pre-unification API keep compiling against 0.1.x. It has zero
-    /// in-repo call sites and **will be deleted in 0.2.0**; migrate to
-    /// [`ObjectStore::read`] with [`Clock::Wall`] (the returned
-    /// [`ReadResult::data`] is the same [`ByteView`]).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use ObjectStore::read with Clock::Wall — wall-clock reads now share \
-                the cache, readahead, and statistics of the clocked path; this shim \
-                will be deleted in 0.2.0"
-    )]
-    pub fn read_bytes(&self, name: &str, offset: u64, len: u64) -> Option<ByteView> {
-        self.read(Clock::Wall, name, offset, len).map(|r| r.data)
-    }
-
     /// Convenience: reads a whole object at time `now`.
     pub fn read_all_at(&self, now: f64, name: &str) -> Option<ReadResult> {
         let len = self.len_of(name)?;
@@ -344,16 +326,6 @@ mod tests {
         let next = store.read(Clock::Wall, "rec", 0, 400_000).unwrap();
         assert_eq!(next.cached_bytes, 400_000);
         assert_eq!(store.device_stats().reads, 1, "no second device read");
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn read_bytes_shim_routes_through_clocked_path() {
-        let store = ObjectStore::new(DeviceProfile::ram());
-        store.put("x", (0u8..100).collect());
-        let view = store.read_bytes("x", 90, 100).unwrap();
-        assert_eq!(view.len(), 10);
-        assert_eq!(store.device_stats().reads, 1, "shim traffic is counted");
     }
 
     #[test]

@@ -114,7 +114,8 @@ fn emulated_latency_delivers_same_data() {
 }
 
 /// Regression (ISSUE 3): wall-clock reads used to bypass the store's page
-/// cache and device statistics entirely (`read_bytes`). Through the unified
+/// cache and device statistics entirely (the since-removed `read_bytes`
+/// side door). Through the unified
 /// clocked read path, parallel-loader traffic must show up in both
 /// `cache_hit_rate()` and `device_stats()`.
 #[test]
