@@ -1,0 +1,342 @@
+//! A minimal hand-rolled Rust lexer, just deep enough for lexical lint
+//! rules: it must never mistake the *contents* of a comment, string,
+//! raw string, byte string, or char literal for code (and vice versa),
+//! and it must keep comments around so annotation conventions
+//! (`// pcr-lint: allow(...)`, `// SAFETY:`) can be matched to the code
+//! lines they govern.
+//!
+//! Handled explicitly because each has bitten real lexers:
+//!
+//! * nested block comments (`/* /* */ */` — Rust nests, C does not);
+//! * raw strings with arbitrary hash depth (`r##"..."##`) and raw byte
+//!   strings (`br#"..."#`);
+//! * raw identifiers (`r#match`) versus raw strings (`r#"..."`);
+//! * lifetimes (`'a`, `'static`) versus char literals (`'a'`, `'\n'`,
+//!   `'\u{1F4A9}'`);
+//! * numeric literals with type suffixes (`1usize`) without swallowing
+//!   the `..` of `0..10`.
+//!
+//! No attempt is made at parsing: the rule layer works on the token
+//! stream plus line numbers.
+
+/// What a token is, at the granularity the lint rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (includes the `ident` of `r#ident`).
+    Ident,
+    /// Lifetime such as `'a` (the leading `'` is part of the token).
+    Lifetime,
+    /// Integer or float literal, including any type suffix.
+    Number,
+    /// String, raw string, byte string, or C string literal.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// Line or block comment (doc comments included).
+    Comment,
+    /// A single punctuation character (`.`, `[`, `!`, ...).
+    Punct,
+}
+
+/// One lexed token: kind, byte range into the source, and 1-based
+/// line/column of its first byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Start byte offset in the source.
+    pub start: usize,
+    /// End byte offset (exclusive).
+    pub end: usize,
+    /// 1-based source line of the token's first byte.
+    pub line: u32,
+    /// 1-based column (in bytes) of the token's first byte.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+/// Lexes `src` into tokens, keeping comments. Unknown bytes become
+/// single-character `Punct` tokens, so lexing never fails — on genuinely
+/// broken input the rules see a conservative token soup rather than an
+/// error.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1, out: Vec::new() }.run(src)
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self, text: &str) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let start = self.pos;
+            let (line, col) = (self.line, self.col);
+            let kind = self.next_kind();
+            if let Some(kind) = kind {
+                self.out.push(Token { kind, start, end: self.pos, line, col });
+            }
+        }
+        debug_assert!(self.out.iter().all(|t| text.is_char_boundary(t.start)));
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, tracking line/column.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    /// Lexes one token starting at `self.pos`; returns `None` for
+    /// whitespace (skipped, not emitted).
+    fn next_kind(&mut self) -> Option<TokenKind> {
+        let c = self.peek(0)?;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                self.bump();
+                None
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while self.peek(0).is_some_and(|c| c != b'\n') {
+                    self.bump();
+                }
+                Some(TokenKind::Comment)
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.bump_n(2);
+                let mut depth = 1usize;
+                while depth > 0 && self.peek(0).is_some() {
+                    if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                        depth += 1;
+                        self.bump_n(2);
+                    } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                        depth -= 1;
+                        self.bump_n(2);
+                    } else {
+                        self.bump();
+                    }
+                }
+                Some(TokenKind::Comment)
+            }
+            b'r' | b'b' | b'c' if self.starts_raw_or_prefixed_string() => {
+                self.lex_prefixed_string()
+            }
+            b'"' => {
+                self.lex_quoted(b'"');
+                Some(TokenKind::Str)
+            }
+            b'\'' => self.lex_lifetime_or_char(),
+            b'0'..=b'9' => {
+                self.lex_number();
+                Some(TokenKind::Number)
+            }
+            c if is_ident_start(c) => {
+                self.lex_ident();
+                Some(TokenKind::Ident)
+            }
+            _ => {
+                self.bump();
+                Some(TokenKind::Punct)
+            }
+        }
+    }
+
+    /// True when the current `r`/`b`/`c` begins a string-ish literal
+    /// (`r"`, `r#"`, `b"`, `b'`, `br"`, `br#"`, `c"`, ...) rather than an
+    /// identifier or a raw identifier (`r#ident`).
+    fn starts_raw_or_prefixed_string(&self) -> bool {
+        let c0 = self.peek(0);
+        // b'x' byte char literal.
+        if c0 == Some(b'b') && self.peek(1) == Some(b'\'') {
+            return true;
+        }
+        // Find the end of a possible prefix: [bc]? r? #* then a quote.
+        let mut i = 1;
+        if c0 == Some(b'b') || c0 == Some(b'c') {
+            if self.peek(1) == Some(b'"') {
+                return true;
+            }
+            if self.peek(1) != Some(b'r') {
+                return false;
+            }
+            i = 2;
+        }
+        while self.peek(i) == Some(b'#') {
+            i += 1;
+        }
+        // `r#ident` is a raw identifier, not a string; hashes before a
+        // non-quote are just broken code either way.
+        self.peek(i) == Some(b'"')
+    }
+
+    /// Lexes `r"..."`, `r#"..."#`, `b"..."`, `br##"..."##`, `c"..."`,
+    /// `b'x'`.
+    fn lex_prefixed_string(&mut self) -> Option<TokenKind> {
+        if self.peek(0) == Some(b'b') && self.peek(1) == Some(b'\'') {
+            self.bump(); // b
+            self.lex_quoted(b'\'');
+            return Some(TokenKind::Char);
+        }
+        let mut raw = false;
+        while let Some(c) = self.peek(0) {
+            if c == b'b' || c == b'c' {
+                self.bump();
+            } else if c == b'r' {
+                raw = true;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.bump();
+        }
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.bump(); // opening quote
+        if raw {
+            // Raw string: ends at `"` followed by `hashes` hashes; no
+            // escape processing.
+            'scan: while self.peek(0).is_some() {
+                if self.peek(0) == Some(b'"') {
+                    for h in 0..hashes {
+                        if self.peek(1 + h) != Some(b'#') {
+                            self.bump();
+                            continue 'scan;
+                        }
+                    }
+                    self.bump_n(1 + hashes);
+                    break;
+                }
+                self.bump();
+            }
+        } else {
+            self.lex_quoted_body(b'"');
+        }
+        Some(TokenKind::Str)
+    }
+
+    /// Lexes a non-raw quoted literal whose opening delimiter is at
+    /// `self.pos` (consumes it first).
+    fn lex_quoted(&mut self, quote: u8) {
+        self.bump();
+        self.lex_quoted_body(quote);
+    }
+
+    /// Consumes up to and including the closing `quote`, honouring `\`
+    /// escapes. Unterminated literals consume to end of input.
+    fn lex_quoted_body(&mut self, quote: u8) {
+        while let Some(c) = self.peek(0) {
+            if c == b'\\' {
+                self.bump_n(2.min(self.src.len() - self.pos));
+            } else if c == quote {
+                self.bump();
+                break;
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// `'` starts either a lifetime (`'a`, `'static`, `'_`) or a char
+    /// literal (`'a'`, `'\n'`). Disambiguation: after `'ident` a closing
+    /// `'` makes it a char literal; otherwise it is a lifetime.
+    fn lex_lifetime_or_char(&mut self) -> Option<TokenKind> {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        let next = self.peek(1);
+        if next.is_some_and(is_ident_start) {
+            // Run of identifier chars after the quote.
+            let mut i = 2;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'\'') {
+                // 'a' — single-char literal ('ab' is not valid Rust, and
+                // a lifetime is never followed by a closing quote).
+                self.lex_quoted(b'\'');
+                return Some(TokenKind::Char);
+            }
+            self.bump_n(i); // lifetime: quote + ident run
+            return Some(TokenKind::Lifetime);
+        }
+        // '\n', '\'', '\u{..}', or broken input: treat as char literal.
+        self.lex_quoted(b'\'');
+        Some(TokenKind::Char)
+    }
+
+    /// Numeric literal: digits (any radix letters), optional fraction,
+    /// optional exponent sign, plus alphanumeric type suffix. Stops
+    /// before `..` so ranges stay two separate tokens.
+    fn lex_number(&mut self) {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            let prev = self.peek(0);
+            self.bump();
+            // `1e-5` / `1E+5`: the sign belongs to the literal.
+            if (prev == Some(b'e') || prev == Some(b'E'))
+                && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+            {
+                self.bump();
+            }
+        }
+        if self.peek(0) == Some(b'.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            self.bump(); // the dot
+            while self.peek(0).is_some_and(is_ident_continue) {
+                let prev = self.peek(0);
+                self.bump();
+                if (prev == Some(b'e') || prev == Some(b'E'))
+                    && matches!(self.peek(0), Some(b'+') | Some(b'-'))
+                    && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// Identifier / keyword, including raw identifiers `r#ident`.
+    fn lex_ident(&mut self) {
+        if self.peek(0) == Some(b'r') && self.peek(1) == Some(b'#') {
+            self.bump_n(2);
+        }
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_' || c >= 0x80
+}
+
+fn is_ident_continue(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80
+}

@@ -1,0 +1,107 @@
+//! The `pcr-analyze` binary: scan the workspace, print findings, emit
+//! the JSON report, and (with `--check`) gate CI on a clean pass.
+//!
+//! ```text
+//! pcr-analyze [--root DIR] [--check] [--out FILE] [--list-rules] [--quiet]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = violations found (only with `--check`),
+//! 2 = usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use pcr_analyze::report::{scan, to_json};
+use pcr_analyze::rules::RULES;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Options {
+    root: PathBuf,
+    check: bool,
+    out: Option<PathBuf>,
+    list_rules: bool,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        root: PathBuf::from("."),
+        check: false,
+        out: None,
+        list_rules: false,
+        quiet: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(
+                    args.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--out" => {
+                opts.out = Some(PathBuf::from(
+                    args.next().ok_or_else(|| "--out needs a file path".to_string())?,
+                ));
+            }
+            "--check" => opts.check = true,
+            "--list-rules" => opts.list_rules = true,
+            "--quiet" | "-q" => opts.quiet = true,
+            "--help" | "-h" => {
+                return Err("usage: pcr-analyze [--root DIR] [--check] [--out FILE] \
+                            [--list-rules] [--quiet]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if opts.list_rules {
+        for r in RULES {
+            println!("{:24} {}", r.name, r.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let report = match scan(&opts.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pcr-analyze: scanning {}: {e}", opts.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !opts.quiet {
+        for f in &report.findings {
+            println!("{}:{}:{}: [{}] {}", f.file, f.line, f.col, f.rule, f.message);
+        }
+        println!(
+            "pcr-analyze: {} files, {} violation(s), {} allowed suppression(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.suppressed
+        );
+    }
+    let json = to_json(&report);
+    if let Some(out) = &opts.out {
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = std::fs::write(out, &json) {
+            eprintln!("pcr-analyze: writing {}: {e}", out.display());
+            return ExitCode::from(2);
+        }
+    }
+    if opts.check && !report.findings.is_empty() {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

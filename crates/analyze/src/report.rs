@@ -1,0 +1,107 @@
+//! Workspace walking and the machine-readable JSON report.
+
+use crate::rules::{analyze_source, Finding, RULES};
+use pcr_metrics::JsonValue;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Outcome of scanning a whole tree.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Files that were lexed and analyzed.
+    pub files_scanned: usize,
+    /// All surviving violations, in path order.
+    pub findings: Vec<Finding>,
+    /// Count of violations silenced by `pcr-lint: allow(...)`.
+    pub suppressed: usize,
+}
+
+/// Directory names never descended into. `corpus` holds the analyzer's
+/// own seeded-violation fixtures — scanning those would fail the build
+/// by design.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github", "corpus"];
+
+/// Recursively collects `.rs` files under `root`, skipping
+/// `SKIP_DIRS`, sorted by path for deterministic reports.
+pub fn collect_rust_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if !SKIP_DIRS.contains(&name.as_ref()) {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Scans every Rust file under `root` and aggregates the per-file
+/// reports. Paths in findings are `root`-relative with `/` separators,
+/// so reports are machine-comparable across checkouts.
+pub fn scan(root: &Path) -> std::io::Result<ScanReport> {
+    let mut report = ScanReport::default();
+    for path in collect_rust_files(root)? {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy().into_owned())
+            .collect::<Vec<_>>()
+            .join("/");
+        let src = fs::read_to_string(&path)?;
+        let file_report = analyze_source(&rel, &src);
+        report.files_scanned += 1;
+        report.suppressed += file_report.suppressed;
+        report.findings.extend(file_report.findings);
+    }
+    Ok(report)
+}
+
+/// Renders the report as the JSON document the CI job archives.
+pub fn to_json(report: &ScanReport) -> String {
+    let rules = JsonValue::Array(
+        RULES
+            .iter()
+            .map(|r| {
+                JsonValue::object([
+                    ("name", JsonValue::str(r.name)),
+                    ("summary", JsonValue::str(r.summary)),
+                ])
+            })
+            .collect(),
+    );
+    let violations = JsonValue::Array(
+        report
+            .findings
+            .iter()
+            .map(|f| {
+                JsonValue::object([
+                    ("rule", JsonValue::str(f.rule)),
+                    ("file", JsonValue::str(f.file.clone())),
+                    ("line", JsonValue::U64(u64::from(f.line))),
+                    ("col", JsonValue::U64(u64::from(f.col))),
+                    ("message", JsonValue::str(f.message.clone())),
+                ])
+            })
+            .collect(),
+    );
+    JsonValue::object([
+        ("tool", JsonValue::str("pcr-analyze")),
+        ("files_scanned", JsonValue::U64(report.files_scanned as u64)),
+        ("violations", violations),
+        ("violation_count", JsonValue::U64(report.findings.len() as u64)),
+        ("allowed_suppressions", JsonValue::U64(report.suppressed as u64)),
+        ("rules", rules),
+    ])
+    .render()
+}

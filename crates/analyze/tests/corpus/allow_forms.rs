@@ -1,0 +1,24 @@
+// Every form of the `pcr-lint: allow(...)` escape hatch, all correctly
+// placed: this file must analyze to zero findings with every seeded
+// violation counted as a suppression. Never compiled.
+
+pub fn trailing(v: &[u8]) -> u8 {
+    v[0] // pcr-lint: allow(no-panic-in-hot-path) — non-empty by contract
+}
+
+pub fn standalone(v: &[u8]) -> u8 {
+    // pcr-lint: allow(no-panic-in-hot-path) — non-empty by contract
+    v[1]
+}
+
+pub fn multi_line_justification(v: &[u8]) -> u8 {
+    // pcr-lint: allow(no-panic-in-hot-path) — a justification long enough
+    // to need a second comment line before the code it covers
+    v[2]
+}
+
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — every index is a
+// literal in 0..8, and the signature's `[f64; 8]` must not cut the span
+pub fn whole_item(x: [f64; 8]) -> f64 {
+    x[0] + x[7]
+}

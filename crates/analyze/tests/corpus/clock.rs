@@ -1,0 +1,23 @@
+// Seeded violations for `clock-discipline`. Analyzed under a
+// virtual-time loader path; never compiled.
+
+pub fn measure_badly() -> f64 {
+    let t0 = std::time::Instant::now(); //~ clock-discipline
+    t0.elapsed().as_secs_f64()
+}
+
+pub fn wall_clock_timestamp() -> bool {
+    let t = std::time::SystemTime::now(); //~ clock-discipline
+    t.elapsed().is_ok()
+}
+
+pub fn mentioning_the_type_is_clean(t: std::time::Instant) -> std::time::Instant {
+    t
+}
+
+// pcr-lint: allow(clock-discipline) for-next-item — one-off diagnostic
+// helper; the measurement never feeds the virtual timeline
+pub fn sanctioned() -> f64 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_secs_f64()
+}

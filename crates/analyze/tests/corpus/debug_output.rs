@@ -1,0 +1,17 @@
+// Seeded violations for `no-debug-output`. Analyzed under a library
+// crate virtual path; never compiled.
+
+pub fn log_progress(n: usize) {
+    println!("done {n}"); //~ no-debug-output
+    eprintln!("warning: {n} incomplete"); //~ no-debug-output
+    let doubled = dbg!(n * 2); //~ no-debug-output
+    let _ = doubled;
+}
+
+pub fn formatted_not_printed(n: usize) -> String {
+    format!("done {n}")
+}
+
+pub fn println_in_a_string_is_clean() -> &'static str {
+    "println!(\"not code\")"
+}

@@ -1,0 +1,39 @@
+// Seeded violations for `no-panic-in-hot-path`. Analyzed under the
+// virtual path of a hot decode module; never compiled. An end-of-line
+// tilde marker names the rule a finding must anchor to on that line.
+
+pub fn decode(v: &[u8], i: usize) -> u8 {
+    let a = v.first().copied();
+    let b = a.unwrap(); //~ no-panic-in-hot-path
+    let c = v[i]; //~ no-panic-in-hot-path
+    if i > v.len() {
+        panic!("out of range"); //~ no-panic-in-hot-path
+    }
+    let d = a.expect("present"); //~ no-panic-in-hot-path
+    b + c + d
+}
+
+pub fn checked_access_is_clean(v: &[u8], i: usize) -> u8 {
+    v.get(i).copied().unwrap_or(0)
+}
+
+pub fn patterns_and_literals_are_clean(pair: (u8, u8)) -> [u8; 4] {
+    let [x, y] = [pair.0, pair.1];
+    let mut arr: [u8; 4] = [0; 4];
+    arr.fill(x + y);
+    arr
+}
+
+pub fn suppressed(v: &[u8]) -> u8 {
+    v[0] // pcr-lint: allow(no-panic-in-hot-path) — caller checks non-empty
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        Some(1).unwrap();
+        let v = [1u8];
+        assert_eq!(v[0], 1);
+    }
+}

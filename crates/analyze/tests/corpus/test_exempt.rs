@@ -1,0 +1,22 @@
+// Test-code exemption boundaries: `#[cfg(test)]` and `#[test]` items
+// are exempt, `#[cfg(not(test))]` is production code. Never compiled.
+
+#[cfg(not(test))]
+pub fn production(v: &[u8]) -> u8 {
+    v[0] //~ no-panic-in-hot-path
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_module() {
+        let v = vec![1u8];
+        assert_eq!(v[0], 1);
+        Some(1).unwrap();
+    }
+}
+
+#[test]
+fn exempt_top_level_test_item() {
+    Some(2).unwrap();
+}

@@ -1,0 +1,17 @@
+// Seeded violations for `safety-comment-on-unsafe` (applies to every
+// path). Never compiled.
+
+pub fn deref_raw(p: *const u8) -> u8 {
+    unsafe { *p } //~ safety-comment-on-unsafe
+}
+
+pub fn deref_documented(p: *const u8) -> u8 {
+    // SAFETY: caller contract — p points into the mapped region
+    unsafe { *p }
+}
+
+// SAFETY: the whole function body relies on the mapping staying alive,
+// which the owning struct guarantees.
+pub unsafe fn documented_unsafe_fn(p: *const u8) -> u8 {
+    *p
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the wire-parse rules (`bounded-alloc`,
+// `no-truncating-cast`). Analyzed under a parse-module virtual path;
+// never compiled.
+
+pub fn parse(data: &[u8]) -> Vec<u8> {
+    let n = read_u32(data) as usize;
+    let mut v = Vec::with_capacity(n); //~ bounded-alloc
+    let w = vec![0u8; n]; //~ bounded-alloc
+    let clamped = n.min(MAX_REASONABLE);
+    // pcr-lint: allow(bounded-alloc) — clamped above
+    let ok = Vec::with_capacity(clamped);
+    v.extend(w);
+    v.extend(ok);
+    v
+}
+
+pub fn const_sized_allocs_are_clean() -> Vec<u8> {
+    let mut v = Vec::with_capacity(MAX_GROUPS);
+    v.extend(vec![0u8; 1024]);
+    v
+}
+
+pub fn narrow(x: u64) -> u16 {
+    x as u16 //~ no-truncating-cast
+}
+
+pub fn widen(x: u16) -> u64 {
+    x as u64
+}
+
+pub fn annotated_narrow(x: u64) -> u32 {
+    debug_assert!(x <= u32::MAX as u64);
+    x as u32 // pcr-lint: allow(no-truncating-cast) — asserted above
+}

@@ -1,0 +1,149 @@
+//! Drives the seeded-violation corpus under `tests/corpus/`: each file
+//! is analyzed under a *virtual* workspace path (which selects the
+//! rules that apply) and its `//~ rule-a, rule-b` end-of-line markers
+//! are the ground truth — every marked (line, rule) pair must be found,
+//! no unmarked finding may appear, and the per-file suppression count
+//! must match the seeded `pcr-lint: allow(...)` annotations exactly.
+
+use pcr_analyze::report::collect_rust_files;
+use pcr_analyze::rules::{analyze_source, RULES};
+use std::collections::BTreeSet;
+
+struct Case {
+    /// Corpus file name (for messages).
+    name: &'static str,
+    /// Virtual workspace-relative path the file is analyzed under.
+    virtual_path: &'static str,
+    /// The corpus source itself.
+    src: &'static str,
+    /// Expected number of allow-suppressed violations.
+    expect_suppressed: usize,
+}
+
+const CASES: &[Case] = &[
+    Case {
+        name: "hot_path.rs",
+        virtual_path: "crates/jpeg/src/bitio.rs",
+        src: include_str!("corpus/hot_path.rs"),
+        expect_suppressed: 1,
+    },
+    Case {
+        name: "wire_parse.rs",
+        virtual_path: "crates/core/src/wire.rs",
+        src: include_str!("corpus/wire_parse.rs"),
+        expect_suppressed: 2,
+    },
+    Case {
+        name: "clock.rs",
+        virtual_path: "crates/loader/src/pipeline.rs",
+        src: include_str!("corpus/clock.rs"),
+        expect_suppressed: 1,
+    },
+    Case {
+        name: "unsafe_code.rs",
+        virtual_path: "crates/storage/src/mmap.rs",
+        src: include_str!("corpus/unsafe_code.rs"),
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "debug_output.rs",
+        virtual_path: "crates/core/src/lib.rs",
+        src: include_str!("corpus/debug_output.rs"),
+        expect_suppressed: 0,
+    },
+    Case {
+        name: "allow_forms.rs",
+        virtual_path: "crates/jpeg/src/dct.rs",
+        src: include_str!("corpus/allow_forms.rs"),
+        // trailing + standalone + multi-line standalone + for-next-item
+        // covering a line with two violations.
+        expect_suppressed: 5,
+    },
+    Case {
+        name: "test_exempt.rs",
+        virtual_path: "crates/core/src/container.rs",
+        src: include_str!("corpus/test_exempt.rs"),
+        expect_suppressed: 0,
+    },
+];
+
+/// Parses `//~ rule-a, rule-b` markers into (1-based line, rule) pairs.
+fn expected_markers(src: &str) -> BTreeSet<(u32, String)> {
+    let mut out = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        let Some(pos) = line.find("//~") else { continue };
+        for rule in line[pos + 3..].split(',') {
+            let rule = rule.trim();
+            if !rule.is_empty() {
+                out.insert((u32::try_from(i).unwrap() + 1, rule.to_string()));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn every_corpus_file_matches_its_markers_exactly() {
+    for case in CASES {
+        let report = analyze_source(case.virtual_path, case.src);
+        let expected = expected_markers(case.src);
+        let actual: BTreeSet<(u32, String)> =
+            report.findings.iter().map(|f| (f.line, f.rule.to_string())).collect();
+        let missing: Vec<_> = expected.difference(&actual).collect();
+        let unexpected: Vec<_> = actual.difference(&expected).collect();
+        assert!(
+            missing.is_empty() && unexpected.is_empty(),
+            "{}: marker mismatch\n  missing (marked but not found): {missing:?}\n  \
+             unexpected (found but unmarked): {unexpected:?}",
+            case.name
+        );
+        assert_eq!(
+            report.suppressed, case.expect_suppressed,
+            "{}: suppression count", case.name
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_rule() {
+    let marked: BTreeSet<String> = CASES
+        .iter()
+        .flat_map(|c| expected_markers(c.src))
+        .map(|(_, rule)| rule)
+        .collect();
+    for rule in RULES {
+        assert!(
+            marked.contains(rule.name),
+            "rule `{}` has no seeded violation in the corpus",
+            rule.name
+        );
+    }
+}
+
+#[test]
+fn marker_rule_names_are_real_rules() {
+    for case in CASES {
+        for (line, rule) in expected_markers(case.src) {
+            assert!(
+                RULES.iter().any(|r| r.name == rule),
+                "{}:{line}: marker names unknown rule `{rule}`",
+                case.name
+            );
+        }
+    }
+}
+
+#[test]
+fn workspace_walker_skips_the_corpus() {
+    // The corpus fails the lint pass by design; `pcr-analyze --check` on
+    // the workspace must never descend into it. CARGO_MANIFEST_DIR is
+    // the analyze crate root, which contains tests/corpus/.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = collect_rust_files(root).expect("walk analyze crate");
+    assert!(
+        files.iter().all(|p| !p.components().any(|c| c.as_os_str() == "corpus")),
+        "walker descended into a corpus directory: {files:?}"
+    );
+    // Sanity: it did find this very test file.
+    assert!(files.iter().any(|p| p.ends_with("tests/corpus_test.rs")));
+}

@@ -1,0 +1,183 @@
+//! Edge cases for the hand-rolled lexer: every case here is one that
+//! has historically broken ad-hoc Rust lexers (see the module docs of
+//! `pcr_analyze::lexer`). The lint rules are only as trustworthy as the
+//! lexer's comment/string classification, so these are load-bearing.
+
+use pcr_analyze::lexer::{lex, TokenKind};
+
+fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+    lex(src).into_iter().map(|t| (t.kind, t.text(src))).collect()
+}
+
+#[test]
+fn nested_block_comments_are_one_token() {
+    let src = "/* outer /* inner */ still comment */ fn";
+    let toks = kinds(src);
+    assert_eq!(toks.len(), 2);
+    assert_eq!(toks[0].0, TokenKind::Comment);
+    assert_eq!(toks[0].1, "/* outer /* inner */ still comment */");
+    assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+}
+
+#[test]
+fn unterminated_block_comment_consumes_rest() {
+    let toks = kinds("/* never closed fn main");
+    assert_eq!(toks.len(), 1);
+    assert_eq!(toks[0].0, TokenKind::Comment);
+}
+
+#[test]
+fn raw_strings_hide_their_contents() {
+    // The classic failure: `.unwrap()` inside a raw string must not be
+    // visible as code tokens.
+    let src = r###"let s = r#"x.unwrap() /* not a comment "quote "# ;"###;
+    let toks = kinds(src);
+    let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert!(strs[0].1.contains("unwrap"));
+    assert!(!toks.iter().any(|t| t.0 == TokenKind::Ident && t.1 == "unwrap"));
+    assert!(!toks.iter().any(|t| t.0 == TokenKind::Comment));
+}
+
+#[test]
+fn raw_string_hash_depth_two() {
+    let src = r####"r##"contains "# inside"## trailing"####;
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::Str);
+    assert_eq!(toks[0].1, r####"r##"contains "# inside"##"####);
+    assert_eq!(toks[1], (TokenKind::Ident, "trailing"));
+}
+
+#[test]
+fn byte_and_c_string_prefixes() {
+    let src = r###"b"bytes" br#"raw bytes"# c"cstr" b'\n'"###;
+    let toks = kinds(src);
+    assert_eq!(toks[0], (TokenKind::Str, r#"b"bytes""#));
+    assert_eq!(toks[1], (TokenKind::Str, r##"br#"raw bytes"#"##));
+    assert_eq!(toks[2], (TokenKind::Str, r#"c"cstr""#));
+    assert_eq!(toks[3], (TokenKind::Char, r"b'\n'"));
+}
+
+#[test]
+fn raw_identifier_is_ident_not_string() {
+    let toks = kinds("let r#match = r#type;");
+    assert_eq!(toks[1], (TokenKind::Ident, "r#match"));
+    assert_eq!(toks[3], (TokenKind::Ident, "r#type"));
+    assert!(!toks.iter().any(|t| t.0 == TokenKind::Str));
+}
+
+#[test]
+fn lifetimes_versus_char_literals() {
+    let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+    let lifetimes: Vec<_> =
+        toks.iter().filter(|t| t.0 == TokenKind::Lifetime).map(|t| t.1).collect();
+    let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).map(|t| t.1).collect();
+    assert_eq!(lifetimes, ["'a", "'a"]);
+    assert_eq!(chars, ["'a'", "'\\n'"]);
+}
+
+#[test]
+fn static_lifetime_and_unicode_escape_char() {
+    let toks = kinds("&'static str; '\\u{1F4A9}'");
+    assert!(toks.contains(&(TokenKind::Lifetime, "'static")));
+    assert!(toks.contains(&(TokenKind::Char, "'\\u{1F4A9}'")));
+}
+
+#[test]
+fn numbers_do_not_swallow_range_dots() {
+    let toks = kinds("for i in 0..10 {}");
+    assert!(toks.contains(&(TokenKind::Number, "0")));
+    assert!(toks.contains(&(TokenKind::Number, "10")));
+    assert_eq!(toks.iter().filter(|t| t.1 == "." && t.0 == TokenKind::Punct).count(), 2);
+}
+
+#[test]
+fn numeric_suffixes_and_exponents() {
+    let toks = kinds("1usize 0xFFu8 1e-5 2.5f64 1_000");
+    let nums: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Number).map(|t| t.1).collect();
+    assert_eq!(nums, ["1usize", "0xFFu8", "1e-5", "2.5f64", "1_000"]);
+}
+
+#[test]
+fn float_field_access_is_not_a_fraction() {
+    // `x.0` tuple access: the `0` follows a dot but `self.0` must lex the
+    // dot as punctuation (the rules rely on Number-after-dot for `x.0[i]`).
+    let toks = kinds("self.0[i]");
+    assert_eq!(
+        toks,
+        vec![
+            (TokenKind::Ident, "self"),
+            (TokenKind::Punct, "."),
+            (TokenKind::Number, "0"),
+            (TokenKind::Punct, "["),
+            (TokenKind::Ident, "i"),
+            (TokenKind::Punct, "]"),
+        ]
+    );
+}
+
+#[test]
+fn escaped_quotes_stay_inside_strings() {
+    let toks = kinds(r#"let s = "a\"b\\"; next"#);
+    let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+    assert_eq!(strs.len(), 1);
+    assert_eq!(strs[0].1, r#""a\"b\\""#);
+    assert!(toks.contains(&(TokenKind::Ident, "next")));
+}
+
+#[test]
+fn unterminated_string_consumes_to_end_without_panicking() {
+    let toks = kinds("let s = \"never closed");
+    assert_eq!(toks.last().unwrap().0, TokenKind::Str);
+}
+
+#[test]
+fn line_and_column_tracking() {
+    let src = "fn a() {}\n  let b = 1;\n\tc";
+    let toks = lex(src);
+    let find = |text: &str| toks.iter().find(|t| t.text(src) == text).unwrap();
+    assert_eq!((find("fn").line, find("fn").col), (1, 1));
+    assert_eq!((find("let").line, find("let").col), (2, 3));
+    // Tabs count as one column byte.
+    assert_eq!((find("c").line, find("c").col), (3, 2));
+}
+
+#[test]
+fn line_comment_stops_at_newline() {
+    let src = "// comment with \"quote and 'tick\nfn";
+    let toks = kinds(src);
+    assert_eq!(toks[0].0, TokenKind::Comment);
+    assert_eq!(toks[1], (TokenKind::Ident, "fn"));
+    assert_eq!(lex(src)[1].line, 2);
+}
+
+#[test]
+fn comment_markers_inside_strings_are_not_comments() {
+    let toks = kinds(r#"let url = "https://example.com/*path*/"; done"#);
+    assert!(!toks.iter().any(|t| t.0 == TokenKind::Comment));
+    assert!(toks.contains(&(TokenKind::Ident, "done")));
+}
+
+#[test]
+fn multiline_raw_string_advances_line_numbers() {
+    let src = "r\"line one\nline two\" after";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::Str);
+    let after = toks.iter().find(|t| t.text(src) == "after").unwrap();
+    assert_eq!(after.line, 2);
+}
+
+#[test]
+fn lexing_arbitrary_bytes_never_panics() {
+    // Deterministic pseudo-random soup: every byte value, shuffled-ish.
+    let mut s = String::new();
+    let mut x = 0x9E3779B9u32;
+    for _ in 0..4096 {
+        x ^= x << 13;
+        x ^= x >> 17;
+        x ^= x << 5;
+        let b = (x & 0x7F) as u8;
+        s.push(if b.is_ascii_graphic() || b == b' ' || b == b'\n' { b as char } else { '\u{FF}' });
+    }
+    let _ = lex(&s);
+}

@@ -35,6 +35,8 @@
 //! assert_eq!(mix.probability(1), 0.1);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod mixture;

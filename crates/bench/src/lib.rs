@@ -14,6 +14,8 @@
 //! assert_eq!(STANDARD_GROUPS, [1, 2, 5, 10]);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod context;

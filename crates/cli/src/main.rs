@@ -7,6 +7,8 @@
 //! training epochs under online fidelity control. `docs/GUIDE.md` walks
 //! all four commands end to end.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod bench;
 mod inspect;

@@ -97,7 +97,9 @@ pub struct ShardRecord {
 impl ShardRecord {
     /// Full record length in bytes.
     pub fn len(&self) -> u64 {
-        *self.group_offsets.last().expect("offsets nonempty")
+        // The parser always stores num_groups + 1 >= 1 offsets; a
+        // hand-built empty Vec degrades to length 0 rather than panicking.
+        self.group_offsets.last().copied().unwrap_or(0)
     }
 
     /// True when the record holds no bytes (never produced by the writer).
@@ -109,7 +111,8 @@ impl ShardRecord {
     /// `g`, clamped to the record's group count — the same prefix math as
     /// [`crate::dataset::RecordMeta::prefix_len`].
     pub fn prefix_len(&self, g: usize) -> u64 {
-        self.group_offsets[g.min(self.group_offsets.len() - 1)]
+        let last = self.group_offsets.len().saturating_sub(1);
+        self.group_offsets.get(g.min(last)).copied().unwrap_or(0)
     }
 }
 
@@ -149,6 +152,7 @@ impl ShardIndex {
             return Err(Error::Truncated { context: "shard trailer" });
         }
         // Trailer: footer_len (u32), footer_crc (u32), "PCRF".
+        // pcr-lint: allow(no-panic-in-hot-path) — file_len >= HEADER + TRAILER checked above
         let trailer = &bytes[bytes.len() - SHARD_TRAILER_LEN as usize..];
         let mut t = Reader::new(trailer);
         let footer_len = t.u32("footer length")? as u64;
@@ -162,6 +166,8 @@ impl ShardIndex {
         if footer_start < SHARD_HEADER_LEN {
             return Err(Error::Malformed("shard footer overlaps header".into()));
         }
+        // pcr-lint: allow(no-panic-in-hot-path) — HEADER <= footer_start (checked
+        // above) and checked_sub proved footer_start + TRAILER <= file_len.
         let footer = &bytes[footer_start as usize..(file_len - SHARD_TRAILER_LEN) as usize];
         if crc32(footer) != footer_crc {
             return Err(Error::Corrupt(format!("{file_name}: shard footer CRC mismatch")));
@@ -178,12 +184,14 @@ impl ShardIndex {
             )));
         }
         let mut f = Reader::new(footer);
+        // pcr-lint: allow(bounded-alloc) — record_count <= footer.len()/min_entry, checked above
         let mut records = Vec::with_capacity(record_count);
         for _ in 0..record_count {
             let name = String::from_utf8(f.prefixed_bytes("record name")?.to_vec())
                 .map_err(|_| Error::Malformed("record name not UTF-8".into()))?;
             let offset = f.u64("record offset")?;
             let num_images = f.u32("record image count")?;
+            // pcr-lint: allow(bounded-alloc) — num_groups is a u16, so at most 65536 entries
             let mut group_offsets = Vec::with_capacity(num_groups as usize + 1);
             for _ in 0..=num_groups {
                 group_offsets.push(f.u64("record group offset")?);
@@ -191,6 +199,7 @@ impl ShardIndex {
             // Prefix lengths must be cumulative: a decreasing sequence
             // would plan ranged reads past the record's end (or wrap the
             // per-group deltas every consumer computes).
+            // pcr-lint: allow(no-panic-in-hot-path) — windows(2) yields exactly 2 elements
             if group_offsets.windows(2).any(|w| w[0] > w[1]) {
                 return Err(Error::Malformed(
                     "record group offsets are not non-decreasing".into(),
@@ -199,6 +208,7 @@ impl ShardIndex {
             if num_images as usize > f.remaining() / 4 {
                 return Err(Error::Truncated { context: "record labels" });
             }
+            // pcr-lint: allow(bounded-alloc) — num_images bounded by remaining/4 just above
             let mut labels = Vec::with_capacity(num_images as usize);
             for _ in 0..num_images {
                 labels.push(f.u32("record label")?);
@@ -288,6 +298,9 @@ impl ContainerManifest {
         out.extend_from_slice(MANIFEST_MAGIC);
         put_u16(&mut out, self.version);
         put_u16(&mut out, self.num_groups);
+        debug_assert!(self.shards.len() <= u32::MAX as usize);
+        // pcr-lint: allow(no-truncating-cast) — writer side; a container
+        // cannot reach 2^32 shard files, asserted above.
         put_u32(&mut out, self.shards.len() as u32);
         for s in &self.shards {
             put_bytes(&mut out, s.file_name.as_bytes());
@@ -307,7 +320,9 @@ impl ContainerManifest {
             return Err(Error::Truncated { context: "manifest checksum" });
         }
         let (body, tail) = data.split_at(data.len() - 4);
-        let stored = u32::from_le_bytes(tail.try_into().expect("4 bytes"));
+        let stored = <[u8; 4]>::try_from(tail)
+            .map(u32::from_le_bytes)
+            .map_err(|_| Error::Truncated { context: "manifest checksum" })?;
         if crc32(body) != stored {
             return Err(Error::Corrupt("manifest CRC mismatch".into()));
         }
@@ -329,7 +344,7 @@ impl ContainerManifest {
                 r.remaining()
             )));
         }
-        let mut shards = Vec::with_capacity(n);
+        let mut shards = Vec::with_capacity(n); // pcr-lint: allow(bounded-alloc) — n bounded by remaining/24 above
         for _ in 0..n {
             let file_name = String::from_utf8(r.prefixed_bytes("shard file name")?.to_vec())
                 .map_err(|_| Error::Malformed("shard file name not UTF-8".into()))?;
@@ -350,13 +365,17 @@ impl ContainerManifest {
 /// byte blobs and their metadata. `metas` must parallel `records`.
 fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]) -> Vec<u8> {
     let data_len: usize = records.iter().map(|(_, b)| b.len()).sum();
+    // pcr-lint: allow(bounded-alloc) — writer side: data_len is the sum of
+    // in-memory record buffers already held by the caller.
     let mut out = Vec::with_capacity(SHARD_HEADER_LEN as usize + data_len);
     out.extend_from_slice(SHARD_MAGIC);
     put_u16(&mut out, CONTAINER_VERSION);
     put_u16(&mut out, num_groups);
+    debug_assert!(records.len() <= u32::MAX as usize);
+    // pcr-lint: allow(no-truncating-cast) — writer side; asserted above
     put_u32(&mut out, records.len() as u32);
     debug_assert_eq!(out.len() as u64, SHARD_HEADER_LEN);
-    let mut offsets = Vec::with_capacity(records.len());
+    let mut offsets = Vec::with_capacity(records.len()); // pcr-lint: allow(bounded-alloc) — len of caller's slice
     for (_, bytes) in records {
         offsets.push(out.len() as u64);
         out.extend_from_slice(bytes);
@@ -375,6 +394,8 @@ fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]
         put_u32(&mut footer, crc32(bytes));
     }
     let footer_crc = crc32(&footer);
+    debug_assert!(footer.len() <= u32::MAX as usize);
+    // pcr-lint: allow(no-truncating-cast) — writer side; asserted above
     let footer_len = footer.len() as u32;
     out.extend_from_slice(&footer);
     put_u32(&mut out, footer_len);
@@ -404,7 +425,8 @@ pub fn write_container(
             dir.display()
         )));
     }
-    let num_groups = dataset.db.num_groups() as u16;
+    let num_groups = u16::try_from(dataset.db.num_groups())
+        .map_err(|_| Error::BadInput("group count exceeds u16".into()))?;
     let mut shards = Vec::new();
     let entries: Vec<(&crate::dataset::RecordMeta, &[u8])> = dataset
         .db
@@ -415,13 +437,19 @@ pub fn write_container(
     for (i, chunk) in entries.chunks(records_per_shard).enumerate() {
         let file_name = format!("shard-{i:05}.pcrshard");
         let bytes = build_shard(num_groups, chunk);
-        let index = ShardIndex::parse(&file_name, &bytes).expect("writer output parses");
+        let index = ShardIndex::parse(&file_name, &bytes).map_err(|e| {
+            Error::Malformed(format!("freshly written shard does not parse back: {e}"))
+        })?;
         fs::write(dir.join(&file_name), &bytes).map_err(io_err("write shard"))?;
+        let records = u32::try_from(chunk.len())
+            .map_err(|_| Error::BadInput("too many records per shard".into()))?;
+        let images = u32::try_from(index.num_images())
+            .map_err(|_| Error::BadInput("too many images per shard".into()))?;
         shards.push(ShardSummary {
             file_name,
             file_len: bytes.len() as u64,
-            records: chunk.len() as u32,
-            images: index.num_images() as u32,
+            records,
+            images,
             footer_crc: index.footer_crc,
         });
     }
@@ -454,6 +482,7 @@ impl PcrContainer {
         let manifest_bytes =
             fs::read(dir.join(MANIFEST_FILE)).map_err(io_err("read manifest"))?;
         let manifest = ContainerManifest::from_bytes(&manifest_bytes)?;
+        // pcr-lint: allow(bounded-alloc) — len of an already-parsed, size-validated Vec
         let mut shards = Vec::with_capacity(manifest.shards.len());
         for summary in &manifest.shards {
             let path = dir.join(&summary.file_name);
@@ -490,7 +519,11 @@ impl PcrContainer {
     }
 
     /// Path of shard `i`.
+    ///
+    /// # Panics
+    /// Like slice indexing, panics when `i` is not a valid shard index.
     pub fn shard_path(&self, i: usize) -> PathBuf {
+        // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
         self.dir.join(&self.manifest.shards[i].file_name)
     }
 
@@ -500,6 +533,7 @@ impl PcrContainer {
         let mut idx = global;
         for (s, shard) in self.shards.iter().enumerate() {
             if idx < shard.records.len() {
+                // pcr-lint: allow(no-panic-in-hot-path) — idx < len checked just above
                 return Some((s, &shard.records[idx]));
             }
             idx -= shard.records.len();
@@ -508,15 +542,19 @@ impl PcrContainer {
     }
 
     /// Reads shard `i`'s full file from disk.
+    ///
+    /// # Panics
+    /// Like slice indexing, panics when `i` is not a valid shard index.
     pub fn read_shard(&self, i: usize) -> Result<Vec<u8>> {
         let path = self.shard_path(i);
         let bytes = fs::read(&path).map_err(io_err("read shard"))?;
-        if bytes.len() as u64 != self.manifest.shards[i].file_len {
+        // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
+        let expected = self.manifest.shards[i].file_len;
+        if bytes.len() as u64 != expected {
             return Err(Error::Malformed(format!(
-                "{}: {} bytes on disk, manifest says {}",
+                "{}: {} bytes on disk, manifest says {expected}",
                 path.display(),
                 bytes.len(),
-                self.manifest.shards[i].file_len
             )));
         }
         Ok(bytes)
@@ -524,17 +562,30 @@ impl PcrContainer {
 
     /// Reads shard `i` and verifies every record's CRC-32 against the
     /// footer index, rejecting corrupted data.
+    ///
+    /// # Panics
+    /// Like slice indexing, panics when `i` is not a valid shard index.
     pub fn read_shard_verified(&self, i: usize) -> Result<Vec<u8>> {
         let bytes = self.read_shard(i)?;
+        // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
         for rec in &self.shards[i].records {
             let start = rec.offset as usize;
             let end = start + rec.len() as usize;
             let stored = rec.crc32;
-            let actual = crc32(&bytes[start..end]);
+            // Record ranges were validated against the footer start at
+            // parse time, but re-check here so a hand-built index cannot
+            // panic the integrity pass.
+            let data = bytes
+                .get(start..end)
+                .ok_or_else(|| Error::Corrupt(format!("record {} out of shard bounds", rec.name)))?;
+            let actual = crc32(data);
             if actual != stored {
+                // pcr-lint: allow(no-panic-in-hot-path) — same shard index as above
+                let file_name = &self.manifest.shards[i].file_name;
                 return Err(Error::Corrupt(format!(
-                    "{}: record {} CRC mismatch (stored {stored:#010x}, computed {actual:#010x})",
-                    self.manifest.shards[i].file_name, rec.name
+                    "{file_name}: record {} CRC mismatch (stored {stored:#010x}, \
+                     computed {actual:#010x})",
+                    rec.name
                 )));
             }
         }
@@ -572,18 +623,20 @@ fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
     let mut trailer = [0u8; SHARD_TRAILER_LEN as usize];
     file.seek(SeekFrom::End(-(SHARD_TRAILER_LEN as i64))).map_err(io_err("seek shard"))?;
     file.read_exact(&mut trailer).map_err(io_err("read shard trailer"))?;
-    let footer_len = u64::from(u32::from_le_bytes(trailer[0..4].try_into().expect("4 bytes")));
+    let footer_len = u64::from(Reader::new(&trailer).u32("footer length")?);
     let tail_len = (SHARD_TRAILER_LEN + footer_len).min(file_len - SHARD_HEADER_LEN);
     // Header + footer + trailer, skipping the record data in between.
     let mut head = [0u8; SHARD_HEADER_LEN as usize];
     file.seek(SeekFrom::Start(0)).map_err(io_err("seek shard"))?;
     file.read_exact(&mut head).map_err(io_err("read shard header"))?;
+    // pcr-lint: allow(bounded-alloc) — tail_len clamped to the on-disk file size just above
     let mut tail = vec![0u8; tail_len as usize];
     file.seek(SeekFrom::End(-(tail_len as i64))).map_err(io_err("seek shard"))?;
     file.read_exact(&mut tail).map_err(io_err("read shard footer"))?;
     // Reassemble a sparse image of the file for the parser: the record
     // region's contents are irrelevant to index parsing (offsets are
     // validated against the footer start, data is not checksummed here).
+    // pcr-lint: allow(bounded-alloc) — capacity bounded by the on-disk file size
     let mut image = Vec::with_capacity((SHARD_HEADER_LEN + file_len - tail_len) as usize);
     image.extend_from_slice(&head);
     image.resize((file_len - tail_len) as usize, 0);

@@ -139,29 +139,33 @@ impl PcrRecordBuilder {
         }
         let num_groups = self.num_groups;
 
+        let too_big = |what: &str| Error::BadInput(format!("{what} exceeds format limit"));
+
         // Index section.
         let mut index = Vec::new();
         for (meta, jpeg, layout) in &self.entries {
             put_u32(&mut index, meta.label);
             put_bytes(&mut index, meta.id.as_bytes());
-            put_u32(&mut index, layout.header_len as u32);
+            put_u32(&mut index, u32::try_from(layout.header_len).map_err(|_| too_big("JPEG header"))?);
             let _ = jpeg;
             for g in 0..num_groups {
-                let len = if g < layout.num_scans() { layout.scan_size(g) as u32 } else { 0 };
-                put_u32(&mut index, len);
+                let len = if g < layout.num_scans() { layout.scan_size(g) } else { 0 };
+                put_u32(&mut index, u32::try_from(len).map_err(|_| too_big("scan group"))?);
             }
         }
 
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         put_u16(&mut out, VERSION);
-        put_u32(&mut out, self.entries.len() as u32);
-        put_u16(&mut out, num_groups as u16);
+        put_u32(&mut out, u32::try_from(self.entries.len()).map_err(|_| too_big("image count"))?);
+        put_u16(&mut out, u16::try_from(num_groups).map_err(|_| too_big("group count"))?);
         put_u64(&mut out, index.len() as u64);
         out.extend_from_slice(&index);
 
         // Headers.
         for (_, jpeg, layout) in &self.entries {
+            // pcr-lint: allow(no-panic-in-hot-path) — header_len came from
+            // split_scans over this same jpeg buffer, so the slice is in bounds.
             out.extend_from_slice(&jpeg[..layout.header_len]);
         }
         // Scan groups.
@@ -169,6 +173,8 @@ impl PcrRecordBuilder {
             for (_, jpeg, layout) in &self.entries {
                 if g < layout.num_scans() {
                     let chunks = scan_chunks(jpeg, layout);
+                    // pcr-lint: allow(no-panic-in-hot-path) — g < num_scans()
+                    // and scan_chunks returns one chunk per scan.
                     out.extend_from_slice(chunks[g]);
                 }
             }
@@ -228,12 +234,16 @@ impl<'a> PcrRecord<'a> {
         if num_images.saturating_mul(min_entry_bytes) > r.remaining() {
             return Err(Error::Truncated { context: "record index" });
         }
-        let mut labels = Vec::with_capacity(num_images);
-        let mut ids = Vec::with_capacity(num_images);
-        let mut header_starts = Vec::with_capacity(num_images + 1);
+        // The four allocations below are bounded by the min_entry_bytes check
+        // above: num_images is at most remaining/16, and
+        // num_groups*(num_images+1) is at most remaining/4 + u16::MAX — both
+        // linear in the actual buffer size.
+        let mut labels = Vec::with_capacity(num_images); // pcr-lint: allow(bounded-alloc)
+        let mut ids = Vec::with_capacity(num_images); // pcr-lint: allow(bounded-alloc)
+        let mut header_starts = Vec::with_capacity(num_images + 1); // pcr-lint: allow(bounded-alloc)
         // Filled with raw chunk lengths during the scan, then prefix-summed
         // into absolute offsets so every later slice is O(1).
-        let mut chunk_starts = vec![0usize; num_groups * (num_images + 1)];
+        let mut chunk_starts = vec![0usize; num_groups * (num_images + 1)]; // pcr-lint: allow(bounded-alloc)
         let mut header_end = 0usize; // running sum; rebased below
         header_starts.push(0);
         for i in 0..num_images {
@@ -245,6 +255,8 @@ impl<'a> PcrRecord<'a> {
             header_end += r.u32("header_len")? as usize;
             header_starts.push(header_end);
             for g in 0..num_groups {
+                // pcr-lint: allow(no-panic-in-hot-path) — g < num_groups and
+                // i < num_images, so the flat index is within the row grid.
                 chunk_starts[g * (num_images + 1) + i + 1] = r.u32("group_len")? as usize;
             }
         }
@@ -261,13 +273,15 @@ impl<'a> PcrRecord<'a> {
         }
         // Groups are laid out back to back after the headers; turn each
         // row of lengths into absolute offsets.
-        let mut base = *header_starts.last().expect("nonempty");
+        // `header_starts` always holds num_images + 1 >= 1 entries (0 is
+        // pushed before the loop), so `last()` cannot be empty.
+        let mut base = header_starts.last().copied().unwrap_or(headers_start);
         for row in chunk_starts.chunks_exact_mut(num_images + 1) {
-            row[0] = base;
+            row[0] = base; // pcr-lint: allow(no-panic-in-hot-path) — row.len() == num_images + 1 >= 1
             for k in 1..row.len() {
-                row[k] += row[k - 1];
+                row[k] += row[k - 1]; // pcr-lint: allow(no-panic-in-hot-path) — k in 1..row.len()
             }
-            base = row[num_images];
+            base = row[num_images]; // pcr-lint: allow(no-panic-in-hot-path) — row.len() == num_images + 1
         }
         Ok(Self { data, num_groups, labels, ids, header_starts, chunk_starts })
     }
@@ -283,7 +297,12 @@ impl<'a> PcrRecord<'a> {
     }
 
     /// Metadata of image `i`, borrowed from the record buffer.
+    ///
+    /// # Panics
+    /// Like slice indexing, panics when `i >= num_images()`.
     pub fn meta(&self, i: usize) -> SampleMetaRef<'a> {
+        // pcr-lint: allow(no-panic-in-hot-path) — documented index contract;
+        // labels and ids both have num_images entries by parse invariant.
         SampleMetaRef { label: self.labels[i], id: self.ids[i] }
     }
 
@@ -301,7 +320,10 @@ impl<'a> PcrRecord<'a> {
     /// Total bytes of scan group `g` (1-based) across all images.
     pub fn group_size(&self, g: usize) -> usize {
         assert!(g >= 1 && g <= self.num_groups, "group out of range");
+        // pcr-lint: allow(no-panic-in-hot-path) — the assert above keeps both
+        // flat indices inside the num_groups * (num_images + 1) grid.
         self.chunk_starts[self.chunk_index(self.num_images(), g)]
+            // pcr-lint: allow(no-panic-in-hot-path) — same bound as above
             - self.chunk_starts[self.chunk_index(0, g)]
     }
 
@@ -310,8 +332,11 @@ impl<'a> PcrRecord<'a> {
     pub fn offset_for_group(&self, g: usize) -> usize {
         assert!(g <= self.num_groups, "group out of range");
         if g == 0 {
-            *self.header_starts.last().expect("nonempty")
+            // header_starts holds num_images + 1 >= 1 entries by parse invariant.
+            self.header_starts.last().copied().unwrap_or(0)
         } else {
+            // pcr-lint: allow(no-panic-in-hot-path) — the assert above keeps
+            // the flat index inside the chunk_starts grid.
             self.chunk_starts[self.chunk_index(self.num_images(), g)]
         }
     }
@@ -331,20 +356,20 @@ impl<'a> PcrRecord<'a> {
     }
 
     fn image_header(&self, i: usize) -> Result<&'a [u8]> {
-        let (off, end) = (self.header_starts[i], self.header_starts[i + 1]);
-        if end > self.data.len() {
-            return Err(Error::Truncated { context: "image header" });
-        }
-        Ok(&self.data[off..end])
+        let (off, end) = match (self.header_starts.get(i), self.header_starts.get(i + 1)) {
+            (Some(&off), Some(&end)) => (off, end),
+            _ => return Err(Error::BadInput(format!("image index {i} out of range"))),
+        };
+        self.data.get(off..end).ok_or(Error::Truncated { context: "image header" })
     }
 
     fn chunk(&self, i: usize, g: usize) -> Result<&'a [u8]> {
-        let off = self.chunk_starts[self.chunk_index(i, g)];
-        let end = self.chunk_starts[self.chunk_index(i, g) + 1];
-        if end > self.data.len() {
-            return Err(Error::Truncated { context: "scan group chunk" });
-        }
-        Ok(&self.data[off..end])
+        let idx = self.chunk_index(i, g);
+        let (off, end) = match (self.chunk_starts.get(idx), self.chunk_starts.get(idx + 1)) {
+            (Some(&off), Some(&end)) => (off, end),
+            _ => return Err(Error::BadInput(format!("image {i} group {g} out of range"))),
+        };
+        self.data.get(off..end).ok_or(Error::Truncated { context: "scan group chunk" })
     }
 
     /// Reassembles a decodable JPEG for image `i` using scans up to group

@@ -19,6 +19,9 @@ pub fn put_u64(out: &mut Vec<u8>, v: u64) {
 
 /// Appends a length-prefixed byte string (u32 length).
 pub fn put_bytes(out: &mut Vec<u8>, v: &[u8]) {
+    debug_assert!(v.len() <= u32::MAX as usize, "payload exceeds u32 length prefix");
+    // pcr-lint: allow(no-truncating-cast) — writer side; record payloads are
+    // bounded far below 4 GiB by the container format, asserted above.
     put_u32(out, v.len() as u32);
     out.extend_from_slice(v);
 }
@@ -29,14 +32,14 @@ const CRC32_TABLE: [u32; 256] = {
     let mut table = [0u32; 256];
     let mut i = 0;
     while i < 256 {
-        let mut crc = i as u32;
+        let mut crc = i as u32; // pcr-lint: allow(no-truncating-cast) — i < 256
         let mut bit = 0;
         while bit < 8 {
             let mask = 0u32.wrapping_sub(crc & 1);
             crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
             bit += 1;
         }
-        table[i] = crc;
+        table[i] = crc; // pcr-lint: allow(no-panic-in-hot-path) — i < 256
         i += 1;
     }
     table
@@ -49,6 +52,7 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(data: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &byte in data {
+        // pcr-lint: allow(no-panic-in-hot-path) — index masked to 0..=255
         crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(byte)) & 0xFF) as usize];
     }
     !crc
@@ -79,30 +83,32 @@ impl<'a> Reader<'a> {
 
     /// Reads `n` raw bytes.
     pub fn bytes(&mut self, n: usize, context: &'static str) -> Result<&'a [u8]> {
-        if self.remaining() < n {
-            return Err(Error::Truncated { context });
-        }
-        let s = &self.data[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(Error::Truncated { context })?;
+        let s = self.data.get(self.pos..end).ok_or(Error::Truncated { context })?;
+        self.pos = end;
         Ok(s)
+    }
+
+    /// Reads `N` bytes as a fixed array (panic-free: the conversion is
+    /// checked, not indexed).
+    fn array<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N]> {
+        let b = self.bytes(N, context)?;
+        <[u8; N]>::try_from(b).map_err(|_| Error::Truncated { context })
     }
 
     /// Reads a `u16`.
     pub fn u16(&mut self, context: &'static str) -> Result<u16> {
-        let b = self.bytes(2, context)?;
-        Ok(u16::from_le_bytes([b[0], b[1]]))
+        Ok(u16::from_le_bytes(self.array(context)?))
     }
 
     /// Reads a `u32`.
     pub fn u32(&mut self, context: &'static str) -> Result<u32> {
-        let b = self.bytes(4, context)?;
-        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+        Ok(u32::from_le_bytes(self.array(context)?))
     }
 
     /// Reads a `u64`.
     pub fn u64(&mut self, context: &'static str) -> Result<u64> {
-        let b = self.bytes(8, context)?;
-        Ok(u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(self.array(context)?))
     }
 
     /// Reads a u32-length-prefixed byte string.

@@ -24,6 +24,8 @@
 //! assert!(g1 * 2.0 < full, "group 1 {g1:.0}B vs full {full:.0}B");
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod encode;

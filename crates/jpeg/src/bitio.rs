@@ -25,6 +25,7 @@ pub fn find_ff(data: &[u8], from: usize) -> usize {
     const HI: u64 = 0x8080_8080_8080_8080;
     let mut p = from;
     while p + 8 <= data.len() {
+        // pcr-lint: allow(no-panic-in-hot-path) — p + 8 <= len guards the slice, so the 8-byte conversion cannot fail
         let w = u64::from_ne_bytes(data[p..p + 8].try_into().expect("8 bytes"));
         // A byte equals 0xFF iff its complement is zero.
         if (!w).wrapping_sub(LO) & w & HI != 0 {
@@ -32,7 +33,7 @@ pub fn find_ff(data: &[u8], from: usize) -> usize {
         }
         p += 8;
     }
-    while p < data.len() && data[p] != 0xFF {
+    while p < data.len() && data[p] != 0xFF { // pcr-lint: allow(no-panic-in-hot-path) — p < len checked first
         p += 1;
     }
     p
@@ -194,6 +195,7 @@ impl<'a> BitReader<'a> {
                 // Zero-padding: the bits below the top are already zero.
                 self.nbits += 8;
             } else if self.pos < self.ff_ahead {
+                // pcr-lint: allow(no-panic-in-hot-path) — pos < ff_ahead <= data.len()
                 self.acc |= u64::from(self.data[self.pos]) << (56 - self.nbits);
                 self.pos += 1;
                 self.nbits += 8;
@@ -204,6 +206,7 @@ impl<'a> BitReader<'a> {
                 self.marker_hit = Some(0x00);
                 self.nbits += 8;
             } else {
+                // pcr-lint: allow(no-panic-in-hot-path) — debug-only; pos < len by the else-if chain
                 debug_assert_eq!(self.data[self.pos], 0xFF);
                 match self.data.get(self.pos + 1) {
                     Some(0x00) => {
@@ -234,6 +237,7 @@ impl<'a> BitReader<'a> {
     fn refill(&mut self) {
         if self.pos + 8 <= self.ff_ahead {
             let w = u64::from_be_bytes(
+                // pcr-lint: allow(no-panic-in-hot-path) — pos + 8 <= ff_ahead <= data.len() guards the 8-byte slice
                 self.data[self.pos..self.pos + 8].try_into().expect("8 bytes"),
             );
             self.acc |= w >> self.nbits;

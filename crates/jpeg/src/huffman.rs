@@ -50,22 +50,22 @@ impl HuffTable {
     /// The standard table constructors (T.81 Annex K).
     pub fn std_dc_luma() -> Self {
         Self::new(crate::consts::STD_DC_LUMA_BITS, crate::consts::STD_DC_LUMA_VALS.to_vec())
-            .expect("standard table is valid")
+            .expect("standard table is valid") // pcr-lint: allow(no-panic-in-hot-path) — Annex K constants
     }
     /// Standard DC chroma table.
     pub fn std_dc_chroma() -> Self {
         Self::new(crate::consts::STD_DC_CHROMA_BITS, crate::consts::STD_DC_CHROMA_VALS.to_vec())
-            .expect("standard table is valid")
+            .expect("standard table is valid") // pcr-lint: allow(no-panic-in-hot-path) — Annex K constants
     }
     /// Standard AC luma table.
     pub fn std_ac_luma() -> Self {
         Self::new(crate::consts::STD_AC_LUMA_BITS, crate::consts::STD_AC_LUMA_VALS.to_vec())
-            .expect("standard table is valid")
+            .expect("standard table is valid") // pcr-lint: allow(no-panic-in-hot-path) — Annex K constants
     }
     /// Standard AC chroma table.
     pub fn std_ac_chroma() -> Self {
         Self::new(crate::consts::STD_AC_CHROMA_BITS, crate::consts::STD_AC_CHROMA_VALS.to_vec())
-            .expect("standard table is valid")
+            .expect("standard table is valid") // pcr-lint: allow(no-panic-in-hot-path) — Annex K constants
     }
 }
 
@@ -84,16 +84,21 @@ impl HuffEncoder {
         let mut next_code = 0u32;
         let mut k = 0usize;
         for l in 1..=16u32 {
+            // pcr-lint: allow(no-panic-in-hot-path) — l in 1..=16 indexes [u8; 16]
             for _ in 0..t.bits[(l - 1) as usize] {
-                let sym = t.vals[k] as usize;
-                if len[sym] != 0 {
+                // `bits` and `vals` are pub, so a hand-built table may
+                // declare more codes than it has values: checked lookup.
+                let sym = *t.vals.get(k).ok_or_else(|| {
+                    Error::BadHuffman("bits declare more codes than vals holds".into())
+                })? as usize;
+                if len[sym] != 0 { // pcr-lint: allow(no-panic-in-hot-path) — sym is a u8, arrays are [_; 256]
                     return Err(Error::BadHuffman(format!("duplicate symbol {sym}")));
                 }
                 if next_code >= 1 << l {
                     return Err(Error::BadHuffman("code overflow".into()));
                 }
-                code[sym] = next_code as u16;
-                len[sym] = l as u8;
+                code[sym] = next_code as u16; // pcr-lint: allow(no-panic-in-hot-path) — sym < 256
+                len[sym] = l as u8; // pcr-lint: allow(no-panic-in-hot-path) — sym < 256
                 next_code += 1;
                 k += 1;
             }
@@ -105,15 +110,16 @@ impl HuffEncoder {
     /// Emits the code for `symbol`.
     #[inline]
     pub fn encode(&self, w: &mut BitWriter, symbol: u8) {
-        let l = self.len[symbol as usize];
+        let l = self.len[symbol as usize]; // pcr-lint: allow(no-panic-in-hot-path) — u8 indexes [_; 256]
         debug_assert!(l > 0, "symbol {symbol:#04x} has no code");
+        // pcr-lint: allow(no-panic-in-hot-path) — u8 indexes [_; 256]
         w.put_bits(u32::from(self.code[symbol as usize]), u32::from(l));
     }
 
     /// Code length for a symbol (0 if absent).
     #[inline]
     pub fn code_len(&self, symbol: u8) -> u8 {
-        self.len[symbol as usize]
+        self.len[symbol as usize] // pcr-lint: allow(no-panic-in-hot-path) — u8 indexes [_; 256]
     }
 }
 
@@ -177,35 +183,43 @@ impl HuffDecoder {
         let mut c = 0u32;
         let mut idx = 0usize;
         for l in 1..=16u32 {
+            // pcr-lint: allow(no-panic-in-hot-path) — l in 1..=16 indexes [u8; 16]
             for _ in 0..t.bits[(l - 1) as usize] {
                 if c >= 1 << l {
                     return Err(Error::BadHuffman("code overflow".into()));
                 }
-                let entry = (l as u16) << 8 | u16::from(t.vals[idx]);
+                // Checked for the same hand-built-table reason as the encoder.
+                let val = *t.vals.get(idx).ok_or_else(|| {
+                    Error::BadHuffman("bits declare more codes than vals holds".into())
+                })?;
+                let entry = (l as u16) << 8 | u16::from(val);
                 if l <= LOOKUP_BITS {
                     // All windows starting with this code resolve to it.
                     let first = (c << (LOOKUP_BITS - l)) as usize;
                     let span = 1usize << (LOOKUP_BITS - l);
+                    // pcr-lint: allow(no-panic-in-hot-path) — c < 1<<l, so first + span <= 1<<LOOKUP_BITS
                     lut1[first..first + span].fill(entry);
                 } else {
                     // Long code: route its first-level prefix to a
                     // second-level block (allocated on first use), then
                     // fill the block's windows for the remaining bits.
                     let prefix = (c >> (l - LOOKUP_BITS)) as usize;
+                    // pcr-lint: allow(no-panic-in-hot-path) — prefix < 1<<LOOKUP_BITS since c < 1<<l
                     let base = if lut1[prefix] & ESCAPE != 0 {
-                        (lut1[prefix] & !ESCAPE) as usize
+                        (lut1[prefix] & !ESCAPE) as usize // pcr-lint: allow(no-panic-in-hot-path) — same prefix bound
                     } else {
                         let base = lut2.len();
                         if base >= (ESCAPE as usize) {
                             return Err(Error::BadHuffman("second-level overflow".into()));
                         }
                         lut2.resize(base + (1 << (MAX_CODE_BITS - LOOKUP_BITS)), 0);
-                        lut1[prefix] = ESCAPE | base as u16;
+                        lut1[prefix] = ESCAPE | base as u16; // pcr-lint: allow(no-panic-in-hot-path) — same prefix bound
                         base
                     };
                     let rem = c & ((1 << (l - LOOKUP_BITS)) - 1);
                     let first = (rem << (MAX_CODE_BITS - l)) as usize;
                     let span = 1usize << (MAX_CODE_BITS - l);
+                    // pcr-lint: allow(no-panic-in-hot-path) — first + span <= the 64-entry block at base
                     lut2[base + first..base + first + span].fill(entry);
                 }
                 c += 1;
@@ -221,6 +235,7 @@ impl HuffDecoder {
     pub fn decode<R: BitSource>(&self, r: &mut R) -> Result<u8> {
         r.prefetch();
         let window = r.peek_bits(LOOKUP_BITS)?;
+        // pcr-lint: allow(no-panic-in-hot-path) — peek_bits(10) < 1024 == lut1.len()
         let entry = self.lut1[window as usize];
         if entry & ESCAPE == 0 {
             if entry == 0 {
@@ -230,6 +245,7 @@ impl HuffDecoder {
             return Ok(entry as u8);
         }
         let tail = r.peek_bits(MAX_CODE_BITS)? & ((1 << (MAX_CODE_BITS - LOOKUP_BITS)) - 1);
+        // pcr-lint: allow(no-panic-in-hot-path) — base points at a 64-entry block, tail < 64
         let entry = self.lut2[(entry & !ESCAPE) as usize + tail as usize];
         if entry == 0 {
             return Err(Error::CorruptData("invalid Huffman code".into()));
@@ -257,10 +273,12 @@ impl SymbolDecoder for HuffDecoder {
     ) -> Result<(u8, u32)> {
         r.prefetch();
         let w = r.peek_bits(MAX_CODE_BITS)?;
+        // pcr-lint: allow(no-panic-in-hot-path) — a 16-bit peek shifted right by 6 is < 1024
         let entry = self.lut1[(w >> (MAX_CODE_BITS - LOOKUP_BITS)) as usize];
         let entry = if entry & ESCAPE == 0 {
             entry
         } else {
+            // pcr-lint: allow(no-panic-in-hot-path) — base + 6 masked bits stays in the 64-entry block
             self.lut2[(entry & !ESCAPE) as usize
                 + (w & ((1 << (MAX_CODE_BITS - LOOKUP_BITS)) - 1)) as usize]
         };
@@ -287,6 +305,11 @@ impl SymbolDecoder for HuffDecoder {
 ///
 /// `freq` has one slot per symbol (up to 256). Symbols with zero frequency
 /// get no code. At least one symbol must have nonzero frequency.
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — faithful port of
+// libjpeg's jpeg_gen_optimal_table: every index is bounded by that
+// algorithm's MAX_CLEN/nsyms invariants (codesize/others/freq all have
+// nsyms + 1 slots, bits has MAX_CLEN + 1, and the adjustment loops walk
+// l in 1..=MAX_CLEN), and the function runs at pack time only.
 pub fn gen_optimal_table(freq_in: &[u32]) -> Result<HuffTable> {
     const MAX_CLEN: usize = 32;
     let nsyms = freq_in.len().min(256);

@@ -23,6 +23,8 @@
 //! assert_eq!(approx.width(), 32);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bitio;

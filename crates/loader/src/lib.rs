@@ -52,6 +52,8 @@
 //! assert_eq!(measured.bytes, modeled.bytes);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod baseline_loader;
@@ -62,6 +64,7 @@ pub mod parallel;
 pub mod pipeline;
 pub mod sharded;
 pub mod source;
+pub mod timing;
 
 pub use baseline_loader::{FilePerImageLoader, ObjectMeta, RecordFileLoader};
 pub use config::{DecodeMode, LoaderConfig};

@@ -159,10 +159,9 @@ pub fn run_virtual_epoch<S: RecordSource + ?Sized>(
                 (read.data.len() as f64 * seconds_per_byte, Vec::new())
             }
             DecodeMode::Real => {
-                let t0 = std::time::Instant::now();
-                let decoded =
-                    source.decode_real(rec_idx, &read.data, planner.scan_group, &mut scratch);
-                let elapsed = t0.elapsed().as_secs_f64();
+                let (decoded, elapsed) = crate::timing::measure(|| {
+                    source.decode_real(rec_idx, &read.data, planner.scan_group, &mut scratch)
+                });
                 let Some(images) = decoded else {
                     // Undecodable record: the worker spent the read and the
                     // decode attempt but delivers nothing — the same skip

@@ -321,7 +321,17 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
             .spawn(move || {
                 let mut images: Vec<ImageBuf> = Vec::new();
                 let mut labels: Vec<u32> = Vec::new();
+                // Determinism invariant, checked under pcr-debug-sync:
+                // within one epoch every record index reaches the
+                // assembler at most once, whatever the worker interleaving.
+                #[cfg(feature = "pcr-debug-sync")]
+                let mut delivered_once = std::collections::HashSet::new();
                 while let Ok((imgs, idx)) = rec_rx.recv() {
+                    #[cfg(feature = "pcr-debug-sync")]
+                    assert!(
+                        delivered_once.insert(idx),
+                        "pcr-debug-sync: record {idx} delivered to the assembler twice in one epoch"
+                    );
                     images.extend(imgs);
                     labels.extend_from_slice(asm_source.labels(idx));
                     // Under Real decode images and labels stay parallel;
@@ -476,6 +486,22 @@ mod tests {
         stream.join();
         labels.sort_unstable();
         labels
+    }
+
+    /// Under pcr-debug-sync every mutex acquisition in the storage layer
+    /// feeds the lock-order graph and every channel pop checks its
+    /// happens-before stamp; a contended real-decode epoch completing
+    /// without tripping an assertion — twice, with identical delivered
+    /// multisets — is the pass.
+    #[cfg(feature = "pcr-debug-sync")]
+    #[test]
+    fn debug_sync_epoch_is_deterministic_and_clean() {
+        let (store, db) = make(11, DeviceProfile::ram());
+        let cfg = ParallelConfig { batch_size: 3, ..ParallelConfig::real(4, 10) };
+        let loader = ParallelLoader::new(store, db, cfg);
+        let a = sorted_labels(&loader, 1);
+        assert_eq!(a.len(), 11);
+        assert_eq!(a, sorted_labels(&loader, 1));
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! assert_eq!(h.total(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod histogram;

@@ -35,6 +35,8 @@
 //! assert!(after.loss < before.loss);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod model;

@@ -27,6 +27,8 @@
 //! assert_eq!(delivered, x_half.min(800.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod dynamic;

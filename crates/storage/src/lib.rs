@@ -35,6 +35,8 @@
 //! assert_eq!(store.device_stats().reads, 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bytes;

@@ -43,6 +43,8 @@
 //! assert_eq!(preview.width(), 32);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use pcr_autotune as autotune;
 pub use pcr_core as core;
 pub use pcr_datasets as datasets;

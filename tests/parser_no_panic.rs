@@ -1,0 +1,152 @@
+//! The no-panic contract of every untrusted-bytes parser, checked the
+//! direct way: feed arbitrary, truncated, and bit-flipped bytes into
+//! `PcrRecord::parse`, `ShardIndex::parse`, `ContainerManifest::from_bytes`,
+//! and `PcrContainer::open` and require a `Result` back — never a panic.
+//! This is the runtime twin of the `no-panic-in-hot-path` /
+//! `bounded-alloc` lint rules `pcr-analyze` enforces statically over the
+//! same modules.
+
+use pcr::core::container::{ContainerManifest, ShardIndex};
+use pcr::core::{write_container, PcrContainer, PcrRecord};
+use pcr::datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
+use proptest::{prop, proptest, ProptestConfig};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "pcr-noparse-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A tiny but real container on disk: valid manifest, valid shards.
+fn packed(tag: &str) -> PathBuf {
+    let ds = SyntheticDataset::generate(&DatasetSpec::ham10000_like(Scale::Tiny));
+    let (pcr, _) = to_pcr_dataset(&ds, 4);
+    let dir = tmpdir(tag);
+    write_container(&pcr, &dir, 4).expect("pack");
+    dir
+}
+
+/// One valid serialized manifest and one valid shard file's bytes,
+/// packed once and cached (each proptest case mutates its own copy).
+fn valid_bytes(tag: &str) -> (Vec<u8>, Vec<u8>) {
+    static CACHE: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let dir = packed(tag);
+            let manifest_bytes =
+                std::fs::read(dir.join("manifest.pcrm")).expect("manifest written");
+            let container = PcrContainer::open(&dir).expect("container reopens");
+            let shard_bytes = container.read_shard(0).expect("shard readable");
+            let _ = std::fs::remove_dir_all(&dir);
+            (manifest_bytes, shard_bytes)
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn record_parse_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(proptest::any::<u8>(), 0..512)
+    ) {
+        let _ = PcrRecord::parse(&bytes);
+    }
+
+    #[test]
+    fn shard_index_parse_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(proptest::any::<u8>(), 0..512)
+    ) {
+        let _ = ShardIndex::parse("fuzz.pcrs", &bytes);
+    }
+
+    #[test]
+    fn manifest_parse_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(proptest::any::<u8>(), 0..512)
+    ) {
+        let _ = ContainerManifest::from_bytes(&bytes);
+    }
+}
+
+proptest! {
+    // Truncation/bit-flip cases re-read real serialized bytes, so fewer,
+    // heavier cases.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn truncated_real_bytes_error_instead_of_panicking(cut_permille in 0u64..1000) {
+        let (manifest, shard) = valid_bytes("trunc");
+        let cut = |b: &[u8]| b.len() * usize::try_from(cut_permille).unwrap() / 1000;
+        let m = &manifest[..cut(&manifest)];
+        let s = &shard[..cut(&shard)];
+        assert!(ContainerManifest::from_bytes(m).is_err());
+        // A truncated shard must never index back into the full file.
+        let _ = ShardIndex::parse("trunc.pcrs", s);
+    }
+
+    #[test]
+    fn bit_flipped_real_bytes_never_panic(seed in proptest::any::<u64>()) {
+        let (mut manifest, mut shard) = valid_bytes("flip");
+        let flip = |b: &mut [u8], s: u64| {
+            if !b.is_empty() {
+                let pos = (s as usize) % b.len();
+                b[pos] ^= 1 << (s % 8);
+            }
+        };
+        flip(&mut manifest, seed);
+        flip(&mut shard, seed.rotate_left(17));
+        // Either outcome is fine (the checksum usually catches it); the
+        // contract is only that corruption cannot panic the parser.
+        let _ = ContainerManifest::from_bytes(&manifest);
+        let _ = ShardIndex::parse("flip.pcrs", &shard);
+    }
+}
+
+#[test]
+fn container_open_survives_a_corrupted_manifest_on_disk() {
+    let dir = packed("open-corrupt");
+    let path = dir.join("manifest.pcrm");
+    let mut bytes = std::fs::read(&path).unwrap();
+    // Flip one bit in every byte position stride to probe headers, body,
+    // and the trailing checksum alike.
+    for stride in [1usize, 7, 13] {
+        let mut mutated = bytes.clone();
+        let mut i = 0;
+        while i < mutated.len() {
+            mutated[i] ^= 0x20;
+            i += stride.max(mutated.len() / 16).max(1);
+        }
+        std::fs::write(&path, &mutated).unwrap();
+        let _ = PcrContainer::open(&dir); // must not panic
+    }
+    // Truncated on-disk manifest.
+    bytes.truncate(bytes.len() / 2);
+    std::fs::write(&path, &bytes).unwrap();
+    assert!(PcrContainer::open(&dir).is_err());
+    // Empty and missing manifest.
+    std::fs::write(&path, b"").unwrap();
+    assert!(PcrContainer::open(&dir).is_err());
+    std::fs::remove_file(&path).unwrap();
+    assert!(PcrContainer::open(&dir).is_err());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn record_parse_survives_truncations_of_a_real_record() {
+    let ds = SyntheticDataset::generate(&DatasetSpec::ham10000_like(Scale::Tiny));
+    let (pcr, _) = to_pcr_dataset(&ds, 4);
+    let bytes = pcr.records.first().expect("non-empty dataset").clone();
+    assert!(PcrRecord::parse(&bytes).is_ok());
+    for len in 0..bytes.len().min(256) {
+        let _ = PcrRecord::parse(&bytes[..len]);
+    }
+    // And coarse truncations across the whole record.
+    for permille in (0..1000).step_by(31) {
+        let _ = PcrRecord::parse(&bytes[..bytes.len() * permille / 1000]);
+    }
+}

@@ -7,6 +7,8 @@
 //! statistical machinery of real criterion (outlier analysis, regression,
 //! HTML reports) is intentionally absent.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

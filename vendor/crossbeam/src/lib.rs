@@ -5,6 +5,16 @@
 //! multi-producer *multi-consumer* channel (std's mpsc receiver is not
 //! cloneable, which the loader pipeline's work queue requires) built on a
 //! mutex-guarded deque with two condvars.
+//!
+//! With the `pcr-debug-sync` feature every channel carries
+//! happens-before tokens: each send stamps a per-channel monotonic
+//! sequence number and every receive asserts it pops the next expected
+//! one. That checks, at runtime, the FIFO delivered-exactly-once
+//! contract the parallel loader's determinism argument rests on —
+//! values leave the channel in exactly the order they entered, none
+//! duplicated, none reordered, even under MPMC contention.
+
+#![forbid(unsafe_code)]
 
 pub mod channel {
     use std::collections::VecDeque;
@@ -16,6 +26,37 @@ pub mod channel {
         cap: Option<usize>,
         senders: usize,
         receivers: usize,
+        /// Sequence stamps paired 1:1 with `queue` entries.
+        #[cfg(feature = "pcr-debug-sync")]
+        seqs: VecDeque<u64>,
+        /// Next sequence number a send will stamp.
+        #[cfg(feature = "pcr-debug-sync")]
+        next_send_seq: u64,
+        /// Sequence number the next pop must carry (FIFO check).
+        #[cfg(feature = "pcr-debug-sync")]
+        next_recv_seq: u64,
+    }
+
+    #[cfg(feature = "pcr-debug-sync")]
+    impl<T> State<T> {
+        /// Stamps one enqueued value with the next send sequence.
+        fn stamp_send(&mut self) {
+            self.seqs.push_back(self.next_send_seq);
+            self.next_send_seq += 1;
+            debug_assert_eq!(self.seqs.len(), self.queue.len());
+        }
+
+        /// Consumes one stamp and asserts FIFO order and 1:1 pairing.
+        fn stamp_recv(&mut self) {
+            let seq = self.seqs.pop_front().expect("a stamp exists for every queued value");
+            assert_eq!(
+                seq, self.next_recv_seq,
+                "pcr-debug-sync: channel delivered send #{seq} when #{} was next in FIFO order",
+                self.next_recv_seq
+            );
+            self.next_recv_seq += 1;
+            debug_assert_eq!(self.seqs.len(), self.queue.len());
+        }
     }
 
     struct Shared<T> {
@@ -127,6 +168,8 @@ pub mod channel {
                 }
             }
             g.queue.push_back(value);
+            #[cfg(feature = "pcr-debug-sync")]
+            g.stamp_send();
             drop(g);
             self.shared.not_empty.notify_one();
             Ok(())
@@ -140,6 +183,8 @@ pub mod channel {
             let mut g = self.shared.state.lock().unwrap();
             loop {
                 if let Some(v) = g.queue.pop_front() {
+                    #[cfg(feature = "pcr-debug-sync")]
+                    g.stamp_recv();
                     drop(g);
                     self.shared.not_full.notify_one();
                     return Ok(v);
@@ -155,6 +200,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut g = self.shared.state.lock().unwrap();
             if let Some(v) = g.queue.pop_front() {
+                #[cfg(feature = "pcr-debug-sync")]
+                g.stamp_recv();
                 drop(g);
                 self.shared.not_full.notify_one();
                 return Ok(v);
@@ -174,6 +221,14 @@ pub mod channel {
         /// Whether the buffer is currently empty.
         pub fn is_empty(&self) -> bool {
             self.len() == 0
+        }
+
+        /// Total values delivered through this channel so far (all
+        /// receivers combined) — the happens-before counter the loader's
+        /// delivered-exactly-once test reads back.
+        #[cfg(feature = "pcr-debug-sync")]
+        pub fn delivered(&self) -> u64 {
+            self.shared.state.lock().unwrap().next_recv_seq
         }
 
         /// Blocking iterator that ends when the channel disconnects.
@@ -233,6 +288,12 @@ pub mod channel {
                 cap,
                 senders: 1,
                 receivers: 1,
+                #[cfg(feature = "pcr-debug-sync")]
+                seqs: VecDeque::new(),
+                #[cfg(feature = "pcr-debug-sync")]
+                next_send_seq: 0,
+                #[cfg(feature = "pcr-debug-sync")]
+                next_recv_seq: 0,
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
@@ -312,6 +373,77 @@ pub mod channel {
             drop(tx);
             assert_eq!(rx.recv(), Ok(9));
             assert_eq!(rx.recv(), Err(RecvError));
+        }
+    }
+
+    #[cfg(all(test, feature = "pcr-debug-sync"))]
+    mod debug_sync_tests {
+        use super::*;
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        use std::sync::Arc;
+
+        #[test]
+        fn tokens_count_deliveries_in_order() {
+            let (tx, rx) = unbounded::<u32>();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.delivered(), 0);
+            for i in 0..10 {
+                assert_eq!(rx.recv(), Ok(i));
+            }
+            assert_eq!(rx.delivered(), 10);
+        }
+
+        #[test]
+        fn try_recv_also_consumes_stamps() {
+            let (tx, rx) = unbounded::<u8>();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.try_recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.delivered(), 2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn mpmc_contention_never_trips_the_fifo_assertion() {
+            // 4 producers, 4 consumers, bounded channel: the FIFO stamp
+            // check in recv() runs on every pop; completing without a
+            // panic and with delivered == sent is the assertion.
+            let (tx, rx) = bounded::<usize>(8);
+            let produced = 4 * 500;
+            let producers: Vec<_> = (0..4)
+                .map(|p| {
+                    let tx = tx.clone();
+                    std::thread::spawn(move || {
+                        for i in 0..500 {
+                            tx.send(p * 500 + i).unwrap();
+                        }
+                    })
+                })
+                .collect();
+            drop(tx);
+            let count = Arc::new(AtomicUsize::new(0));
+            let consumers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let count = Arc::clone(&count);
+                    std::thread::spawn(move || {
+                        while rx.recv().is_ok() {
+                            count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    })
+                })
+                .collect();
+            for h in producers {
+                h.join().unwrap();
+            }
+            for h in consumers {
+                h.join().unwrap();
+            }
+            assert_eq!(count.load(Ordering::Relaxed), produced);
+            assert_eq!(rx.delivered(), produced as u64);
         }
     }
 }

@@ -4,78 +4,342 @@
 //! Wraps `std::sync` primitives with parking_lot's panic-free,
 //! non-poisoning API: `lock()` returns the guard directly and a poisoned
 //! mutex is recovered rather than propagated.
+//!
+//! With the `pcr-debug-sync` feature (CI runs the test suite once with it
+//! enabled) every lock joins a process-wide lock-order graph: each
+//! `Mutex`/`RwLock` gets a lazily-assigned id, every acquisition records
+//! a directed edge from each lock the thread already holds to the lock
+//! being acquired, and the edge insert runs cycle detection *before*
+//! blocking — an inconsistent lock order panics at the acquisition site
+//! that completes the cycle instead of deadlocking some future run. See
+//! `debug_sync` (only present with the feature enabled).
+
+#![forbid(unsafe_code)]
 
 use std::sync;
 
-/// Guard type returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
-/// Guard type returned by [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
-/// Guard type returned by [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+#[cfg(feature = "pcr-debug-sync")]
+pub mod debug_sync {
+    //! The lock-order graph behind the `pcr-debug-sync` feature.
+    //!
+    //! Ids are assigned lazily on first acquisition (so `Mutex::new` can
+    //! stay `const`), a thread-local stack tracks the locks each thread
+    //! currently holds, and a global edge set accumulates the observed
+    //! "held → acquiring" order over the whole process lifetime. The
+    //! graph only ever grows: an A→B order observed in one test combined
+    //! with a B→A order observed in another is still a real ordering bug
+    //! between those two code paths.
+
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::{Mutex as StdMutex, OnceLock, PoisonError};
+
+    /// Process-wide id source; 0 means "not yet assigned".
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Directed edges `held → acquiring`, as an adjacency map.
+    static EDGES: OnceLock<StdMutex<HashMap<u64, HashSet<u64>>>> = OnceLock::new();
+
+    thread_local! {
+        /// Lock ids this thread currently holds, in acquisition order.
+        static HELD: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    }
+
+    fn edges() -> &'static StdMutex<HashMap<u64, HashSet<u64>>> {
+        EDGES.get_or_init(|| StdMutex::new(HashMap::new()))
+    }
+
+    /// Per-lock id cell: `const`-constructible, assigned on first use.
+    #[derive(Debug, Default)]
+    pub struct LockCell(AtomicU64);
+
+    impl LockCell {
+        /// A cell with no id assigned yet.
+        pub const fn new() -> Self {
+            LockCell(AtomicU64::new(0))
+        }
+
+        /// This lock's id, assigning one on first call.
+        pub fn id(&self) -> u64 {
+            let cur = self.0.load(Ordering::Relaxed);
+            if cur != 0 {
+                return cur;
+            }
+            let fresh = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+            match self.0.compare_exchange(0, fresh, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => fresh,
+                Err(existing) => existing,
+            }
+        }
+    }
+
+    /// RAII token recording that the current thread holds lock `id`;
+    /// dropping it (with the guard) pops the thread's held stack.
+    #[derive(Debug)]
+    pub struct HeldToken {
+        id: u64,
+    }
+
+    impl Drop for HeldToken {
+        fn drop(&mut self) {
+            HELD.with(|h| {
+                let mut h = h.borrow_mut();
+                if let Some(pos) = h.iter().rposition(|&x| x == self.id) {
+                    h.remove(pos);
+                }
+            });
+        }
+    }
+
+    /// Records the edges for acquiring `id` while holding the thread's
+    /// current locks, runs cycle detection, and returns the held token.
+    /// Call *before* blocking on the underlying primitive, so an order
+    /// inversion panics here instead of deadlocking.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the new edge closes a cycle in the process-wide
+    /// lock-order graph.
+    pub fn acquire(id: u64, what: &str) -> HeldToken {
+        let held_now: Vec<u64> = HELD.with(|h| h.borrow().clone());
+        let mut cycle: Option<Vec<u64>> = None;
+        {
+            let mut g = edges().lock().unwrap_or_else(PoisonError::into_inner);
+            for &h in &held_now {
+                if h != id {
+                    g.entry(h).or_default().insert(id);
+                }
+            }
+            // A cycle through `id` means some path leads from `id` back
+            // to a lock this thread already holds.
+            if !held_now.is_empty() {
+                cycle = find_path(&g, id, &held_now);
+            }
+        }
+        // The graph mutex is released before panicking so the poison
+        // never cascades into unrelated lock acquisitions.
+        if let Some(mut path) = cycle {
+            path.insert(0, id);
+            panic!(
+                "pcr-debug-sync: lock-order cycle acquiring {what} id {id} while holding \
+                 {held_now:?}; order path back to a held lock: {path:?}"
+            );
+        }
+        HELD.with(|h| h.borrow_mut().push(id));
+        HeldToken { id }
+    }
+
+    /// Registers a non-blocking (try) acquisition: no edges are recorded
+    /// — a `try_lock` cannot deadlock — but the held stack still tracks
+    /// it so *subsequent* blocking acquisitions see it as held.
+    pub fn acquire_try(id: u64) -> HeldToken {
+        HELD.with(|h| h.borrow_mut().push(id));
+        HeldToken { id }
+    }
+
+    /// DFS from `from` to any of `targets`; returns the path (excluding
+    /// `from`) when found.
+    fn find_path(
+        g: &HashMap<u64, HashSet<u64>>,
+        from: u64,
+        targets: &[u64],
+    ) -> Option<Vec<u64>> {
+        let mut stack = vec![(from, Vec::new())];
+        let mut seen = HashSet::new();
+        while let Some((node, path)) = stack.pop() {
+            if !seen.insert(node) {
+                continue;
+            }
+            if let Some(next) = g.get(&node) {
+                for &n in next {
+                    let mut p = path.clone();
+                    p.push(n);
+                    if targets.contains(&n) {
+                        return Some(p);
+                    }
+                    stack.push((n, p));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of distinct ordering edges observed so far (test hook).
+    pub fn edge_count() -> usize {
+        edges()
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .map(HashSet::len)
+            .sum()
+    }
+
+    /// Ids currently held by this thread, in acquisition order (test hook).
+    pub fn held_by_current_thread() -> Vec<u64> {
+        HELD.with(|h| h.borrow().clone())
+    }
+}
+
+/// Guard returned by [`Mutex::lock`]; releases the lock on drop.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized> {
+    #[cfg(feature = "pcr-debug-sync")]
+    _held: debug_sync::HeldToken,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+/// Guard returned by [`RwLock::read`].
+#[derive(Debug)]
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    #[cfg(feature = "pcr-debug-sync")]
+    _held: debug_sync::HeldToken,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+/// Guard returned by [`RwLock::write`].
+#[derive(Debug)]
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    #[cfg(feature = "pcr-debug-sync")]
+    _held: debug_sync::HeldToken,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+macro_rules! impl_guard_deref {
+    ($guard:ident) => {
+        impl<T: ?Sized> std::ops::Deref for $guard<'_, T> {
+            type Target = T;
+
+            fn deref(&self) -> &T {
+                &self.inner
+            }
+        }
+    };
+}
+
+impl_guard_deref!(MutexGuard);
+impl_guard_deref!(RwLockReadGuard);
+impl_guard_deref!(RwLockWriteGuard);
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
 
 /// A mutex whose `lock` never returns a poison error.
 #[derive(Debug, Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    #[cfg(feature = "pcr-debug-sync")]
+    order: debug_sync::LockCell,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex.
     pub const fn new(value: T) -> Self {
-        Mutex(sync::Mutex::new(value))
+        Mutex {
+            #[cfg(feature = "pcr-debug-sync")]
+            order: debug_sync::LockCell::new(),
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consumes the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "pcr-debug-sync")]
+        let _held = debug_sync::acquire(self.order.id(), "Mutex");
+        let inner = self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner);
+        MutexGuard {
+            #[cfg(feature = "pcr-debug-sync")]
+            _held,
+            inner,
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        Some(MutexGuard {
+            #[cfg(feature = "pcr-debug-sync")]
+            _held: debug_sync::acquire_try(self.order.id()),
+            inner,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 /// A reader-writer lock whose accessors never return poison errors.
 #[derive(Debug, Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    #[cfg(feature = "pcr-debug-sync")]
+    order: debug_sync::LockCell,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
     /// Creates a new rwlock.
     pub const fn new(value: T) -> Self {
-        RwLock(sync::RwLock::new(value))
+        RwLock {
+            #[cfg(feature = "pcr-debug-sync")]
+            order: debug_sync::LockCell::new(),
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consumes the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
     /// Acquires a shared read lock.
+    ///
+    /// For lock-order purposes readers and writers are one node: a
+    /// read→write inversion still deadlocks once a writer queues up.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "pcr-debug-sync")]
+        let _held = debug_sync::acquire(self.order.id(), "RwLock(read)");
+        let inner = self.inner.read().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockReadGuard {
+            #[cfg(feature = "pcr-debug-sync")]
+            _held,
+            inner,
+        }
     }
 
     /// Acquires an exclusive write lock.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(feature = "pcr-debug-sync")]
+        let _held = debug_sync::acquire(self.order.id(), "RwLock(write)");
+        let inner = self.inner.write().unwrap_or_else(sync::PoisonError::into_inner);
+        RwLockWriteGuard {
+            #[cfg(feature = "pcr-debug-sync")]
+            _held,
+            inner,
+        }
     }
 }
 
@@ -109,5 +373,93 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 4000);
+    }
+
+    #[test]
+    fn try_lock_contention_and_release() {
+        let m = Mutex::new(5);
+        let g = m.lock();
+        assert!(m.try_lock().is_none());
+        drop(g);
+        assert_eq!(*m.try_lock().unwrap(), 5);
+    }
+
+    #[test]
+    fn rwlock_readers_then_writer() {
+        let l = super::RwLock::new(7);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 14);
+        }
+        *l.write() = 8;
+        assert_eq!(*l.read(), 8);
+    }
+}
+
+#[cfg(all(test, feature = "pcr-debug-sync"))]
+mod debug_sync_tests {
+    use super::{debug_sync, Mutex};
+
+    #[test]
+    fn consistent_nesting_is_quiet_and_tracked() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        for _ in 0..3 {
+            let ga = a.lock();
+            let gb = b.lock();
+            assert_eq!(debug_sync::held_by_current_thread().len(), 2);
+            drop(gb);
+            drop(ga);
+        }
+        assert!(debug_sync::held_by_current_thread().is_empty());
+        assert!(debug_sync::edge_count() >= 1);
+    }
+
+    #[test]
+    fn guard_drop_pops_held_stack_out_of_order() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let ga = a.lock();
+        let gb = b.lock();
+        // Dropping the *outer* guard first must remove the right entry.
+        drop(ga);
+        assert_eq!(debug_sync::held_by_current_thread().len(), 1);
+        drop(gb);
+        assert!(debug_sync::held_by_current_thread().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order cycle")]
+    fn ab_then_ba_panics_before_blocking() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        // Inverted order on the same pair: the edge B→A closes the cycle
+        // and must panic here, in one thread, rather than deadlock a
+        // two-threaded run.
+        let _gb = b.lock();
+        let _ga = a.lock();
+    }
+
+    #[test]
+    #[should_panic(expected = "lock-order cycle")]
+    fn three_lock_cycle_is_found() {
+        let a = Mutex::new(());
+        let b = Mutex::new(());
+        let c = Mutex::new(());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        let _gc = c.lock();
+        let _ga = a.lock(); // C→A completes A→B→C→A
     }
 }

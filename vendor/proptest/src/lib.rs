@@ -5,6 +5,8 @@
 //! reproducible; shrinking is not implemented — a failing case panics with
 //! the values produced by the `prop_assert*` message instead.
 
+#![forbid(unsafe_code)]
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::ops::{Range, RangeInclusive};

@@ -7,6 +7,8 @@
 //! (`shuffle`, `choose`). Streams are deterministic for a given seed but
 //! are *not* bit-compatible with the real `rand` crate.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Low-level source of randomness.
