@@ -59,13 +59,16 @@ pub const RULES: &[RuleInfo] = &[
     },
 ];
 
-/// Files subject to `no-panic-in-hot-path`: the three innermost decode
-/// layers and the three wire-parse modules — the code that runs per
-/// coefficient or consumes untrusted bytes.
+/// Files subject to `no-panic-in-hot-path`: the innermost decode
+/// layers (including the entropy scan loops and the SIMD kernels they
+/// dispatch to) and the three wire-parse modules — the code that runs
+/// per coefficient or consumes untrusted bytes.
 const HOT_PANIC_FILES: &[&str] = &[
     "crates/jpeg/src/bitio.rs",
     "crates/jpeg/src/huffman.rs",
     "crates/jpeg/src/dct.rs",
+    "crates/jpeg/src/dentropy.rs",
+    "crates/jpeg/src/simd.rs",
     "crates/core/src/wire.rs",
     "crates/core/src/record.rs",
     "crates/core/src/container.rs",

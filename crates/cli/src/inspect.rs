@@ -211,6 +211,19 @@ fn record_view(
             (g, cumulative, delta)
         })
         .collect();
+    // Restart-entropy layout: parse the record bytes out of the shard and
+    // count segments per scan group (summed over the record's images).
+    let shard_bytes = container.read_shard(shard_idx).map_err(|e| e.to_string())?;
+    let rec_bytes = shard_bytes
+        .get(rec.offset as usize..(rec.offset + rec.len()) as usize)
+        .ok_or("record range out of shard bounds")?;
+    let parsed = pcr_core::PcrRecord::parse(rec_bytes).map_err(|e| e.to_string())?;
+    let restart_interval = parsed.restart_interval();
+    let segment_counts: Vec<usize> = (1..=parsed.num_groups())
+        .map(|g| {
+            (0..parsed.num_images()).map(|i| parsed.segment_count(i, g).unwrap_or(0)).sum()
+        })
+        .collect();
     if json {
         let group_rows = groups
             .iter()
@@ -235,6 +248,13 @@ fn record_view(
                 ),
             ),
             ("crc32", JsonValue::str(format!("{:#010x}", rec.crc32))),
+            ("restart_interval", JsonValue::U64(u64::from(restart_interval))),
+            (
+                "entropy_segments",
+                JsonValue::Array(
+                    segment_counts.iter().map(|&n| JsonValue::U64(n as u64)).collect(),
+                ),
+            ),
             ("groups", JsonValue::Array(group_rows)),
         ])));
     }
@@ -248,9 +268,58 @@ fn record_view(
         rec.labels,
         rec.crc32
     );
-    println!("  {:>5} {:>14} {:>14}", "group", "prefix bytes", "group bytes");
+    println!("  restart interval {restart_interval} (0 = no restart markers)");
+    println!("  {:>5} {:>14} {:>14} {:>9}", "group", "prefix bytes", "group bytes", "segments");
     for (g, cumulative, delta) in groups {
-        println!("  {g:>5} {cumulative:>14} {delta:>14}");
+        let segs = if g == 0 { 0 } else { segment_counts.get(g - 1).copied().unwrap_or(0) };
+        println!("  {g:>5} {cumulative:>14} {delta:>14} {segs:>9}");
     }
     Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_datasets::{pack_to_container_restart, DatasetSpec, Scale, SyntheticDataset};
+
+    #[test]
+    fn json_record_view_reports_restart_segments() {
+        let ds = SyntheticDataset::generate(&DatasetSpec::celebahq_smile_like(Scale::Tiny));
+        for interval in [0u16, 1] {
+            let dir = std::env::temp_dir().join(format!(
+                "pcr-inspect-{interval}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            pack_to_container_restart(&ds, &dir, 4, 2, interval).unwrap();
+            let container = PcrContainer::open(&dir).unwrap();
+            let doc = record_view(&container, 0, true).unwrap().expect("json doc");
+            let rendered = doc.render();
+            assert!(
+                rendered.contains(&format!("\"restart_interval\":{interval}")),
+                "{rendered}"
+            );
+            assert!(rendered.contains("\"entropy_segments\""), "{rendered}");
+            // Marker-less records report one segment per image per group;
+            // restart records report more for at least one group.
+            let parsed = {
+                let shard = container.read_shard(0).unwrap();
+                let (_, rec) = container.record(0).unwrap();
+                shard[rec.offset as usize..(rec.offset + rec.len()) as usize].to_vec()
+            };
+            let rec = pcr_core::PcrRecord::parse(&parsed).unwrap();
+            let max_per_chunk = (1..=rec.num_groups())
+                .flat_map(|g| (0..rec.num_images()).map(move |i| (i, g)))
+                .map(|(i, g)| rec.segment_count(i, g).unwrap())
+                .max()
+                .unwrap();
+            if interval == 0 {
+                assert_eq!(max_per_chunk, 1);
+            } else {
+                assert!(max_per_chunk > 1);
+            }
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
 }

@@ -5,7 +5,8 @@ use crate::human_bytes;
 use pcr_core::container::{write_container, ContainerManifest};
 use pcr_core::{PcrDatasetBuilder, SampleMeta, DEFAULT_NUM_GROUPS};
 use pcr_datasets::{
-    pack_to_container, DatasetSpec, Scale, SyntheticDataset, IMAGES_PER_RECORD, RECORDS_PER_SHARD,
+    pack_to_container_restart, DatasetSpec, Scale, SyntheticDataset, IMAGES_PER_RECORD,
+    RECORDS_PER_SHARD,
 };
 use std::path::Path;
 
@@ -34,7 +35,12 @@ OPTIONS:
     --images-per-record <n> Images packed per .pcr record (default 16)
     --records-per-shard <n> Records packed per shard file (default 8)
     --quality <q>           JPEG quality for --images transcoding that
-                            needs re-encoding (default 85)";
+                            needs re-encoding (default 85)
+    --restart-interval <n>  Emit JPEG restart markers every n MCU units
+                            (rounded up per scan to MCU-row multiples),
+                            so each image's entropy segments can decode
+                            on multiple cores. 0 = none (default). Only
+                            affects images the packer encodes itself.";
 
 const SPEC: ArgSpec = ArgSpec {
     value_flags: &[
@@ -45,6 +51,7 @@ const SPEC: ArgSpec = ArgSpec {
         "images-per-record",
         "records-per-shard",
         "quality",
+        "restart-interval",
     ],
     bool_flags: &[],
 };
@@ -55,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let out = Path::new(out);
     let images_per_record = args.number("images-per-record", IMAGES_PER_RECORD)?.max(1);
     let records_per_shard = args.number("records-per-shard", RECORDS_PER_SHARD)?.max(1);
+    let restart_interval: u16 = args.number("restart-interval", 0u16)?;
 
     let manifest = match (args.value("dataset"), args.value("images")) {
         (Some(_), Some(_)) => return Err("--dataset and --images are mutually exclusive".into()),
@@ -67,15 +75,27 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 spec.name, scale, spec.train_images
             );
             let ds = SyntheticDataset::generate(&spec);
-            let (manifest, secs) =
-                pack_to_container(&ds, out, images_per_record, records_per_shard)
-                    .map_err(|e| e.to_string())?;
+            let (manifest, secs) = pack_to_container_restart(
+                &ds,
+                out,
+                images_per_record,
+                records_per_shard,
+                restart_interval,
+            )
+            .map_err(|e| e.to_string())?;
             println!("packed in {secs:.1}s");
             manifest
         }
         (None, Some(srcdir)) => {
             let quality: u8 = args.number("quality", 85u8)?;
-            pack_image_dir(Path::new(srcdir), out, images_per_record, records_per_shard, quality)?
+            pack_image_dir(
+                Path::new(srcdir),
+                out,
+                images_per_record,
+                records_per_shard,
+                quality,
+                restart_interval,
+            )?
         }
     };
 
@@ -120,9 +140,11 @@ fn pack_image_dir(
     images_per_record: usize,
     records_per_shard: usize,
     quality: u8,
+    restart_interval: u16,
 ) -> Result<ContainerManifest, String> {
-    let mut builder =
-        PcrDatasetBuilder::new(images_per_record, DEFAULT_NUM_GROUPS).with_name_prefix("pack");
+    let mut builder = PcrDatasetBuilder::new(images_per_record, DEFAULT_NUM_GROUPS)
+        .with_name_prefix("pack")
+        .with_restart_interval(restart_interval);
     let mut packed = 0usize;
     let mut skipped = 0usize;
 

@@ -157,6 +157,7 @@ impl PcrDataset {
 pub struct PcrDatasetBuilder {
     images_per_record: usize,
     num_groups: usize,
+    restart_interval: u16,
     name_prefix: String,
     current: PcrRecordBuilder,
     dataset: PcrDataset,
@@ -169,6 +170,7 @@ impl PcrDatasetBuilder {
         Self {
             images_per_record: images_per_record.max(1),
             num_groups,
+            restart_interval: 0,
             name_prefix: "record".to_string(),
             current: PcrRecordBuilder::new(num_groups),
             dataset: PcrDataset::default(),
@@ -178,6 +180,15 @@ impl PcrDatasetBuilder {
     /// Sets the record name prefix.
     pub fn with_name_prefix(mut self, prefix: &str) -> Self {
         self.name_prefix = prefix.to_string();
+        self
+    }
+
+    /// Requests restart markers every `interval` MCU units in images the
+    /// records encode (see [`PcrRecordBuilder::with_restart_interval`]).
+    /// Call before adding images.
+    pub fn with_restart_interval(mut self, interval: u16) -> Self {
+        self.restart_interval = interval;
+        self.current = PcrRecordBuilder::new(self.num_groups).with_restart_interval(interval);
         self
     }
 
@@ -210,8 +221,10 @@ impl PcrDatasetBuilder {
         if self.current.is_empty() {
             return Ok(());
         }
-        let builder =
-            std::mem::replace(&mut self.current, PcrRecordBuilder::new(self.num_groups));
+        let builder = std::mem::replace(
+            &mut self.current,
+            PcrRecordBuilder::new(self.num_groups).with_restart_interval(self.restart_interval),
+        );
         let bytes = builder.build()?;
         let rec = PcrRecord::parse(&bytes)?;
         let name = format!("{}-{:05}.pcr", self.name_prefix, self.dataset.records.len());

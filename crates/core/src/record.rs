@@ -6,7 +6,8 @@
 //! On-disk layout (all integers little-endian):
 //!
 //! ```text
-//! magic "PCR1" | version u16 | num_images u32 | num_groups u16 | index_len u64
+//! magic "PCR1" | version u16 | num_images u32 | num_groups u16 |
+//! restart_interval u16 (version 2 only) | index_len u64
 //! index: per image {
 //!     label u32 | id bytes (u32-prefixed) | header_len u32 |
 //!     group_len u32 x num_groups
@@ -28,8 +29,14 @@ use pcr_jpeg::{EncodeConfig, ImageBuf};
 
 /// Magic prefix of every `.pcr` stream.
 pub const MAGIC: &[u8; 4] = b"PCR1";
-/// Current format version.
+/// Original format version: no restart metadata.
 pub const VERSION: u16 = 1;
+/// Format version carrying a `restart_interval u16` header field — the
+/// requested JPEG restart interval the record's images were encoded
+/// with, enabling segment-parallel decode of a single image. Records
+/// built with interval 0 keep [`VERSION`] and stay byte-identical to
+/// pre-restart writers.
+pub const VERSION_RESTART: u16 = 2;
 /// Scan groups produced by the default progressive script for color images.
 pub const DEFAULT_NUM_GROUPS: usize = 10;
 
@@ -80,6 +87,7 @@ impl RecordScratch {
 #[derive(Debug)]
 pub struct PcrRecordBuilder {
     num_groups: usize,
+    restart_interval: u16,
     entries: Vec<(SampleMeta, Vec<u8>, pcr_jpeg::ScanLayout)>,
 }
 
@@ -87,12 +95,22 @@ impl PcrRecordBuilder {
     /// Creates a builder with the given number of scan groups (each scan of
     /// the default script maps to one group).
     pub fn new(num_groups: usize) -> Self {
-        Self { num_groups: num_groups.max(1), entries: Vec::new() }
+        Self { num_groups: num_groups.max(1), restart_interval: 0, entries: Vec::new() }
     }
 
     /// Builder with the standard 10 groups.
     pub fn with_default_groups() -> Self {
         Self::new(DEFAULT_NUM_GROUPS)
+    }
+
+    /// Requests restart markers every `interval` MCU units in images this
+    /// builder encodes itself (see [`PcrRecordBuilder::add_image`]; the
+    /// JPEG encoder rounds the interval up per scan to MCU-row multiples).
+    /// A non-zero interval switches the record to [`VERSION_RESTART`];
+    /// zero keeps the byte-identical [`VERSION`] layout.
+    pub fn with_restart_interval(mut self, interval: u16) -> Self {
+        self.restart_interval = interval;
+        self
     }
 
     /// Adds an already-progressive JPEG byte stream.
@@ -109,9 +127,11 @@ impl PcrRecordBuilder {
         Ok(())
     }
 
-    /// Encodes raw pixels as progressive JPEG at `quality` and adds them.
+    /// Encodes raw pixels as progressive JPEG at `quality` (with this
+    /// builder's restart interval, if any) and adds them.
     pub fn add_image(&mut self, meta: SampleMeta, img: &ImageBuf, quality: u8) -> Result<()> {
-        let jpeg = pcr_jpeg::encode(img, &EncodeConfig::progressive(quality))?;
+        let cfg = EncodeConfig::progressive(quality).with_restart_interval(self.restart_interval);
+        let jpeg = pcr_jpeg::encode(img, &cfg)?;
         self.add_progressive_jpeg(meta, jpeg)
     }
 
@@ -156,9 +176,13 @@ impl PcrRecordBuilder {
 
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
-        put_u16(&mut out, VERSION);
+        let version = if self.restart_interval == 0 { VERSION } else { VERSION_RESTART };
+        put_u16(&mut out, version);
         put_u32(&mut out, u32::try_from(self.entries.len()).map_err(|_| too_big("image count"))?);
         put_u16(&mut out, u16::try_from(num_groups).map_err(|_| too_big("group count"))?);
+        if version == VERSION_RESTART {
+            put_u16(&mut out, self.restart_interval);
+        }
         put_u64(&mut out, index.len() as u64);
         out.extend_from_slice(&index);
 
@@ -193,6 +217,7 @@ impl PcrRecordBuilder {
 pub struct PcrRecord<'a> {
     data: &'a [u8],
     num_groups: usize,
+    restart_interval: u16,
     labels: Vec<u32>,
     ids: Vec<&'a str>,
     /// `header_starts[i]..header_starts[i + 1]` is image `i`'s JPEG header;
@@ -216,11 +241,13 @@ impl<'a> PcrRecord<'a> {
             return Err(Error::BadMagic);
         }
         let version = r.u16("version")?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_RESTART {
             return Err(Error::BadVersion(version));
         }
         let num_images = r.u32("num_images")? as usize;
         let num_groups = r.u16("num_groups")? as usize;
+        let restart_interval =
+            if version == VERSION_RESTART { r.u16("restart_interval")? } else { 0 };
         let index_len = r.u64("index_len")? as usize;
         let index_start = r.pos();
         if num_groups == 0 {
@@ -283,7 +310,7 @@ impl<'a> PcrRecord<'a> {
             }
             base = row[num_images]; // pcr-lint: allow(no-panic-in-hot-path) — row.len() == num_images + 1
         }
-        Ok(Self { data, num_groups, labels, ids, header_starts, chunk_starts })
+        Ok(Self { data, num_groups, restart_interval, labels, ids, header_starts, chunk_starts })
     }
 
     /// Number of images in the record.
@@ -294,6 +321,34 @@ impl<'a> PcrRecord<'a> {
     /// Number of scan groups the record was built with.
     pub fn num_groups(&self) -> usize {
         self.num_groups
+    }
+
+    /// Requested restart interval the record's images were encoded with
+    /// (0 for version-1 records and marker-less version-2 streams).
+    pub fn restart_interval(&self) -> u16 {
+        self.restart_interval
+    }
+
+    /// Number of restart-entropy segments in image `i`'s group-`g` chunk:
+    /// `RSTn` markers + 1 for chunks holding a scan, 0 for empty chunks
+    /// (grayscale images pad unused color groups with zero-length chunks).
+    /// Marker-less streams therefore report 1 per non-empty chunk.
+    pub fn segment_count(&self, i: usize, g: usize) -> Result<usize> {
+        let chunk = self.chunk(i, g)?;
+        let sos = chunk
+            .windows(2)
+            .position(|w| w == [0xFF, 0xDA])
+            .map(|p| p + 2);
+        let Some(sos) = sos else { return Ok(0) };
+        let hdr_len = match chunk.get(sos..sos + 2) {
+            // pcr-lint: allow(no-panic-in-hot-path) — l is the 2-byte slice just matched
+            Some(l) => usize::from(u16::from_be_bytes([l[0], l[1]])),
+            None => return Err(Error::Truncated { context: "scan header" }),
+        };
+        let entropy = chunk
+            .get(sos + hdr_len..)
+            .ok_or(Error::Truncated { context: "scan entropy" })?;
+        Ok(pcr_jpeg::bitio::split_restart_segments(entropy).len())
     }
 
     /// Metadata of image `i`, borrowed from the record buffer.
@@ -415,6 +470,28 @@ impl<'a> PcrRecord<'a> {
         let assembled = self.jpeg_at_group_into(i, g, &mut jpeg);
         let decoded = assembled.and_then(|()| {
             pcr_jpeg::decode_with(&jpeg, &mut scratch.decode).map_err(Error::from)
+        });
+        scratch.jpeg = jpeg;
+        decoded
+    }
+
+    /// Like [`PcrRecord::decode_image_with`], but decodes the image's
+    /// restart-marker entropy segments on up to `workers` threads (see
+    /// [`pcr_jpeg::decode_with_workers`]). For `workers <= 1`, or a
+    /// stream without restart markers, this is the sequential path —
+    /// output is byte-identical either way.
+    pub fn decode_image_segmented(
+        &self,
+        i: usize,
+        g: usize,
+        scratch: &mut RecordScratch,
+        workers: usize,
+    ) -> Result<ImageBuf> {
+        let mut jpeg = std::mem::take(&mut scratch.jpeg);
+        let assembled = self.jpeg_at_group_into(i, g, &mut jpeg);
+        let decoded = assembled.and_then(|()| {
+            pcr_jpeg::decode_with_workers(&jpeg, &mut scratch.decode, workers)
+                .map_err(Error::from)
         });
         scratch.jpeg = jpeg;
         decoded
@@ -579,6 +656,59 @@ mod tests {
         let bytes = build_record(2);
         // Cut inside the index.
         assert!(PcrRecord::parse(&bytes[..20]).is_err());
+    }
+
+    #[test]
+    fn restart_record_is_v2_and_reports_segments() {
+        let img = test_image(5, 48, 40);
+        let mut b = PcrRecordBuilder::with_default_groups().with_restart_interval(2);
+        b.add_image(SampleMeta { label: 0, id: "r".into() }, &img, 88).unwrap();
+        let bytes = b.build().unwrap();
+        assert_eq!(u16::from_le_bytes([bytes[4], bytes[5]]), VERSION_RESTART);
+        let rec = PcrRecord::parse(&bytes).unwrap();
+        assert_eq!(rec.restart_interval(), 2);
+        // At least one scan group splits into multiple entropy segments.
+        let max_segs = (1..=10).map(|g| rec.segment_count(0, g).unwrap()).max().unwrap();
+        assert!(max_segs > 1, "expected multi-segment groups, got max {max_segs}");
+        // Restart framing never changes pixels: decode equals the
+        // marker-less encode of the same image at every group level.
+        let mut plain = PcrRecordBuilder::with_default_groups();
+        plain.add_image(SampleMeta { label: 0, id: "r".into() }, &img, 88).unwrap();
+        let plain_bytes = plain.build().unwrap();
+        let plain_rec = PcrRecord::parse(&plain_bytes).unwrap();
+        for g in [1usize, 4, 10] {
+            assert_eq!(
+                rec.decode_image(0, g).unwrap(),
+                plain_rec.decode_image(0, g).unwrap(),
+                "group {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn interval_zero_keeps_v1_layout() {
+        let img = test_image(6, 32, 32);
+        let mut a = PcrRecordBuilder::with_default_groups();
+        a.add_image(SampleMeta { label: 1, id: "z".into() }, &img, 85).unwrap();
+        let mut b = PcrRecordBuilder::with_default_groups().with_restart_interval(0);
+        b.add_image(SampleMeta { label: 1, id: "z".into() }, &img, 85).unwrap();
+        let a = a.build().unwrap();
+        let b = b.build().unwrap();
+        assert_eq!(a, b, "interval 0 must stay byte-identical to the v1 writer");
+        assert_eq!(u16::from_le_bytes([a[4], a[5]]), VERSION);
+        let rec = PcrRecord::parse(&a).unwrap();
+        assert_eq!(rec.restart_interval(), 0);
+        // Marker-less chunks report exactly one entropy segment each.
+        for g in 1..=10 {
+            assert_eq!(rec.segment_count(0, g).unwrap(), 1, "group {g}");
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let mut bytes = build_record(1);
+        bytes[4] = 9;
+        assert!(matches!(PcrRecord::parse(&bytes), Err(Error::BadVersion(9))));
     }
 
     #[test]

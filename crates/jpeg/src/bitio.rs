@@ -39,6 +39,48 @@ pub fn find_ff(data: &[u8], from: usize) -> usize {
     p
 }
 
+/// Splits an entropy-coded segment at its restart markers, returning the
+/// byte range of each restart interval in order (always at least one
+/// range, possibly empty). The `RSTn` marker bytes themselves belong to
+/// no segment. Stuffed `0xFF 0x00` pairs are entropy data and never
+/// split. A lone `0xFF` as the final byte is kept inside the last
+/// segment (it is an incomplete marker; [`BitReader`] treats it as
+/// end-of-data, matching `SegmentReader::skip_entropy`). A real
+/// non-restart marker terminates the scan: the final segment ends at its
+/// `0xFF` and the remainder is ignored, mirroring how the reader stops
+/// there.
+///
+/// Uses the same word-at-a-time [`find_ff`] scan as the reader refill,
+/// so a marker whose `0xFF` lands on the last byte of an 8-byte scan
+/// window is still paired with its marker byte from the next window —
+/// the offset pins in this module's tests cover exactly that boundary.
+pub fn split_restart_segments(data: &[u8]) -> Vec<(usize, usize)> {
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    let mut p = 0usize;
+    loop {
+        p = find_ff(data, p);
+        if p + 1 >= data.len() {
+            // End of data (including a trailing lone 0xFF): last segment.
+            segments.push((start, data.len()));
+            return segments;
+        }
+        // pcr-lint: allow(no-panic-in-hot-path) — p + 1 < len checked above
+        let m = data[p + 1];
+        if m == 0x00 {
+            p += 2; // stuffed 0xFF: entropy data, keep scanning
+        } else if (0xD0..=0xD7).contains(&m) {
+            segments.push((start, p));
+            start = p + 2;
+            p += 2;
+        } else {
+            // Real marker: entropy data ends here.
+            segments.push((start, p));
+            return segments;
+        }
+    }
+}
+
 /// Writes bits MSB-first into a byte buffer, inserting a 0x00 stuff byte
 /// after every literal 0xFF as required by T.81 section B.1.1.5.
 #[derive(Debug, Default)]
@@ -89,6 +131,21 @@ impl BitWriter {
         self.out
     }
 
+    /// Pads the current partial byte with 1-bits and emits the restart
+    /// marker `RSTn` (`0xFF 0xD0+n`, T.81 E.1.4). The pad byte goes
+    /// through the normal stuffing path (an all-ones pad byte is `0xFF`
+    /// and gets its `0x00` stuffed); the marker itself is written raw —
+    /// markers are exactly the byte pairs that must *not* be stuffed.
+    pub fn restart(&mut self, n: u8) {
+        if self.nbits > 0 {
+            let pad = 8 - self.nbits;
+            self.put_bits((1u32 << pad) - 1, pad);
+        }
+        debug_assert_eq!(self.nbits, 0);
+        self.out.push(0xFF);
+        self.out.push(0xD0 | (n & 7));
+    }
+
     /// Number of full bytes emitted so far (excluding buffered bits).
     pub fn len(&self) -> usize {
         self.out.len()
@@ -137,6 +194,19 @@ pub trait BitSource {
     /// depends on it — peeks refill on demand).
     #[inline]
     fn prefetch(&mut self) {}
+    /// Peeks a 32-bit window (MSB-first, zero-padded past the end of the
+    /// entropy data) without consuming anything, or `None` when the
+    /// implementation cannot serve one. The multi-symbol Huffman fast
+    /// path resolves two short code+magnitude steps from a single window
+    /// and then issues one `consume`; callers must fall back to the
+    /// 16-bit peek path on `None`. After `Some(w)` the source guarantees
+    /// at least 32 buffered bits, so a following `consume(n)` with
+    /// `n <= 32` cannot fail. Default: `None` (the per-byte reference
+    /// reader's 32-bit accumulator cannot hold a 32-bit lookahead).
+    #[inline]
+    fn peek_wide(&mut self) -> Option<u32> {
+        None
+    }
 }
 
 /// Reads bits MSB-first from an entropy-coded segment, transparently
@@ -325,6 +395,16 @@ impl BitSource for BitReader<'_> {
     fn prefetch(&mut self) {
         self.refill();
     }
+    #[inline]
+    fn peek_wide(&mut self) -> Option<u32> {
+        if self.nbits < 32 {
+            self.refill();
+        }
+        // `refill` tops up to >= 56 bits on either path (zero-padding past
+        // markers/EOF), and the `nbits >= 32` case needs no refill at all,
+        // so the top 32 bits of `acc` are always a valid window here.
+        Some((self.acc >> 32) as u32)
+    }
 }
 
 /// Sign-extends an `n`-bit magnitude per T.81 F.2.2.1 `EXTEND`.
@@ -428,6 +508,167 @@ mod tests {
                 assert_eq!(find_ff(&data, at + 1), 100);
             }
         }
+    }
+
+    /// Regression pin for the word-at-a-time scanner's window boundary:
+    /// an `0xFF` on the *last* byte of an 8-byte scan window (position
+    /// ≡ 7 mod 8) must be found at its exact offset, and a marker split
+    /// across the boundary (`0xFF` in one window, the marker byte in the
+    /// next) must still be paired correctly by every `find_ff` caller.
+    #[test]
+    fn find_ff_every_alignment_and_window_boundary() {
+        // Every position mod 8, at several window indices, under every
+        // starting offset `from` in 0..16.
+        for at in 0..40usize {
+            let mut data = vec![0x11u8; 48];
+            data[at] = 0xFF;
+            for from in 0..16usize {
+                let expect = if from <= at { at } else { 48 };
+                assert_eq!(find_ff(&data, from), expect, "at={at} from={from}");
+            }
+        }
+        // 0xFF as the final byte of the slice, for slice lengths around
+        // the 8-byte step (tail loop takes over exactly at len - len%8).
+        for len in 1..=24usize {
+            let mut data = vec![0x22u8; len];
+            data[len - 1] = 0xFF;
+            assert_eq!(find_ff(&data, 0), len - 1, "len={len}");
+        }
+    }
+
+    /// A marker whose 0xFF is the last byte of one 8-byte refill window
+    /// and whose marker byte opens the next window must terminate the
+    /// batched reader at the same bit position as the reference reader.
+    #[test]
+    fn marker_split_across_refill_window_boundary() {
+        for ff_at in [7usize, 15, 23, 31] {
+            let mut data = vec![0x5Au8; ff_at];
+            data.push(0xFF);
+            data.push(0xD9);
+            let mut fast = BitReader::new(&data);
+            let mut reference = ReferenceBitReader::new(&data);
+            for _ in 0..ff_at {
+                assert_eq!(
+                    fast.get_bits(8).unwrap(),
+                    reference.get_bits(8).unwrap(),
+                    "ff_at={ff_at}"
+                );
+            }
+            assert_eq!(fast.get_bits(8).unwrap(), 0);
+            assert_eq!(reference.get_bits(8).unwrap(), 0);
+            assert_eq!(fast.marker(), Some(0xD9));
+            assert_eq!(fast.marker(), reference.marker());
+        }
+    }
+
+    /// Pins the batched refill's offset arithmetic
+    /// (`pos += (63 - nbits) >> 3`, `nbits |= 56`) as a conservation
+    /// law: over stuffing-free data, bits pulled from the slice equal
+    /// bits delivered to the caller plus bits still buffered — at every
+    /// possible pre-refill fill level.
+    #[test]
+    fn refill_offset_arithmetic_is_exact() {
+        let data: Vec<u8> = (0u8..64).collect();
+        for pre_bits in 0..32u32 {
+            let mut r = BitReader::new(&data);
+            r.prefetch();
+            let delivered = r.nbits - pre_bits;
+            r.consume(delivered).unwrap();
+            assert_eq!(r.nbits, pre_bits);
+            let pos_before = r.byte_pos();
+            r.prefetch(); // the batched refill under test
+            assert!(r.nbits >= 56, "pre_bits={pre_bits}");
+            assert_eq!(
+                (r.byte_pos() - pos_before) as u32 * 8,
+                r.nbits - pre_bits,
+                "refill pulled partial bytes at pre_bits={pre_bits}"
+            );
+            assert_eq!(r.byte_pos() as u32 * 8, delivered + r.nbits);
+        }
+    }
+
+    /// `peek_wide` must agree with two chained 16-bit peeks on the
+    /// reference reader — including across stuffing, markers, and EOF
+    /// zero padding.
+    #[test]
+    fn wide_peek_matches_reference_reader_bytes() {
+        let mut data = Vec::new();
+        for i in 0..48u32 {
+            data.push((i.wrapping_mul(151) & 0xFF) as u8);
+            if data.last() == Some(&0xFF) {
+                data.push(0x00);
+            }
+        }
+        data.extend_from_slice(&[0xFF, 0xD9]);
+        for cut in [data.len(), data.len() - 3, 9, 1, 0] {
+            let data = &data[..cut];
+            let mut fast = BitReader::new(data);
+            let mut reference = ReferenceBitReader::new(data);
+            for step in 0..80 {
+                let w = fast.peek_wide().expect("batched reader serves wide peeks");
+                let hi = reference.peek_bits(16).unwrap();
+                reference.consume(16).unwrap();
+                let lo = reference.peek_bits(16).unwrap();
+                assert_eq!(w, (hi << 16) | lo, "cut={cut} step={step}");
+                // Advance both readers 16 bits; the windows stay phased.
+                fast.consume(16).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn bitwriter_restart_aligns_and_emits_marker() {
+        // Mid-byte pad is 1-bits; an all-ones pad byte gets stuffed.
+        let mut w = BitWriter::new();
+        w.put_bits(0b1, 1);
+        w.restart(2);
+        w.put_bits(0xA5, 8);
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0xFF, 0x00, 0xFF, 0xD2, 0xA5]);
+        // Byte-aligned already: no pad byte at all.
+        let mut w = BitWriter::new();
+        w.put_bits(0x3C, 8);
+        w.restart(9); // index reduced mod 8
+        let bytes = w.finish();
+        assert_eq!(bytes, vec![0x3C, 0xFF, 0xD1]);
+    }
+
+    #[test]
+    fn split_restart_segments_pins_boundaries() {
+        // No markers: one segment covering everything.
+        assert_eq!(split_restart_segments(&[1, 2, 3]), vec![(0, 3)]);
+        assert_eq!(split_restart_segments(&[]), vec![(0, 0)]);
+        // Simple split; marker bytes excluded.
+        assert_eq!(
+            split_restart_segments(&[0xAA, 0xFF, 0xD0, 0xBB]),
+            vec![(0, 1), (3, 4)]
+        );
+        // Stuffed 0xFF00 is data; RST right after still splits.
+        assert_eq!(
+            split_restart_segments(&[0xFF, 0x00, 0xFF, 0xD7, 0xFF, 0x00]),
+            vec![(0, 2), (4, 6)]
+        );
+        // Back-to-back restarts produce an empty middle segment.
+        assert_eq!(
+            split_restart_segments(&[0x01, 0xFF, 0xD0, 0xFF, 0xD1, 0x02]),
+            vec![(0, 1), (3, 3), (5, 6)]
+        );
+        // Lone trailing 0xFF stays inside the final segment.
+        assert_eq!(
+            split_restart_segments(&[0x01, 0xFF, 0xD0, 0xFF]),
+            vec![(0, 1), (3, 4)]
+        );
+        // A real (non-RST) marker ends the scan: remainder ignored.
+        assert_eq!(
+            split_restart_segments(&[0x01, 0xFF, 0xD9, 0x02, 0xFF, 0xD0]),
+            vec![(0, 1)]
+        );
+        // RST 0xFF on the last byte of an 8-byte scan window (offset 7),
+        // marker byte in the next window: exact offsets pinned.
+        let mut data = vec![0x33u8; 7];
+        data.extend_from_slice(&[0xFF, 0xD4]);
+        data.extend_from_slice(&[0x44; 5]);
+        assert_eq!(split_restart_segments(&data), vec![(0, 7), (9, 14)]);
     }
 
     #[test]

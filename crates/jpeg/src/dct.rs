@@ -309,26 +309,24 @@ pub fn inverse_quant_scales(q: &[u16; 64]) -> [f64; 64] {
 }
 
 #[inline(always)]
-// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vadd(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
-    core::array::from_fn(|i| a[i] + b[i])
+    crate::simd::add8(&a, &b)
 }
 #[inline(always)]
-// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vsub(a: [f64; 8], b: [f64; 8]) -> [f64; 8] {
-    core::array::from_fn(|i| a[i] - b[i])
+    crate::simd::sub8(&a, &b)
 }
 #[inline(always)]
-// pcr-lint: allow(no-panic-in-hot-path) for-next-item — all indices are literal 0..8 into [f64; 8] rows
 fn vscale(a: [f64; 8], s: f64) -> [f64; 8] {
-    core::array::from_fn(|i| a[i] * s)
+    crate::simd::scale8(&a, s)
 }
 
 /// The decode pixel kernel: dequantizes one block through folded scales
 /// ([`inverse_quant_scales`]), inverse transforms it, and stores clamped
 /// pixels. The column pass runs the AAN butterfly on whole 8-wide row
-/// vectors (auto-vectorizable array arithmetic); the row pass is a
-/// scalar butterfly feeding the shared [`descale`] rounding contract.
+/// vectors through the [`crate::simd`] kernels (SSE2 on x86_64, scalar
+/// elsewhere — bit-identical either way); the row pass is a scalar
+/// butterfly feeding the shared [`descale`] rounding contract.
 ///
 /// Arithmetic is deliberately `f64`: the bit-exactness suite demands
 /// byte-identical pixels against the f64 basis-matrix oracle, and only

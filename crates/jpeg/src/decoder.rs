@@ -6,15 +6,40 @@
 //! present scans allow, exactly like libjpeg renders an interrupted
 //! download.
 
-use crate::bitio::BitReader;
+use crate::bitio::{split_restart_segments, BitReader};
 use crate::consts::*;
-use crate::dentropy::{decode_scan, DecodeTables};
+use crate::dentropy::{decode_scan_range, mcu_units, DecodeTables};
 use crate::error::{Error, Result};
-use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+use crate::frame::{CoeffPlanes, FrameInfo, RowBandStore, ScanInfo};
 use crate::huffman::HuffDecoder;
 use crate::image::ImageBuf;
 use crate::marker::{self, Segment, SegmentReader};
 use crate::sample::{coeffs_to_planes, coeffs_to_planes_pooled, planes_to_image};
+
+/// Callbacks around entropy-decode work units, letting callers outside
+/// this crate attribute wall-clock time to scans and restart segments
+/// (the decoder itself takes no timestamps). Only the sequential decode
+/// path reports segments; all methods default to no-ops.
+pub trait DecodeObserver {
+    /// A scan is about to decode as `nsegs` restart segments.
+    fn scan_begin(&mut self, scan_idx: usize, nsegs: usize) {
+        let _ = (scan_idx, nsegs);
+    }
+    /// Restart segment `seg` covering `units` MCU units is about to decode.
+    fn segment_begin(&mut self, scan_idx: usize, seg: usize, units: u32) {
+        let _ = (scan_idx, seg, units);
+    }
+    /// Restart segment `seg` finished decoding.
+    fn segment_end(&mut self, scan_idx: usize, seg: usize) {
+        let _ = (scan_idx, seg);
+    }
+}
+
+/// The default do-nothing observer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopObserver;
+
+impl DecodeObserver for NoopObserver {}
 
 /// Reusable decode buffers: coefficient planes and sample planes survive
 /// across calls to [`decode_with`], so a data-loading hot loop performs no
@@ -87,6 +112,29 @@ pub fn decode_with(data: &[u8], scratch: &mut DecodeScratch) -> Result<ImageBuf>
     img
 }
 
+/// [`decode_with`] plus segment parallelism: restart segments of
+/// row-aligned scans decode on up to `workers` threads. Pixel output is
+/// identical for every worker count.
+pub fn decode_with_workers(
+    data: &[u8],
+    scratch: &mut DecodeScratch,
+    workers: usize,
+) -> Result<ImageBuf> {
+    let decoded = decode_coeffs_workers(data, &mut scratch.coeff_pool, workers)?;
+    let planes = coeffs_to_planes_pooled(
+        &decoded.coeffs,
+        &decoded.frame,
+        &decoded.qtables,
+        &mut scratch.plane_pool,
+    )?;
+    let img = planes_to_image(&planes, &decoded.frame);
+    for p in planes {
+        p.recycle_into(&mut scratch.plane_pool);
+    }
+    decoded.coeffs.recycle_into(&mut scratch.coeff_pool);
+    img
+}
+
 /// Decodes a stream to quantized coefficients plus tables and scan list.
 pub fn decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
     decode_coeffs_pooled(data, &mut Vec::new())
@@ -95,6 +143,37 @@ pub fn decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
 /// [`decode_coeffs`] with coefficient-plane storage drawn from `pool`
 /// (recycle with [`CoeffPlanes::recycle_into`]).
 pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<DecodedCoeffs> {
+    decode_coeffs_opts(data, pool, 1, &mut NoopObserver)
+}
+
+/// [`decode_coeffs_pooled`] with restart segments of row-aligned scans
+/// decoded on up to `workers` threads. `workers <= 1` is the sequential
+/// path; any worker count produces identical coefficients.
+pub fn decode_coeffs_workers(
+    data: &[u8],
+    pool: &mut Vec<Vec<i16>>,
+    workers: usize,
+) -> Result<DecodedCoeffs> {
+    decode_coeffs_opts(data, pool, workers, &mut NoopObserver)
+}
+
+/// Sequential [`decode_coeffs_pooled`] reporting every scan and restart
+/// segment to `obs` — the hook benchmarks use to time segments without
+/// this crate owning a clock.
+pub fn decode_coeffs_observed(
+    data: &[u8],
+    pool: &mut Vec<Vec<i16>>,
+    obs: &mut dyn DecodeObserver,
+) -> Result<DecodedCoeffs> {
+    decode_coeffs_opts(data, pool, 1, obs)
+}
+
+fn decode_coeffs_opts(
+    data: &[u8],
+    pool: &mut Vec<Vec<i16>>,
+    workers: usize,
+    obs: &mut dyn DecodeObserver,
+) -> Result<DecodedCoeffs> {
     let mut reader = SegmentReader::new(data);
     match reader.next_segment()? {
         Segment::Soi => {}
@@ -108,6 +187,7 @@ pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<Dec
     let mut coeffs: Option<CoeffPlanes> = None;
     let mut scans: Vec<ScanInfo> = Vec::new();
     let mut saw_eoi = false;
+    let mut restart_interval: u16 = 0;
 
     loop {
         let seg = match reader.next_segment() {
@@ -147,16 +227,10 @@ pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<Dec
                     frame = Some(f);
                 }
                 DRI => {
-                    let interval = if payload.len() == 2 {
-                        u16::from_be_bytes([payload[0], payload[1]])
-                    } else {
+                    if payload.len() != 2 {
                         return Err(Error::BadSegmentLength { marker: DRI });
-                    };
-                    if interval != 0 {
-                        return Err(Error::UnsupportedFrame(
-                            "restart intervals not supported".into(),
-                        ));
                     }
+                    restart_interval = u16::from_be_bytes([payload[0], payload[1]]);
                 }
                 // APPn / COM and other informational segments: skipped.
                 _ => {}
@@ -168,9 +242,18 @@ pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<Dec
                 let scan = marker::parse_sos(payload, f)?;
                 let (_, entropy_end) = reader.skip_entropy();
                 let entropy = &data[entropy_start..entropy_end];
-                let mut bits = BitReader::new(entropy);
                 let tables = DecodeTables { dc: &dc_tables, ac: &ac_tables };
-                decode_scan(f, coeffs.as_mut().expect("coeffs with frame"), &scan, &tables, &mut bits)?;
+                decode_scan_entropy(
+                    f,
+                    coeffs.as_mut().expect("coeffs with frame"),
+                    &scan,
+                    &tables,
+                    entropy,
+                    restart_interval,
+                    workers,
+                    scans.len(),
+                    obs,
+                )?;
                 scans.push(scan);
             }
         }
@@ -179,6 +262,126 @@ pub fn decode_coeffs_pooled(data: &[u8], pool: &mut Vec<Vec<i16>>) -> Result<Dec
     let frame = frame.ok_or(Error::UnsupportedFrame("no SOF in stream".into()))?;
     let coeffs = coeffs.expect("coeffs allocated with frame");
     Ok(DecodedCoeffs { frame, coeffs, qtables, scans, saw_eoi })
+}
+
+/// Decodes one scan's entropy data, splitting at restart markers when
+/// the stream declared a DRI interval.
+///
+/// Fewer restart segments than the interval implies is treated exactly
+/// like a truncated scan-list: present segments decode, missing ones
+/// leave their blocks at the prior approximation. Extra segments beyond
+/// the expected count are ignored.
+#[allow(clippy::too_many_arguments)]
+fn decode_scan_entropy(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_, HuffDecoder>,
+    entropy: &[u8],
+    interval: u16,
+    workers: usize,
+    scan_idx: usize,
+    obs: &mut dyn DecodeObserver,
+) -> Result<()> {
+    let total = mcu_units(frame, scan);
+    let interval = u32::from(interval);
+    if interval == 0 || interval >= total {
+        obs.scan_begin(scan_idx, 1);
+        obs.segment_begin(scan_idx, 0, total);
+        let mut bits = BitReader::new(entropy);
+        decode_scan_range(frame, coeffs, scan, tables, &mut bits, 0..total)?;
+        obs.segment_end(scan_idx, 0);
+        return Ok(());
+    }
+    let ranges = split_restart_segments(entropy);
+    let expected = total.div_ceil(interval) as usize;
+    let nseg = ranges.len().min(expected);
+    obs.scan_begin(scan_idx, nseg);
+    // Segment-parallel decode requires every segment to cover whole block
+    // rows of a single component, so the bands are disjoint `&mut` slices.
+    let row_aligned = scan.components.len() == 1
+        && interval % frame.components[scan.components[0].comp_index].blocks_w == 0;
+    if workers > 1 && nseg > 1 && row_aligned {
+        return decode_segments_parallel(
+            frame,
+            coeffs,
+            scan,
+            tables,
+            entropy,
+            &ranges[..nseg],
+            interval,
+            total,
+            workers,
+        );
+    }
+    for (seg, &(s, e)) in ranges[..nseg].iter().enumerate() {
+        let start = seg as u32 * interval;
+        let units = start..(start + interval).min(total);
+        obs.segment_begin(scan_idx, seg, units.end - units.start);
+        let mut bits = BitReader::new(&entropy[s..e]);
+        decode_scan_range(frame, coeffs, scan, tables, &mut bits, units)?;
+        obs.segment_end(scan_idx, seg);
+    }
+    Ok(())
+}
+
+/// Decodes row-aligned restart segments of a single-component scan on up
+/// to `workers` threads, each writing its own disjoint row band.
+#[allow(clippy::too_many_arguments)]
+fn decode_segments_parallel(
+    frame: &FrameInfo,
+    coeffs: &mut CoeffPlanes,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_, HuffDecoder>,
+    entropy: &[u8],
+    ranges: &[(usize, usize)],
+    interval: u32,
+    total: u32,
+    workers: usize,
+) -> Result<()> {
+    let ci = scan.components[0].comp_index;
+    let c = &frame.components[ci];
+    // Carve the component plane into per-segment row bands.
+    let mut jobs: Vec<(std::ops::Range<u32>, &[u8], RowBandStore<'_>)> =
+        Vec::with_capacity(ranges.len());
+    let mut rest: &mut [i16] = coeffs.plane_mut(ci);
+    let mut row0 = 0u32;
+    for (seg, &(s, e)) in ranges.iter().enumerate() {
+        let start = seg as u32 * interval;
+        let units = start..(start + interval).min(total);
+        let rows = (units.end - units.start).div_ceil(c.blocks_w);
+        let take = (rows as usize * c.alloc_w as usize * 64).min(rest.len());
+        let (band, tail) = rest.split_at_mut(take);
+        rest = tail;
+        jobs.push((units, &entropy[s..e], RowBandStore { comp: ci, row0, alloc_w: c.alloc_w, data: band }));
+        row0 += rows;
+    }
+    // Contiguous chunks keep results in segment order, so the first error
+    // reported matches what the sequential path would have returned.
+    let per = jobs.len().div_ceil(workers);
+    let results: Vec<Result<()>> = std::thread::scope(|sc| {
+        let mut handles = Vec::new();
+        while !jobs.is_empty() {
+            let chunk: Vec<_> = jobs.drain(..per.min(jobs.len())).collect();
+            handles.push(sc.spawn(move || {
+                chunk
+                    .into_iter()
+                    .map(|(units, data, mut band)| {
+                        let mut bits = BitReader::new(data);
+                        decode_scan_range(frame, &mut band, scan, tables, &mut bits, units)
+                    })
+                    .collect::<Vec<_>>()
+            }));
+        }
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("segment decode worker panicked"))
+            .collect()
+    });
+    for r in results {
+        r?;
+    }
+    Ok(())
 }
 
 /// Counts the scans present in a stream without entropy-decoding them.

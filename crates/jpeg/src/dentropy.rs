@@ -4,8 +4,9 @@
 use crate::bitio::{extend, BitSource};
 use crate::consts::ZIGZAG;
 use crate::error::{Error, Result};
-use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+use crate::frame::{BlockStore, FrameInfo, ScanInfo};
 use crate::huffman::{HuffDecoder, SymbolDecoder};
+use std::ops::Range;
 
 /// Huffman decoder tables available to a scan.
 ///
@@ -34,57 +35,100 @@ impl<D> DecodeTables<'_, D> {
     }
 }
 
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — comp_index is
+// validated against frame.components when the scan header is parsed.
+/// Number of restart-interval units in a scan: MCUs for an interleaved
+/// scan, blocks for a non-interleaved one (T.81 E.1.4 — in a
+/// non-interleaved scan the MCU is a single block). Restart intervals
+/// and segment-parallel decode both count in these units.
+pub fn mcu_units(frame: &FrameInfo, scan: &ScanInfo) -> u32 {
+    if scan.components.len() == 1 {
+        let c = &frame.components[scan.components[0].comp_index];
+        c.blocks_w * c.blocks_h
+    } else {
+        frame.mcus_x * frame.mcus_y
+    }
+}
+
 /// Decodes one scan's entropy data from `r` into `coeffs`.
 ///
 /// Returns normally at the end of the scan's MCUs; a truncated stream decodes
 /// zero bits for the remainder (graceful degradation, which the PCR partial
 /// read path relies on between scan-group boundaries).
-pub fn decode_scan<D: SymbolDecoder, R: BitSource>(
+pub fn decode_scan<B: BlockStore, D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     tables: &DecodeTables<'_, D>,
     r: &mut R,
 ) -> Result<()> {
+    decode_scan_range(frame, coeffs, scan, tables, r, 0..mcu_units(frame, scan))
+}
+
+/// Decodes the MCU-unit range `units` of a scan from `r` into `coeffs` —
+/// one restart segment's worth when the stream carries restart markers.
+///
+/// Decoder state (DC predictors, EOB run) starts fresh, exactly the
+/// reset a restart marker demands, so decoding a whole scan equals
+/// decoding its segments in sequence — or in parallel, since disjoint
+/// unit ranges of a non-interleaved scan touch disjoint blocks.
+pub fn decode_scan_range<B: BlockStore, D: SymbolDecoder, R: BitSource>(
+    frame: &FrameInfo,
+    coeffs: &mut B,
+    scan: &ScanInfo,
+    tables: &DecodeTables<'_, D>,
+    r: &mut R,
+    units: Range<u32>,
+) -> Result<()> {
     scan.validate(frame)?;
     if !frame.progressive {
-        return decode_sequential(frame, coeffs, scan, tables, r);
+        return decode_sequential(frame, coeffs, scan, tables, r, units);
     }
     if scan.is_dc() {
         if scan.is_refinement() {
-            decode_dc_refine(frame, coeffs, scan, r)
+            decode_dc_refine(frame, coeffs, scan, r, units)
         } else {
-            decode_dc_first(frame, coeffs, scan, tables, r)
+            decode_dc_first(frame, coeffs, scan, tables, r, units)
         }
     } else if scan.is_refinement() {
-        decode_ac_refine(frame, coeffs, scan, tables, r)
+        decode_ac_refine(frame, coeffs, scan, tables, r, units)
     } else {
-        decode_ac_first(frame, coeffs, scan, tables, r)
+        decode_ac_first(frame, coeffs, scan, tables, r, units)
     }
 }
 
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — scan.validate
+// checks every comp_index; block coordinates stay inside the component's
+// blocks_w x blocks_h grid by construction of the loops.
 fn for_each_block(
     frame: &FrameInfo,
     scan: &ScanInfo,
+    units: Range<u32>,
     mut f: impl FnMut(usize, u32, u32) -> Result<()>,
 ) -> Result<()> {
     if scan.components.len() == 1 {
         let c = &frame.components[scan.components[0].comp_index];
-        for row in 0..c.blocks_h {
-            for col in 0..c.blocks_w {
-                f(0, row, col)?;
+        let bw = c.blocks_w;
+        let mut row = units.start / bw;
+        let mut col = units.start % bw;
+        for _ in units {
+            f(0, row, col)?;
+            col += 1;
+            if col == bw {
+                col = 0;
+                row += 1;
             }
         }
         return Ok(());
     }
-    for my in 0..frame.mcus_y {
-        for mx in 0..frame.mcus_x {
-            for (slot, sc) in scan.components.iter().enumerate() {
-                let c = &frame.components[sc.comp_index];
-                for by in 0..u32::from(c.v) {
-                    for bx in 0..u32::from(c.h) {
-                        f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
-                    }
+    for m in units {
+        let my = m / frame.mcus_x;
+        let mx = m % frame.mcus_x;
+        for (slot, sc) in scan.components.iter().enumerate() {
+            let c = &frame.components[sc.comp_index];
+            for by in 0..u32::from(c.v) {
+                for bx in 0..u32::from(c.h) {
+                    f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
                 }
             }
         }
@@ -92,12 +136,16 @@ fn for_each_block(
     Ok(())
 }
 
-fn decode_sequential<D: SymbolDecoder, R: BitSource>(
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — slot indexes the
+// per-scan vectors sized from scan.components; k is guarded <= 63 before
+// ZIGZAG[k]; block_mut returns an 8x8 block so the try_into cannot fail.
+fn decode_sequential<B: BlockStore, D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     tables: &DecodeTables<'_, D>,
     r: &mut R,
+    units: Range<u32>,
 ) -> Result<()> {
     let mut preds = vec![0i32; scan.components.len()];
     // Resolve Huffman tables once per scan, not once per block.
@@ -106,7 +154,7 @@ fn decode_sequential<D: SymbolDecoder, R: BitSource>(
         .iter()
         .map(|sc| Ok((tables.dc_table(sc.dc_table)?, tables.ac_table(sc.ac_table)?)))
         .collect::<Result<_>>()?;
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         let (dctbl, actbl) = comp_tables[slot];
         // Fused symbol + magnitude reads: one peek serves both.
@@ -125,8 +173,29 @@ fn decode_sequential<D: SymbolDecoder, R: BitSource>(
             coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
         block[0] = preds[slot] as i16;
         let mut k = 1usize;
+        // Two coefficients per probe where possible: `decode_pair` pulls a
+        // second symbol+magnitude step from the same 32-bit window iff
+        // `more` proves the loop will immediately need it.
+        let mut pending: Option<(u8, u32)> = None;
         while k < 64 {
-            let (rs, bits) = actbl.decode_then_bits(r, |rs| u32::from(rs & 0x0F))?;
+            let (rs, bits) = match pending.take() {
+                Some(step) => step,
+                None => {
+                    let more = |rs: u8| {
+                        let run = usize::from(rs >> 4);
+                        let size = rs & 0x0F;
+                        if size != 0 {
+                            k + run + 1 < 64
+                        } else {
+                            run == 15 && k + 16 < 64
+                        }
+                    };
+                    let (first, second) =
+                        actbl.decode_pair(r, |rs| u32::from(rs & 0x0F), more)?;
+                    pending = second;
+                    first
+                }
+            };
             let run = usize::from(rs >> 4);
             let size = u32::from(rs & 0x0F);
             if size == 0 {
@@ -143,16 +212,20 @@ fn decode_sequential<D: SymbolDecoder, R: BitSource>(
             block[ZIGZAG[k]] = extend(bits, size) as i16;
             k += 1;
         }
+        debug_assert!(pending.is_none(), "speculative step without a consumer");
         Ok(())
     })
 }
 
-fn decode_dc_first<D: SymbolDecoder, R: BitSource>(
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — slot indexes the
+// per-scan vectors sized from scan.components; DC writes touch index 0 only.
+fn decode_dc_first<B: BlockStore, D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     tables: &DecodeTables<'_, D>,
     r: &mut R,
+    units: Range<u32>,
 ) -> Result<()> {
     let al = u32::from(scan.al);
     let mut preds = vec![0i32; scan.components.len()];
@@ -161,7 +234,7 @@ fn decode_dc_first<D: SymbolDecoder, R: BitSource>(
         .iter()
         .map(|sc| tables.dc_table(sc.dc_table))
         .collect::<Result<_>>()?;
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         let (s_sym, dc_bits) =
             comp_tables[slot].decode_then_bits(r, |s| u32::from(s.min(15)))?;
@@ -180,14 +253,17 @@ fn decode_dc_first<D: SymbolDecoder, R: BitSource>(
     })
 }
 
-fn decode_dc_refine<R: BitSource>(
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — slot < 
+// scan.components.len() by for_each_block; DC writes touch index 0 only.
+fn decode_dc_refine<B: BlockStore, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     r: &mut R,
+    units: Range<u32>,
 ) -> Result<()> {
     let p1 = 1i16 << scan.al;
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         if r.get_bit()? != 0 {
             let block = coeffs.block_mut(frame, sc.comp_index, row, col);
@@ -197,18 +273,30 @@ fn decode_dc_refine<R: BitSource>(
     })
 }
 
-fn decode_ac_first<D: SymbolDecoder, R: BitSource>(
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — AC scans have
+// exactly one component (scan.validate); k is guarded <= se <= 63 before
+// ZIGZAG[k]; block_mut returns an 8x8 block so the try_into cannot fail.
+fn decode_ac_first<B: BlockStore, D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     tables: &DecodeTables<'_, D>,
     r: &mut R,
+    units: Range<u32>,
 ) -> Result<()> {
     let sc = scan.components[0];
     let actbl = tables.ac_table(sc.ac_table)?;
     let al = u32::from(scan.al);
+    let se = scan.se as usize;
+    // Fused read sizing: magnitude bits for a coefficient symbol, EOB
+    // run-length bits otherwise (0 for ZRL).
+    let size_of = |rs: u8| {
+        let size = u32::from(rs & 0x0F);
+        let run = u32::from(rs >> 4);
+        size + (u32::from(size == 0) & u32::from(run != 15)) * run
+    };
     let mut eobrun = 0u32;
-    for_each_block(frame, scan, |_slot, row, col| {
+    for_each_block(frame, scan, units, |_slot, row, col| {
         if eobrun > 0 {
             eobrun -= 1;
             return Ok(());
@@ -216,21 +304,32 @@ fn decode_ac_first<D: SymbolDecoder, R: BitSource>(
         let block: &mut [i16; 64] =
             coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
         let mut k = scan.ss as usize;
-        while k <= scan.se as usize {
-            // One fused read covers the symbol plus either its magnitude
-            // bits (size != 0) or its EOB run-length bits (size == 0).
-            let (rs, bits) = actbl.decode_then_bits(r, |rs| {
-                // Branch-free: magnitude bits for a coefficient symbol,
-                // EOB run-length bits otherwise (0 for ZRL).
-                let size = u32::from(rs & 0x0F);
-                let run = u32::from(rs >> 4);
-                size + (u32::from(size == 0) & u32::from(run != 15)) * run
-            })?;
+        // As in `decode_sequential`: two symbol+bits steps per 32-bit
+        // window when `more` proves the second will be needed.
+        let mut pending: Option<(u8, u32)> = None;
+        while k <= se {
+            let (rs, bits) = match pending.take() {
+                Some(step) => step,
+                None => {
+                    let more = |rs: u8| {
+                        let run = usize::from(rs >> 4);
+                        let size = rs & 0x0F;
+                        if size != 0 {
+                            k + run < se
+                        } else {
+                            run == 15 && k + 16 <= se
+                        }
+                    };
+                    let (first, second) = actbl.decode_pair(r, size_of, more)?;
+                    pending = second;
+                    first
+                }
+            };
             let run = usize::from(rs >> 4);
             let size = u32::from(rs & 0x0F);
             if size != 0 {
                 k += run;
-                if k > scan.se as usize {
+                if k > se {
                     return Err(Error::CorruptData("AC run past band end".into()));
                 }
                 block[ZIGZAG[k]] = (extend(bits, size) << al) as i16;
@@ -243,6 +342,7 @@ fn decode_ac_first<D: SymbolDecoder, R: BitSource>(
                 break;
             }
         }
+        debug_assert!(pending.is_none(), "speculative step without a consumer");
         Ok(())
     })
 }
@@ -257,6 +357,9 @@ fn low_mask(n: usize) -> u64 {
     }
 }
 
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — pos =
+// trailing_zeros of a nonzero u64 is < 64, and ZIGZAG is a 64-entry
+// permutation, so every index is in bounds.
 /// Emits one correction bit (T.81 G.1.2.3) for every position set in
 /// `corr` (ascending zigzag order), batching the bit reads through 16-bit
 /// peeks: one refill check and one consume per batch instead of one per
@@ -289,12 +392,16 @@ fn apply_corrections<R: BitSource>(
     Ok(())
 }
 
-fn decode_ac_refine<D: SymbolDecoder, R: BitSource>(
+// pcr-lint: allow(no-panic-in-hot-path) for-next-item — AC scans have one
+// component; ZIGZAG indices come from band positions k/target <= se <= 63
+// (target > se errors first); block_mut's 8x8 block makes try_into total.
+fn decode_ac_refine<B: BlockStore, D: SymbolDecoder, R: BitSource>(
     frame: &FrameInfo,
-    coeffs: &mut CoeffPlanes,
+    coeffs: &mut B,
     scan: &ScanInfo,
     tables: &DecodeTables<'_, D>,
     r: &mut R,
+    units: Range<u32>,
 ) -> Result<()> {
     let sc = scan.components[0];
     let actbl = tables.ac_table(sc.ac_table)?;
@@ -303,16 +410,19 @@ fn decode_ac_refine<D: SymbolDecoder, R: BitSource>(
     let ss = scan.ss as usize;
     let se = scan.se as usize;
     let mut eobrun = 0u32;
-    for_each_block(frame, scan, |_slot, row, col| {
+    for_each_block(frame, scan, units, |_slot, row, col| {
         let block: &mut [i16; 64] =
             coeffs.block_mut(frame, sc.comp_index, row, col).try_into().expect("8x8 block");
         // Bitmap of already-nonzero band positions (bit k = zigzag index
-        // k), built branchlessly once per block. Insertions only ever
-        // happen behind the advancing cursor, so the snapshot stays valid
-        // for every lookahead this block performs.
+        // k), built once per block from the natural-order SIMD nonzero
+        // mask (8 wide compares) permuted through ZIGZAG — cheaper than
+        // 64 scattered 16-bit loads. Insertions only ever happen behind
+        // the advancing cursor, so the snapshot stays valid for every
+        // lookahead this block performs.
+        let natural = crate::simd::nonzero_mask64(block);
         let mut nz = 0u64;
-        for k in ss..=se {
-            nz |= u64::from(block[ZIGZAG[k]] != 0) << k;
+        for (k, &z) in ZIGZAG.iter().enumerate().take(se + 1).skip(ss) {
+            nz |= ((natural >> z) & 1) << k;
         }
         let mut k = ss;
         if eobrun == 0 {
@@ -379,7 +489,7 @@ mod tests {
     use super::*;
     use crate::bitio::{BitReader, BitWriter};
     use crate::entropy::{encode_scan, StatsSink, WriteSink};
-    use crate::frame::{ScanComponent, Subsampling};
+    use crate::frame::{CoeffPlanes, ScanComponent, Subsampling};
     use crate::huffman::{gen_optimal_table, HuffDecoder, HuffEncoder};
 
     /// Runs encode(stats)->tables->encode(write)->decode for one scan and

@@ -2,7 +2,7 @@
 
 use crate::bitio::BitWriter;
 use crate::consts::*;
-use crate::entropy::{encode_scan, EntropySink, StatsSink, WriteSink};
+use crate::entropy::{encode_scan, encode_scan_restart, EntropySink, StatsSink, WriteSink};
 use crate::error::Result;
 use crate::frame::{CoeffPlanes, FrameInfo, ScanComponent, ScanInfo, Subsampling};
 use crate::huffman::{gen_optimal_table, HuffEncoder, HuffTable};
@@ -22,6 +22,12 @@ pub struct EncodeConfig {
     /// Use per-scan optimized Huffman tables. Always effectively true for
     /// progressive output (as with `jpegtran`); selectable for baseline.
     pub optimize_huffman: bool,
+    /// Requested restart interval in MCU units (0 = no restart markers).
+    /// The encoder rounds it *up* per scan to a whole number of MCU rows
+    /// (see [`scan_restart_interval`]) so every restart segment covers a
+    /// disjoint band of block rows — the alignment the segment-parallel
+    /// decoder exploits.
+    pub restart_interval: u16,
 }
 
 impl Default for EncodeConfig {
@@ -31,6 +37,7 @@ impl Default for EncodeConfig {
             subsampling: Subsampling::S420,
             progressive: false,
             optimize_huffman: false,
+            restart_interval: 0,
         }
     }
 }
@@ -45,6 +52,30 @@ impl EncodeConfig {
     pub fn progressive(quality: u8) -> Self {
         Self { quality, progressive: true, optimize_huffman: true, ..Self::default() }
     }
+
+    /// Same config with the given requested restart interval.
+    pub fn with_restart_interval(self, interval: u16) -> Self {
+        Self { restart_interval: interval, ..self }
+    }
+}
+
+/// The effective restart interval for one scan: the requested interval
+/// rounded up to a whole number of MCU rows (`blocks_w` of the scanned
+/// component for non-interleaved scans, `mcus_x` for interleaved ones),
+/// clamped to the largest row multiple a DRI field can hold. Returns 0
+/// iff `requested` is 0.
+pub fn scan_restart_interval(frame: &FrameInfo, scan: &ScanInfo, requested: u16) -> u16 {
+    if requested == 0 {
+        return 0;
+    }
+    let row = if scan.components.len() == 1 {
+        frame.components[scan.components[0].comp_index].blocks_w
+    } else {
+        frame.mcus_x
+    };
+    let rounded = u32::from(requested).div_ceil(row) * row;
+    let max_fit = (u32::from(u16::MAX) / row) * row;
+    rounded.min(max_fit) as u16
 }
 
 /// The libjpeg default progressive scan script for YCbCr images
@@ -129,7 +160,14 @@ pub fn encode(img: &ImageBuf, config: &EncodeConfig) -> Result<Vec<u8>> {
     let qtables = qtables_for(config, frame.components.len());
     let planes = image_to_planes(img, &frame)?;
     let coeffs = planes_to_coeffs(&planes, &frame, &qtables)?;
-    encode_from_coeffs(&frame, &coeffs, &qtables, config.optimize_huffman, None)
+    encode_from_coeffs_restart(
+        &frame,
+        &coeffs,
+        &qtables,
+        config.optimize_huffman,
+        None,
+        config.restart_interval,
+    )
 }
 
 /// Encodes a complete JPEG stream from already-quantized coefficients.
@@ -144,6 +182,22 @@ pub fn encode_from_coeffs(
     qtables: &QTables,
     optimize_huffman: bool,
     script: Option<Vec<ScanInfo>>,
+) -> Result<Vec<u8>> {
+    encode_from_coeffs_restart(frame, coeffs, qtables, optimize_huffman, script, 0)
+}
+
+/// [`encode_from_coeffs`] with restart markers: each scan is split into
+/// restart segments of [`scan_restart_interval`] MCU units, with a DRI
+/// segment written ahead of any scan whose effective interval differs
+/// from the previous one. `restart_interval == 0` is byte-identical to
+/// [`encode_from_coeffs`].
+pub fn encode_from_coeffs_restart(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    qtables: &QTables,
+    optimize_huffman: bool,
+    script: Option<Vec<ScanInfo>>,
+    restart_interval: u16,
 ) -> Result<Vec<u8>> {
     let mut out = Vec::new();
     out.extend_from_slice(&[0xFF, SOI]);
@@ -177,10 +231,12 @@ pub fn encode_from_coeffs(
         }
     }
 
+    let mut last_dri: u16 = 0;
     for scan in &scans {
+        let interval = scan_restart_interval(frame, scan, restart_interval);
         let (dc_tables, ac_tables) = if use_optimized {
             let mut stats = StatsSink::new();
-            encode_scan(frame, coeffs, scan, &mut stats)?;
+            encode_scan_restart(frame, coeffs, scan, &mut stats, u32::from(interval))?;
             let mut dc: [Option<HuffTable>; 4] = [None, None, None, None];
             let mut ac: [Option<HuffTable>; 4] = [None, None, None, None];
             for t in 0..4u8 {
@@ -218,6 +274,10 @@ pub fn encode_from_coeffs(
             (std_dc, std_ac)
         };
 
+        if interval != last_dri {
+            marker::write_dri(&mut out, interval);
+            last_dri = interval;
+        }
         marker::write_sos(&mut out, frame, scan);
 
         let mut writer = BitWriter::new();
@@ -240,7 +300,7 @@ pub fn encode_from_coeffs(
                     mk(&ac_tables[3])?,
                 ],
             };
-            encode_scan(frame, coeffs, scan, &mut sink)?;
+            encode_scan_restart(frame, coeffs, scan, &mut sink, u32::from(interval))?;
         }
         out.extend_from_slice(&writer.finish());
     }

@@ -11,8 +11,10 @@
 //! implicit.
 
 use crate::bitio::bit_size;
+use crate::dentropy::mcu_units;
 use crate::error::{Error, Result};
 use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
+use std::ops::Range;
 
 /// Receives Huffman symbols and raw bits during scan encoding.
 pub trait EntropySink {
@@ -22,6 +24,12 @@ pub trait EntropySink {
     fn ac_symbol(&mut self, table: u8, sym: u8);
     /// `n` raw bits (magnitude/sign/correction bits).
     fn bits(&mut self, value: u32, n: u32);
+    /// A restart boundary: `RSTn` where `n` cycles 0..8. Statistic sinks
+    /// ignore this (the marker codes no symbols); byte sinks must pad to
+    /// a byte boundary and emit the marker.
+    fn restart(&mut self, n: u8) {
+        let _ = n;
+    }
 }
 
 /// Counts symbol frequencies per table; used to build optimal tables.
@@ -92,6 +100,9 @@ impl EntropySink for WriteSink<'_> {
     fn bits(&mut self, value: u32, n: u32) {
         self.writer.put_bits(value, n);
     }
+    fn restart(&mut self, n: u8) {
+        self.writer.restart(n);
+    }
 }
 
 /// Magnitude coding: returns `(bit pattern, nbits)` for a signed value, with
@@ -103,55 +114,105 @@ fn magnitude(v: i32) -> (u32, u32) {
     (pattern & ((1u32 << n) - 1), n)
 }
 
-/// Encodes one full scan's entropy data into `sink`.
+/// Encodes one full scan's entropy data into `sink` with no restarts.
 pub fn encode_scan(
     frame: &FrameInfo,
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
 ) -> Result<()> {
+    encode_scan_restart(frame, coeffs, scan, sink, 0)
+}
+
+/// Encodes one scan's entropy data into `sink`, emitting an `RSTn`
+/// boundary every `interval` MCU units (0 disables restarts).
+///
+/// Per T.81 each restart fully resets the entropy state: DC predictors,
+/// the end-of-band run, and buffered correction bits are flushed at the
+/// boundary and start fresh in the next segment. Both the statistics and
+/// byte sinks see the same segmented traversal, so optimized Huffman
+/// tables account for the extra flush symbols restarts introduce.
+pub fn encode_scan_restart(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+    interval: u32,
+) -> Result<()> {
     scan.validate(frame)?;
+    let total = mcu_units(frame, scan);
+    if interval == 0 || interval >= total {
+        return encode_scan_units(frame, coeffs, scan, sink, 0..total);
+    }
+    let nseg = total.div_ceil(interval);
+    for seg in 0..nseg {
+        let start = seg * interval;
+        let end = (start + interval).min(total);
+        encode_scan_units(frame, coeffs, scan, sink, start..end)?;
+        if seg + 1 < nseg {
+            sink.restart((seg % 8) as u8);
+        }
+    }
+    Ok(())
+}
+
+/// Encodes one restart segment (a contiguous MCU-unit range) with fresh
+/// entropy state.
+fn encode_scan_units(
+    frame: &FrameInfo,
+    coeffs: &CoeffPlanes,
+    scan: &ScanInfo,
+    sink: &mut dyn EntropySink,
+    units: Range<u32>,
+) -> Result<()> {
     if !frame.progressive {
-        return encode_sequential(frame, coeffs, scan, sink);
+        return encode_sequential(frame, coeffs, scan, sink, units);
     }
     if scan.is_dc() {
         if scan.is_refinement() {
-            encode_dc_refine(frame, coeffs, scan, sink)
+            encode_dc_refine(frame, coeffs, scan, sink, units)
         } else {
-            encode_dc_first(frame, coeffs, scan, sink)
+            encode_dc_first(frame, coeffs, scan, sink, units)
         }
     } else if scan.is_refinement() {
-        encode_ac_refine(frame, coeffs, scan, sink)
+        encode_ac_refine(frame, coeffs, scan, sink, units)
     } else {
-        encode_ac_first(frame, coeffs, scan, sink)
+        encode_ac_first(frame, coeffs, scan, sink, units)
     }
 }
 
-/// Iterates the blocks of an interleaved scan in MCU order, or the blocks of
-/// a single-component scan in row-major order, calling `f(comp_slot, row,
-/// col)` where `comp_slot` indexes `scan.components`.
+/// Iterates the blocks of MCU units `units` — interleaved scans in MCU
+/// order, single-component scans in row-major block order — calling
+/// `f(comp_slot, row, col)` where `comp_slot` indexes `scan.components`.
 fn for_each_block(
     frame: &FrameInfo,
     scan: &ScanInfo,
+    units: Range<u32>,
     mut f: impl FnMut(usize, u32, u32) -> Result<()>,
 ) -> Result<()> {
     if scan.components.len() == 1 {
         let c = &frame.components[scan.components[0].comp_index];
-        for row in 0..c.blocks_h {
-            for col in 0..c.blocks_w {
-                f(0, row, col)?;
+        let bw = c.blocks_w;
+        let mut row = units.start / bw;
+        let mut col = units.start % bw;
+        for _ in units {
+            f(0, row, col)?;
+            col += 1;
+            if col == bw {
+                col = 0;
+                row += 1;
             }
         }
         return Ok(());
     }
-    for my in 0..frame.mcus_y {
-        for mx in 0..frame.mcus_x {
-            for (slot, sc) in scan.components.iter().enumerate() {
-                let c = &frame.components[sc.comp_index];
-                for by in 0..u32::from(c.v) {
-                    for bx in 0..u32::from(c.h) {
-                        f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
-                    }
+    for m in units {
+        let my = m / frame.mcus_x;
+        let mx = m % frame.mcus_x;
+        for (slot, sc) in scan.components.iter().enumerate() {
+            let c = &frame.components[sc.comp_index];
+            for by in 0..u32::from(c.v) {
+                for bx in 0..u32::from(c.h) {
+                    f(slot, my * u32::from(c.v) + by, mx * u32::from(c.h) + bx)?;
                 }
             }
         }
@@ -164,9 +225,10 @@ fn encode_sequential(
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
+    units: Range<u32>,
 ) -> Result<()> {
     let mut preds = vec![0i32; scan.components.len()];
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         let block = coeffs.block(frame, sc.comp_index, row, col);
         // DC
@@ -208,10 +270,11 @@ fn encode_dc_first(
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
+    units: Range<u32>,
 ) -> Result<()> {
     let al = u32::from(scan.al);
     let mut preds = vec![0i32; scan.components.len()];
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         let dc = i32::from(coeffs.block(frame, sc.comp_index, row, col)[0]) >> al;
         let diff = dc - preds[slot];
@@ -228,9 +291,10 @@ fn encode_dc_refine(
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
+    units: Range<u32>,
 ) -> Result<()> {
     let al = u32::from(scan.al);
-    for_each_block(frame, scan, |slot, row, col| {
+    for_each_block(frame, scan, units, |slot, row, col| {
         let sc = scan.components[slot];
         let dc = i32::from(coeffs.block(frame, sc.comp_index, row, col)[0]);
         sink.bits(((dc >> al) & 1) as u32, 1);
@@ -272,11 +336,12 @@ fn encode_ac_first(
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
+    units: Range<u32>,
 ) -> Result<()> {
     let sc = scan.components[0];
     let al = u32::from(scan.al);
     let mut st = AcState { eobrun: 0, pending: Vec::new(), table: sc.ac_table };
-    for_each_block(frame, scan, |_slot, row, col| {
+    for_each_block(frame, scan, units, |_slot, row, col| {
         let block = coeffs.block(frame, sc.comp_index, row, col);
         let mut r = 0u32;
         for k in scan.ss as usize..=scan.se as usize {
@@ -322,11 +387,12 @@ fn encode_ac_refine(
     coeffs: &CoeffPlanes,
     scan: &ScanInfo,
     sink: &mut dyn EntropySink,
+    units: Range<u32>,
 ) -> Result<()> {
     let sc = scan.components[0];
     let al = u32::from(scan.al);
     let mut st = AcState { eobrun: 0, pending: Vec::new(), table: sc.ac_table };
-    for_each_block(frame, scan, |_slot, row, col| {
+    for_each_block(frame, scan, units, |_slot, row, col| {
         let block = coeffs.block(frame, sc.comp_index, row, col);
         // Pass 1: point-transformed absolute values and the EOB position
         // (index of the last coefficient that becomes newly nonzero).
@@ -495,7 +561,8 @@ mod tests {
             al: 0,
         };
         let mut count = [0usize; 3];
-        for_each_block(&frame, &scan, |slot, _r, _c| {
+        let total = mcu_units(&frame, &scan);
+        for_each_block(&frame, &scan, 0..total, |slot, _r, _c| {
             count[slot] += 1;
             Ok(())
         })

@@ -57,24 +57,32 @@ fn test_image(w: u32, h: u32, channels: u8, kind: u32) -> ImageBuf {
 /// color, low through maximum quality, MCU-unaligned geometries.
 fn corpus() -> Vec<(String, Vec<u8>)> {
     let mut streams = Vec::new();
-    let cases: &[(u32, u32, u8, Subsampling, u8, bool)] = &[
-        (48, 32, 3, Subsampling::S420, 85, true),
-        (41, 23, 3, Subsampling::S444, 100, true),
-        (64, 64, 3, Subsampling::S420, 100, true),
-        (33, 57, 1, Subsampling::S444, 92, true),
-        (40, 40, 3, Subsampling::S420, 60, true),
-        (48, 32, 3, Subsampling::S420, 90, false),
-        (17, 9, 1, Subsampling::S444, 100, false),
+    let cases: &[(u32, u32, u8, Subsampling, u8, bool, u16)] = &[
+        (48, 32, 3, Subsampling::S420, 85, true, 0),
+        (41, 23, 3, Subsampling::S444, 100, true, 0),
+        (64, 64, 3, Subsampling::S420, 100, true, 0),
+        (33, 57, 1, Subsampling::S444, 92, true, 0),
+        (40, 40, 3, Subsampling::S420, 60, true, 0),
+        (48, 32, 3, Subsampling::S420, 90, false, 0),
+        (17, 9, 1, Subsampling::S444, 100, false, 0),
+        // Restart-marker streams: scan-group-aligned entropy segments.
+        (48, 32, 3, Subsampling::S420, 85, true, 1),
+        (33, 57, 1, Subsampling::S444, 92, true, 5),
+        (48, 32, 3, Subsampling::S420, 90, false, 2),
     ];
-    for (i, &(w, h, ch, sub, q, progressive)) in cases.iter().enumerate() {
+    for (i, &(w, h, ch, sub, q, progressive, restart)) in cases.iter().enumerate() {
         let img = test_image(w, h, ch, i as u32);
         let cfg = EncodeConfig {
             quality: q,
             subsampling: sub,
             progressive,
             optimize_huffman: progressive,
+            restart_interval: restart,
         };
-        let name = format!("{w}x{h} ch{ch} q{q} {}", if progressive { "prog" } else { "base" });
+        let name = format!(
+            "{w}x{h} ch{ch} q{q} {} rst{restart}",
+            if progressive { "prog" } else { "base" }
+        );
         streams.push((name, encode(&img, &cfg).unwrap()));
     }
     streams
@@ -131,6 +139,117 @@ fn coefficients_match_reference_exactly() {
         let fast = crate::decoder::decode_coeffs(&prefix).unwrap();
         let oracle = reference::reference_decode_coeffs(&prefix).unwrap();
         assert_eq!(fast.coeffs, oracle.coeffs, "coefficients at scans 1..={n}");
+    }
+}
+
+/// Restart markers change the entropy *framing*, never the pixels: an
+/// image encoded with restart intervals decodes byte-identically to the
+/// marker-less encode, and the stream really does carry DRI + RSTn.
+#[test]
+fn restart_encode_decodes_identically_to_markerless() {
+    use crate::consts::{DRI, RST0};
+    for &(w, h, ch, progressive, interval) in
+        &[(48u32, 32u32, 3u8, true, 1u16), (33, 57, 1, true, 3), (40, 40, 3, false, 2)]
+    {
+        let img = test_image(w, h, ch, w + h);
+        let base_cfg = EncodeConfig {
+            quality: 90,
+            subsampling: Subsampling::S420,
+            progressive,
+            optimize_huffman: progressive,
+            restart_interval: 0,
+        };
+        let plain = encode(&img, &base_cfg).unwrap();
+        let marked = encode(&img, &base_cfg.with_restart_interval(interval)).unwrap();
+        assert!(
+            marked.windows(4).any(|s| s[0] == 0xFF && s[1] == DRI),
+            "{w}x{h}: no DRI segment"
+        );
+        assert!(
+            marked.windows(2).any(|s| s[0] == 0xFF && (RST0..=RST0 + 7).contains(&s[1])),
+            "{w}x{h}: no RSTn marker"
+        );
+        let plain_px = decode(&plain).unwrap();
+        let marked_px = decode(&marked).unwrap();
+        assert_eq!(plain_px.data(), marked_px.data(), "{w}x{h} restart {interval}");
+        let oracle = reference::reference_decode(&marked).unwrap();
+        assert_eq!(marked_px.data(), oracle.data(), "{w}x{h} fast vs reference");
+    }
+}
+
+/// Segment-parallel decode is invariant in the worker count: 1, 2, and 4
+/// workers produce identical coefficients and pixels on restart streams.
+#[test]
+fn restart_parallel_workers_match_sequential() {
+    use crate::decoder::{decode_coeffs_workers, decode_with_workers, DecodeScratch};
+    let img = test_image(64, 48, 1, 11);
+    let cfg = EncodeConfig {
+        quality: 92,
+        subsampling: Subsampling::S444,
+        progressive: true,
+        optimize_huffman: true,
+        restart_interval: 1,
+    };
+    let stream = encode(&img, &cfg).unwrap();
+    let baseline = crate::decoder::decode_coeffs(&stream).unwrap();
+    for workers in [1usize, 2, 4] {
+        let parallel = decode_coeffs_workers(&stream, &mut Vec::new(), workers).unwrap();
+        assert_eq!(baseline.coeffs, parallel.coeffs, "{workers} workers");
+        let px = decode_with_workers(&stream, &mut DecodeScratch::default(), workers).unwrap();
+        assert_eq!(decode(&stream).unwrap().data(), px.data(), "{workers} workers pixels");
+    }
+}
+
+/// Truncating a restart stream at every scan-group level keeps the two
+/// stacks byte-identical — the restart parser degrades exactly like the
+/// marker-less one.
+#[test]
+fn restart_streams_match_reference_at_every_truncation_level() {
+    let img = test_image(48, 40, 3, 3);
+    let cfg = EncodeConfig {
+        quality: 88,
+        subsampling: Subsampling::S420,
+        progressive: true,
+        optimize_huffman: true,
+        restart_interval: 2,
+    };
+    let stream = encode(&img, &cfg).unwrap();
+    let layout = split_scans(&stream).unwrap();
+    for n in 1..=layout.num_scans() {
+        let prefix = assemble_prefix(&stream, &layout, n).unwrap();
+        let fast = decode(&prefix).unwrap();
+        let oracle = reference::reference_decode(&prefix).unwrap();
+        assert_eq!(fast.data(), oracle.data(), "restart stream, scans 1..={n}");
+    }
+}
+
+/// A stream whose restart interval *changes between scans* (per-scan
+/// MCU-row rounding) stays self-contained through `split_scans` +
+/// `assemble_prefix`: every chunk carries its DRI, so every prefix
+/// decodes with the right interval — pinned by full-prefix identity.
+#[test]
+fn scan_chunks_carry_their_restart_intervals() {
+    let img = test_image(48, 40, 3, 3);
+    let cfg = EncodeConfig {
+        quality: 88,
+        subsampling: Subsampling::S420,
+        progressive: true,
+        optimize_huffman: true,
+        restart_interval: 2,
+    };
+    let stream = encode(&img, &cfg).unwrap();
+    // Interval differs between luma and chroma scans, so DRI appears
+    // mid-stream, between scan chunks — the case a naive splitter drops.
+    let dri_count = stream.windows(2).filter(|w| w == &[0xFF, 0xDD]).count();
+    assert!(dri_count > 1, "expected several DRI segments, got {dri_count}");
+    let layout = split_scans(&stream).unwrap();
+    let full = assemble_prefix(&stream, &layout, layout.num_scans()).unwrap();
+    assert_eq!(full, stream, "full prefix must reassemble the exact stream");
+    // Chunks tile the region between header and EOI with no gaps.
+    let mut pos = layout.header_len;
+    for &(s, e) in &layout.scans {
+        assert_eq!(s, pos, "chunk start leaves a gap (dropped segment)");
+        pos = e;
     }
 }
 
@@ -305,6 +424,106 @@ proptest! {
             }
         }
         prop_assert_eq!(fast.marker(), oracle.marker());
+    }
+
+    /// Restart splitters: the word-at-a-time scanner and the per-byte
+    /// oracle carve identical segment boundaries out of adversarial
+    /// buffers dense with stuffing, RSTn markers, and trailing 0xFFs.
+    #[test]
+    fn restart_splitter_matches_reference_on_random_buffers(
+        body in proptest::collection::vec(any::<u8>(), 0..300),
+        seed in any::<u32>(),
+    ) {
+        // Re-stuff, then splice RSTn markers (and sometimes a real
+        // marker) at random positions so both kinds of 0xFF pairs occur.
+        let mut data = Vec::with_capacity(body.len() * 2 + 8);
+        let mut s = seed | 1;
+        for &b in &body {
+            data.push(b);
+            if b == 0xFF {
+                data.push(0x00);
+            }
+            s = s.wrapping_mul(1664525).wrapping_add(1013904223);
+            match s % 23 {
+                0..=2 => data.extend_from_slice(&[0xFF, 0xD0 | ((s >> 8) % 8) as u8]),
+                3 => data.extend_from_slice(&[0xFF, 0xD9]),
+                _ => {}
+            }
+        }
+        if seed.is_multiple_of(5) {
+            data.push(0xFF); // lone trailing 0xFF
+        }
+        prop_assert_eq!(
+            crate::bitio::split_restart_segments(&data),
+            reference::reference_split_segments(&data)
+        );
+    }
+
+    /// Restart streams over random geometry / interval / mode decode
+    /// byte-identically through both stacks at a random scan prefix.
+    #[test]
+    fn random_restart_streams_decode_identically(
+        w in 9u32..70,
+        h in 9u32..70,
+        kind in any::<u32>(),
+        interval in 1u16..9,
+        gray in any::<bool>(),
+    ) {
+        let img = test_image(w, h, if gray { 1 } else { 3 }, kind);
+        let cfg = EncodeConfig {
+            quality: 60 + (kind % 41) as u8,
+            subsampling: if kind.is_multiple_of(2) { Subsampling::S420 } else { Subsampling::S444 },
+            progressive: !kind.is_multiple_of(4),
+            optimize_huffman: !kind.is_multiple_of(4),
+            restart_interval: interval,
+        };
+        let stream = encode(&img, &cfg).unwrap();
+        let layout = split_scans(&stream).unwrap();
+        let n = (kind as usize % layout.num_scans()) + 1;
+        let prefix = assemble_prefix(&stream, &layout, n).unwrap();
+        let fast = decode(&prefix).unwrap();
+        let oracle = reference::reference_decode(&prefix).unwrap();
+        prop_assert_eq!(fast.data(), oracle.data());
+        // And the segment-parallel path agrees with the sequential one.
+        let seq = crate::decoder::decode_coeffs(&prefix).unwrap();
+        let par = crate::decoder::decode_coeffs_workers(&prefix, &mut Vec::new(), 4).unwrap();
+        prop_assert_eq!(seq.coeffs, par.coeffs);
+    }
+
+    /// Corruption: flipping a single bit inside a restart stream's
+    /// entropy data never panics and never diverges — both stacks
+    /// produce byte-identical pixels, or both report an error.
+    #[test]
+    fn bit_flipped_restart_streams_never_diverge(
+        kind in any::<u32>(),
+        flip_seed in any::<u32>(),
+        interval in 1u16..5,
+    ) {
+        let img = test_image(40, 33, 3, kind);
+        let cfg = EncodeConfig {
+            quality: 85,
+            subsampling: Subsampling::S420,
+            progressive: true,
+            optimize_huffman: true,
+            restart_interval: interval,
+        };
+        let mut stream = encode(&img, &cfg).unwrap();
+        // Flip one bit somewhere after the first SOS so the corruption
+        // lands in (or frames) entropy-coded data.
+        let sos = stream
+            .windows(2)
+            .position(|s| s == [0xFF, 0xDA])
+            .expect("stream has a scan");
+        let lo = sos + 2;
+        let pos = lo + (flip_seed as usize) % (stream.len() - lo);
+        stream[pos] ^= 1 << (flip_seed >> 29);
+        let fast = decode(&stream);
+        let oracle = reference::reference_decode(&stream);
+        match (fast, oracle) {
+            (Ok(f), Ok(o)) => prop_assert_eq!(f.data(), o.data(), "flip at {}", pos),
+            (Err(_), Err(_)) => {}
+            (f, o) => panic!("divergent outcome, flip at {pos}: fast={f:?} oracle={o:?}"),
+        }
     }
 
     /// End to end on random images: full fast decode equals full

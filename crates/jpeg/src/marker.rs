@@ -41,6 +41,12 @@ pub fn write_dht(out: &mut Vec<u8>, class: u8, table_id: u8, table: &HuffTable) 
     write_segment(out, DHT, &payload);
 }
 
+/// Writes a DRI (define restart interval) segment. `interval` is in MCU
+/// units; 0 disables restarts for subsequent scans.
+pub fn write_dri(out: &mut Vec<u8>, interval: u16) {
+    write_segment(out, DRI, &interval.to_be_bytes());
+}
+
 /// Writes the SOF0/SOF2 frame header.
 pub fn write_sof(out: &mut Vec<u8>, frame: &FrameInfo) {
     let marker = if frame.progressive { SOF2 } else { SOF0 };

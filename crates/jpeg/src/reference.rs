@@ -23,7 +23,7 @@
 use crate::bitio::BitSource;
 use crate::consts::*;
 use crate::decoder::DecodedCoeffs;
-use crate::dentropy::{decode_scan, DecodeTables};
+use crate::dentropy::{decode_scan_range, mcu_units, DecodeTables};
 use crate::error::{Error, Result};
 use crate::frame::{CoeffPlanes, FrameInfo, ScanInfo};
 use crate::huffman::{HuffTable, SymbolDecoder};
@@ -274,10 +274,43 @@ impl BlockIdct for ReferenceBlockIdct {
     }
 }
 
+/// Naive byte-at-a-time restart-segment splitter: walks the entropy
+/// bytes one by one, treating `FF 00` as stuffing and `FF D0..=D7` as a
+/// segment boundary, stopping at any other marker. The oracle the
+/// word-at-a-time [`crate::bitio::split_restart_segments`] is tested
+/// against.
+pub(crate) fn reference_split_segments(data: &[u8]) -> Vec<(usize, usize)> {
+    let mut ranges = Vec::new();
+    let mut start = 0usize;
+    let mut i = 0usize;
+    while i < data.len() {
+        if data[i] != 0xFF {
+            i += 1;
+            continue;
+        }
+        match data.get(i + 1) {
+            Some(0x00) => i += 2, // stuffed 0xFF is entropy data
+            Some(&m) if (RST0..=RST0 + 7).contains(&m) => {
+                ranges.push((start, i));
+                i += 2;
+                start = i;
+            }
+            Some(_) => {
+                // A real (non-restart) marker terminates the entropy data.
+                ranges.push((start, i));
+                return ranges;
+            }
+            None => break, // lone trailing 0xFF belongs to the last segment
+        }
+    }
+    ranges.push((start, data.len()));
+    ranges
+}
+
 /// Decodes a stream to coefficients through the reference entropy stack:
 /// per-byte reader + canonical Huffman decoder, driving the *shared* scan
 /// logic in `dentropy`. Mirrors `decoder::decode_coeffs` segment by
-/// segment.
+/// segment, including per-restart-segment state resets.
 pub(crate) fn reference_decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
     let mut reader = SegmentReader::new(data);
     match reader.next_segment()? {
@@ -291,6 +324,7 @@ pub(crate) fn reference_decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
     let mut coeffs: Option<CoeffPlanes> = None;
     let mut scans: Vec<ScanInfo> = Vec::new();
     let mut saw_eoi = false;
+    let mut restart_interval: u16 = 0;
 
     loop {
         let seg = match reader.next_segment() {
@@ -328,6 +362,12 @@ pub(crate) fn reference_decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
                     coeffs = Some(CoeffPlanes::new(&f));
                     frame = Some(f);
                 }
+                DRI => {
+                    if payload.len() != 2 {
+                        return Err(Error::BadSegmentLength { marker: DRI });
+                    }
+                    restart_interval = u16::from_be_bytes([payload[0], payload[1]]);
+                }
                 _ => {}
             },
             Segment::Sos { payload, entropy_start } => {
@@ -337,9 +377,24 @@ pub(crate) fn reference_decode_coeffs(data: &[u8]) -> Result<DecodedCoeffs> {
                 let scan = marker::parse_sos(payload, f)?;
                 let (_, entropy_end) = reader.skip_entropy();
                 let entropy = &data[entropy_start..entropy_end];
-                let mut bits = ReferenceBitReader::new(entropy);
                 let tables = DecodeTables { dc: &dc_tables, ac: &ac_tables };
-                decode_scan(f, coeffs.as_mut().expect("coeffs with frame"), &scan, &tables, &mut bits)?;
+                let planes = coeffs.as_mut().expect("coeffs with frame");
+                let total = mcu_units(f, &scan);
+                let interval = u32::from(restart_interval);
+                if interval == 0 || interval >= total {
+                    let mut bits = ReferenceBitReader::new(entropy);
+                    decode_scan_range(f, planes, &scan, &tables, &mut bits, 0..total)?;
+                } else {
+                    let ranges = reference_split_segments(entropy);
+                    let expected = total.div_ceil(interval) as usize;
+                    let nseg = ranges.len().min(expected);
+                    for (seg, &(s, e)) in ranges[..nseg].iter().enumerate() {
+                        let start = seg as u32 * interval;
+                        let units = start..(start + interval).min(total);
+                        let mut bits = ReferenceBitReader::new(&entropy[s..e]);
+                        decode_scan_range(f, planes, &scan, &tables, &mut bits, units)?;
+                    }
+                }
                 scans.push(scan);
             }
         }

@@ -75,8 +75,10 @@ pub fn split_scans(data: &[u8]) -> Result<ScanLayout> {
             }
             Segment::Marker { marker, .. } => {
                 match marker {
-                    crate::consts::DHT if saw_frame => {
-                        // Per-scan table: belongs to the upcoming scan chunk.
+                    crate::consts::DHT | crate::consts::DRI if saw_frame => {
+                        // Per-scan table or restart-interval change: belongs
+                        // to the upcoming scan chunk, so prefixes stay
+                        // self-contained.
                         pending_start.get_or_insert(seg_start);
                     }
                     crate::consts::SOF0 | crate::consts::SOF1 | crate::consts::SOF2 => {

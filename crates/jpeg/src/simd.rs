@@ -1,0 +1,388 @@
+//! Compile-time-dispatched SIMD kernels for the decode hot path, with
+//! scalar fallbacks.
+//!
+//! On `x86_64` these use the SSE2 subset of `core::arch` through
+//! `#[target_feature(enable = "sse2")]` functions (value-based
+//! intrinsics only, so the kernel bodies are entirely safe code). The
+//! crate-level `deny(unsafe_code)` is relaxed only on the five dispatch
+//! wrappers below: each carries a one-line `unsafe` call whose sole
+//! precondition — SSE2 being present — is a baseline guarantee of the
+//! x86_64 target, documented with a `// SAFETY:` comment the
+//! static-analysis pass checks for. Every kernel is required to be
+//! *bit-identical* to its scalar fallback: the f64 lane operations are
+//! IEEE-754 adds/subs/muls in the same order as the scalar code, and
+//! the integer kernels reproduce the exact fixed-point arithmetic of
+//! [`crate::image`]. The tests in this module and the crate's exactness
+//! suite enforce that equivalence, which is what lets the differential
+//! fast-vs-reference decoder contract survive the SIMD dispatch.
+//!
+//! Kernels:
+//! * [`add8`]/[`sub8`]/[`scale8`] — whole-`[f64; 8]` vector ops backing
+//!   the AAN inverse-DCT column pass in [`crate::dct`];
+//! * [`nonzero_mask64`] — natural-order nonzero bitmap of a coefficient
+//!   block (AC-refinement correction planning in [`crate::dentropy`]);
+//! * [`ycbcr_to_rgb_quad`] — four pixels of BT.601 fixed-point color
+//!   conversion for [`crate::sample`]'s row assembly.
+
+// pcr-lint: allow(no-panic-in-hot-path) — scalar fallback indexes [f64; 8] with i from core::array::from_fn, always < 8 for-next-item
+/// Lane-wise `a + b` over an `[f64; 8]` (one IDCT column-state vector).
+/// Bit-identical to scalar `+` in every lane (IEEE-754 addition).
+#[inline]
+#[allow(unsafe_code)]
+pub fn add8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: sse2 is a baseline feature of every x86_64 target.
+        unsafe { sse2::add8(a, b) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        core::array::from_fn(|i| a[i] + b[i])
+    }
+}
+
+// pcr-lint: allow(no-panic-in-hot-path) — scalar fallback indexes [f64; 8] with i from core::array::from_fn, always < 8 for-next-item
+/// Lane-wise `a - b` over an `[f64; 8]`. Bit-identical to scalar `-`.
+#[inline]
+#[allow(unsafe_code)]
+pub fn sub8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: sse2 is a baseline feature of every x86_64 target.
+        unsafe { sse2::sub8(a, b) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        core::array::from_fn(|i| a[i] - b[i])
+    }
+}
+
+// pcr-lint: allow(no-panic-in-hot-path) — scalar fallback indexes [f64; 8] with i from core::array::from_fn, always < 8 for-next-item
+/// Lane-wise `a * s` over an `[f64; 8]`. Bit-identical to scalar `*`.
+#[inline]
+#[allow(unsafe_code)]
+pub fn scale8(a: &[f64; 8], s: f64) -> [f64; 8] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: sse2 is a baseline feature of every x86_64 target.
+        unsafe { sse2::scale8(a, s) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        core::array::from_fn(|i| a[i] * s)
+    }
+}
+
+/// Natural-order nonzero bitmap of a coefficient block: bit `i` is set
+/// iff `block[i] != 0`. Eight wide compares + packs replace 64 scalar
+/// load-compare-shift steps.
+#[inline]
+#[allow(unsafe_code)]
+pub fn nonzero_mask64(block: &[i16; 64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: sse2 is a baseline feature of every x86_64 target.
+        unsafe { sse2::nonzero_mask64(block) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let mut mask = 0u64;
+        for (i, &v) in block.iter().enumerate() {
+            mask |= u64::from(v != 0) << i;
+        }
+        mask
+    }
+}
+
+// pcr-lint: allow(no-panic-in-hot-path) — scalar fallback indexes three [u8; 4] arrays with i from core::array::from_fn, always < 4 for-next-item
+/// Converts four YCbCr pixels to interleaved RGB, bit-identical to four
+/// calls of [`crate::image::ycbcr_to_rgb`] (which evaluates the same
+/// 16.16 fixed-point products through per-channel lookup tables).
+#[inline]
+#[allow(unsafe_code)]
+pub fn ycbcr_to_rgb_quad(y: [u8; 4], cb: [u8; 4], cr: [u8; 4]) -> [[u8; 3]; 4] {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: sse2 is a baseline feature of every x86_64 target.
+        unsafe { sse2::ycbcr_to_rgb_quad(y, cb, cr) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        core::array::from_fn(|i| {
+            let (r, g, b) = crate::image::ycbcr_to_rgb(y[i], cb[i], cr[i]);
+            [r, g, b]
+        })
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod sse2 {
+    use core::arch::x86_64::{
+        __m128d, __m128i, _mm_add_epi32, _mm_add_pd, _mm_cmpeq_epi16, _mm_cvtsd_f64,
+        _mm_cvtsi128_si32, _mm_movemask_epi8, _mm_mul_epu32, _mm_mul_pd, _mm_packs_epi16,
+        _mm_set1_epi32, _mm_set1_pd, _mm_set_epi16, _mm_set_epi32, _mm_set_pd, _mm_setzero_si128,
+        _mm_shuffle_epi32, _mm_srai_epi32, _mm_srli_si128, _mm_sub_pd, _mm_unpackhi_pd,
+        _mm_unpacklo_epi32,
+    };
+
+    /// BT.601 full-range chroma multipliers, 16.16 fixed point — the
+    /// same constants [`crate::image`] bakes into its offset tables.
+    const R_CR_MUL: i32 = 91_881; // 1.402
+    const B_CB_MUL: i32 = 116_130; // 1.772
+    const G_CB_MUL: i32 = -22_554; // -0.344136
+    const G_CR_MUL: i32 = -46_802; // -0.714136
+
+    // pcr-lint: allow(no-panic-in-hot-path) — i steps 0, 2, 4, 6, so i + 1 <= 7 inside the [f64; 8] lanes for-next-item
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub fn add8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+        let mut out = [0.0f64; 8];
+        let mut i = 0;
+        while i < 8 {
+            let v = _mm_add_pd(_mm_set_pd(a[i + 1], a[i]), _mm_set_pd(b[i + 1], b[i]));
+            (out[i], out[i + 1]) = unpack_pd(v);
+            i += 2;
+        }
+        out
+    }
+
+    // pcr-lint: allow(no-panic-in-hot-path) — i steps 0, 2, 4, 6, so i + 1 <= 7 inside the [f64; 8] lanes for-next-item
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub fn sub8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+        let mut out = [0.0f64; 8];
+        let mut i = 0;
+        while i < 8 {
+            let v = _mm_sub_pd(_mm_set_pd(a[i + 1], a[i]), _mm_set_pd(b[i + 1], b[i]));
+            (out[i], out[i + 1]) = unpack_pd(v);
+            i += 2;
+        }
+        out
+    }
+
+    // pcr-lint: allow(no-panic-in-hot-path) — i steps 0, 2, 4, 6, so i + 1 <= 7 inside the [f64; 8] lanes for-next-item
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub fn scale8(a: &[f64; 8], s: f64) -> [f64; 8] {
+        let sv = _mm_set1_pd(s);
+        let mut out = [0.0f64; 8];
+        let mut i = 0;
+        while i < 8 {
+            let v = _mm_mul_pd(_mm_set_pd(a[i + 1], a[i]), sv);
+            (out[i], out[i + 1]) = unpack_pd(v);
+            i += 2;
+        }
+        out
+    }
+
+    /// Splits a `__m128d` back into its two lanes.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn unpack_pd(v: __m128d) -> (f64, f64) {
+        (_mm_cvtsd_f64(v), _mm_cvtsd_f64(_mm_unpackhi_pd(v, v)))
+    }
+
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub fn nonzero_mask64(block: &[i16; 64]) -> u64 {
+        let mut mask = 0u64;
+        let mut c = 0;
+        while c < 64 {
+            let zero = _mm_setzero_si128();
+            // Two 8-lane compares against zero, packed to 16 sign bytes:
+            // lane i of the pack is 0xFF iff coefficient c + i == 0.
+            let eq_lo = _mm_cmpeq_epi16(load8(block, c), zero);
+            let eq_hi = _mm_cmpeq_epi16(load8(block, c + 8), zero);
+            let zeros = _mm_movemask_epi8(_mm_packs_epi16(eq_lo, eq_hi)) as u32;
+            mask |= u64::from(!zeros & 0xFFFF) << c;
+            c += 16;
+        }
+        mask
+    }
+
+    // pcr-lint: allow(no-panic-in-hot-path) — callers pass at in {0, 16, 32, 48} plus 8, so at + 7 <= 63 inside the [i16; 64] block for-next-item
+    /// Loads `block[at..at + 8]` into eight i16 lanes.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn load8(block: &[i16; 64], at: usize) -> __m128i {
+        _mm_set_epi16(
+            block[at + 7],
+            block[at + 6],
+            block[at + 5],
+            block[at + 4],
+            block[at + 3],
+            block[at + 2],
+            block[at + 1],
+            block[at],
+        )
+    }
+
+    // pcr-lint: allow(no-panic-in-hot-path) — literal lane indices 0..=3 into [u8; 4] inputs and [i32; 4] lane extracts for-next-item
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    pub fn ycbcr_to_rgb_quad(y: [u8; 4], cb: [u8; 4], cr: [u8; 4]) -> [[u8; 3]; 4] {
+        let yv = _mm_set_epi32(
+            i32::from(y[3]),
+            i32::from(y[2]),
+            i32::from(y[1]),
+            i32::from(y[0]),
+        );
+        let cbv = _mm_set_epi32(
+            i32::from(cb[3]) - 128,
+            i32::from(cb[2]) - 128,
+            i32::from(cb[1]) - 128,
+            i32::from(cb[0]) - 128,
+        );
+        let crv = _mm_set_epi32(
+            i32::from(cr[3]) - 128,
+            i32::from(cr[2]) - 128,
+            i32::from(cr[1]) - 128,
+            i32::from(cr[0]) - 128,
+        );
+        let half = _mm_set1_epi32(1 << 15);
+        // r = y + ((91881 * (cr - 128) + 2^15) >> 16), etc. The products
+        // stay well inside i32 (|mul| < 2^17, |chroma| <= 128), so the
+        // low-32 lanes of the unsigned multiply equal the signed result.
+        let r_off = _mm_srai_epi32::<16>(_mm_add_epi32(mullo32(crv, R_CR_MUL), half));
+        let b_off = _mm_srai_epi32::<16>(_mm_add_epi32(mullo32(cbv, B_CB_MUL), half));
+        let g_off = _mm_srai_epi32::<16>(_mm_add_epi32(
+            _mm_add_epi32(mullo32(cbv, G_CB_MUL), mullo32(crv, G_CR_MUL)),
+            half,
+        ));
+        let r = extract4(_mm_add_epi32(yv, r_off));
+        let g = extract4(_mm_add_epi32(yv, g_off));
+        let b = extract4(_mm_add_epi32(yv, b_off));
+        core::array::from_fn(|i| {
+            [
+                r[i].clamp(0, 255) as u8,
+                g[i].clamp(0, 255) as u8,
+                b[i].clamp(0, 255) as u8,
+            ]
+        })
+    }
+
+    /// Lane-wise `v * c` keeping the low 32 bits, SSE2-style:
+    /// `_mm_mul_epu32` multiplies even lanes to 64 bits; odd lanes go
+    /// through a 4-byte shift. The low 32 bits of an unsigned product
+    /// equal those of the signed one, which is all the callers keep.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn mullo32(v: __m128i, c: i32) -> __m128i {
+        let cv = _mm_set1_epi32(c);
+        let even = _mm_mul_epu32(v, cv);
+        let odd = _mm_mul_epu32(_mm_srli_si128::<4>(v), cv);
+        // Keep lanes {0, 2} of each 64-bit product pair and reinterleave.
+        _mm_unpacklo_epi32(
+            _mm_shuffle_epi32::<0b00_00_10_00>(even),
+            _mm_shuffle_epi32::<0b00_00_10_00>(odd),
+        )
+    }
+
+    /// Extracts the four i32 lanes.
+    #[target_feature(enable = "sse2")]
+    #[inline]
+    fn extract4(v: __m128i) -> [i32; 4] {
+        [
+            _mm_cvtsi128_si32(v),
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b01>(v)),
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b10>(v)),
+            _mm_cvtsi128_si32(_mm_shuffle_epi32::<0b11>(v)),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scalar_add8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+        core::array::from_fn(|i| a[i] + b[i])
+    }
+    fn scalar_sub8(a: &[f64; 8], b: &[f64; 8]) -> [f64; 8] {
+        core::array::from_fn(|i| a[i] - b[i])
+    }
+    fn scalar_scale8(a: &[f64; 8], s: f64) -> [f64; 8] {
+        core::array::from_fn(|i| a[i] * s)
+    }
+
+    #[test]
+    fn f64_lanes_bit_identical_to_scalar() {
+        let mut seed = 0x9E37_79B9u64;
+        for _ in 0..200 {
+            let mut next = || {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                // Spread across magnitudes, including negatives and tiny values.
+                ((seed >> 11) as f64 / (1u64 << 40) as f64 - 4.0) * 1e3
+            };
+            let a: [f64; 8] = core::array::from_fn(|_| next());
+            let b: [f64; 8] = core::array::from_fn(|_| next());
+            let s = next();
+            assert_eq!(add8(&a, &b).map(f64::to_bits), scalar_add8(&a, &b).map(f64::to_bits));
+            assert_eq!(sub8(&a, &b).map(f64::to_bits), scalar_sub8(&a, &b).map(f64::to_bits));
+            assert_eq!(
+                scale8(&a, s).map(f64::to_bits),
+                scalar_scale8(&a, s).map(f64::to_bits)
+            );
+        }
+    }
+
+    #[test]
+    fn nonzero_mask_matches_scalar() {
+        let mut block = [0i16; 64];
+        assert_eq!(nonzero_mask64(&block), 0);
+        block[0] = 1;
+        block[7] = -1;
+        block[8] = i16::MIN;
+        block[15] = i16::MAX;
+        block[31] = 3;
+        block[63] = -7;
+        let mut expect = 0u64;
+        for (i, &v) in block.iter().enumerate() {
+            expect |= u64::from(v != 0) << i;
+        }
+        assert_eq!(nonzero_mask64(&block), expect);
+        // Randomized sweep.
+        let mut seed = 12345u32;
+        for _ in 0..200 {
+            let mut block = [0i16; 64];
+            for v in block.iter_mut() {
+                seed = seed.wrapping_mul(1664525).wrapping_add(1013904223);
+                *v = if seed & 3 == 0 { (seed >> 16) as i16 } else { 0 };
+            }
+            let mut expect = 0u64;
+            for (i, &v) in block.iter().enumerate() {
+                expect |= u64::from(v != 0) << i;
+            }
+            assert_eq!(nonzero_mask64(&block), expect);
+        }
+    }
+
+    #[test]
+    fn ycbcr_quad_matches_scalar_lut_exhaustively_on_grid() {
+        // Full cross-product is 2^24; a dense stride plus the extremes
+        // covers every carry/clamp edge the fixed-point math has.
+        let axis: Vec<u8> =
+            (0..=255u16).step_by(5).map(|v| v as u8).chain([1, 127, 128, 129, 254, 255]).collect();
+        for &yv in &axis {
+            for &cbv in &axis {
+                for &crv in &axis {
+                    let quad = ycbcr_to_rgb_quad([yv; 4], [cbv; 4], [crv; 4]);
+                    let (r, g, b) = crate::image::ycbcr_to_rgb(yv, cbv, crv);
+                    for px in quad {
+                        assert_eq!(px, [r, g, b], "y={yv} cb={cbv} cr={crv}");
+                    }
+                }
+            }
+        }
+        // Distinct lanes stay independent.
+        let quad = ycbcr_to_rgb_quad([0, 80, 160, 255], [12, 128, 200, 255], [250, 128, 30, 0]);
+        for (i, px) in quad.into_iter().enumerate() {
+            let (r, g, b) = crate::image::ycbcr_to_rgb(
+                [0, 80, 160, 255][i],
+                [12, 128, 200, 255][i],
+                [250, 128, 30, 0][i],
+            );
+            assert_eq!(px, [r, g, b]);
+        }
+    }
+}

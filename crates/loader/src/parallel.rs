@@ -80,6 +80,14 @@ pub struct ParallelConfig {
     pub prefetch_batches: usize,
     /// Storage-time realization.
     pub io: IoModel,
+    /// Threads each worker may split one image's restart-marker entropy
+    /// segments across (see
+    /// [`pcr_core::PcrRecord::decode_image_segmented`]). 1 (the default)
+    /// decodes sequentially; higher values only take effect on records
+    /// encoded with restart markers (`pcr pack --restart-interval`) —
+    /// marker-less records fall back to the sequential path with
+    /// identical output.
+    pub segment_workers: usize,
 }
 
 impl Default for ParallelConfig {
@@ -90,6 +98,7 @@ impl Default for ParallelConfig {
             prefetch_records: 8,
             prefetch_batches: 2,
             io: IoModel::Instant,
+            segment_workers: 1,
         }
     }
 }
@@ -107,6 +116,13 @@ impl ParallelConfig {
             },
             ..Self::default()
         }
+    }
+
+    /// [`ParallelConfig::real`] with restart-segment parallelism: each of
+    /// the `threads` workers may additionally fan one image's entropy
+    /// segments out over `segment_workers` threads.
+    pub fn real_segmented(threads: usize, scan_group: usize, segment_workers: usize) -> Self {
+        Self { segment_workers: segment_workers.max(1), ..Self::real(threads, scan_group) }
     }
 }
 
@@ -301,10 +317,21 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
             let decode = cfg.loader.decode;
             let planner = planner.clone();
             let io = cfg.io;
+            let segment_workers = cfg.segment_workers.max(1);
             let handle = std::thread::Builder::new()
                 .name(format!("pcr-parallel-{w}"))
                 .spawn(move || {
-                    worker_loop(&work_rx, &rec_tx, &store, &*source, &stats, &planner, decode, io)
+                    worker_loop(
+                        &work_rx,
+                        &rec_tx,
+                        &store,
+                        &*source,
+                        &stats,
+                        &planner,
+                        decode,
+                        io,
+                        segment_workers,
+                    )
                 })
                 .expect("spawn worker");
             workers.push(handle);
@@ -404,6 +431,7 @@ fn worker_loop<S: RecordSource + ?Sized>(
     planner: &ReadPlanner,
     decode: DecodeMode,
     io: IoModel,
+    segment_workers: usize,
 ) {
     let mut scratch = RecordScratch::new();
     while let Ok(idx) = work_rx.recv() {
@@ -437,7 +465,13 @@ fn worker_loop<S: RecordSource + ?Sized>(
             }
             DecodeMode::Real => {
                 let t0 = Instant::now();
-                let decoded = source.decode_real(idx, &read.data, planner.scan_group, &mut scratch);
+                let decoded = source.decode_real_segmented(
+                    idx,
+                    &read.data,
+                    planner.scan_group,
+                    &mut scratch,
+                    segment_workers,
+                );
                 stats.decode_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
                 let Some(images) = decoded else {
                     continue; // undecodable record: skip
@@ -460,7 +494,17 @@ mod tests {
     use pcr_storage::DeviceProfile;
 
     fn make(n: usize, profile: DeviceProfile) -> (Arc<ObjectStore>, Arc<MetaDb>) {
-        let mut b = PcrDatasetBuilder::new(4, 10).with_name_prefix("w");
+        make_restart(n, profile, 0)
+    }
+
+    fn make_restart(
+        n: usize,
+        profile: DeviceProfile,
+        restart_interval: u16,
+    ) -> (Arc<ObjectStore>, Arc<MetaDb>) {
+        let mut b = PcrDatasetBuilder::new(4, 10)
+            .with_name_prefix("w")
+            .with_restart_interval(restart_interval);
         for i in 0..n {
             let mut data = Vec::new();
             for y in 0..32u32 {
@@ -537,6 +581,31 @@ mod tests {
         let two = labels_at(2);
         assert_eq!(two.len(), 17);
         assert_eq!(two, labels_at(8));
+    }
+
+    #[test]
+    fn segment_workers_deliver_identical_pixels() {
+        // A restart-marker dataset decoded with segment parallelism must
+        // deliver the exact pixels of the sequential path — the loader
+        // face of the jpeg crate's exactness guarantee.
+        let (store, db) = make_restart(9, DeviceProfile::ram(), 1);
+        let pixels_at = |segment_workers: usize| {
+            let cfg = ParallelConfig {
+                batch_size: 3,
+                segment_workers,
+                ..ParallelConfig::real(2, 10)
+            };
+            let loader = ParallelLoader::new(Arc::clone(&store), Arc::clone(&db), cfg);
+            let stream = loader.spawn_epoch(5);
+            let mut imgs: Vec<Vec<u8>> =
+                stream.batches.iter().flat_map(|b| b.images).map(|i| i.data().to_vec()).collect();
+            stream.join();
+            imgs.sort_unstable();
+            imgs
+        };
+        let seq = pixels_at(1);
+        assert_eq!(seq.len(), 9);
+        assert_eq!(seq, pixels_at(4));
     }
 
     #[test]

@@ -58,6 +58,7 @@ impl From<PipelineConfig> for ParallelConfig {
             prefetch_records: c.prefetch,
             prefetch_batches: c.prefetch,
             io: IoModel::Instant,
+            segment_workers: 1,
         }
     }
 }

@@ -58,6 +58,22 @@ pub trait RecordSource: Send + Sync {
         scan_group: usize,
         scratch: &mut RecordScratch,
     ) -> Option<Vec<ImageBuf>>;
+
+    /// Like [`RecordSource::decode_real`], but may split one image's
+    /// restart-marker entropy segments across up to `segment_workers`
+    /// threads. Sources whose format carries no restart markers (or that
+    /// simply don't implement segment parallelism) fall back to the
+    /// sequential decode; output is identical either way.
+    fn decode_real_segmented(
+        &self,
+        idx: usize,
+        bytes: &[u8],
+        scan_group: usize,
+        scratch: &mut RecordScratch,
+        _segment_workers: usize,
+    ) -> Option<Vec<ImageBuf>> {
+        self.decode_real(idx, bytes, scan_group, scratch)
+    }
 }
 
 /// Decodes a planned `.pcr` record prefix into images at `scan_group`,
@@ -70,11 +86,24 @@ pub(crate) fn decode_pcr_prefix(
     scan_group: usize,
     scratch: &mut RecordScratch,
 ) -> Option<Vec<ImageBuf>> {
+    decode_pcr_prefix_segmented(bytes, scan_group, scratch, 1)
+}
+
+/// [`decode_pcr_prefix`] with restart-segment parallelism: each image's
+/// entropy segments decode on up to `segment_workers` threads (see
+/// [`pcr_core::PcrRecord::decode_image_segmented`]). Marker-less records
+/// take the sequential path unchanged.
+pub(crate) fn decode_pcr_prefix_segmented(
+    bytes: &[u8],
+    scan_group: usize,
+    scratch: &mut RecordScratch,
+    segment_workers: usize,
+) -> Option<Vec<ImageBuf>> {
     let rec = PcrRecord::parse(bytes).ok()?;
     let g = rec.available_groups().min(scan_group).max(1);
     let mut images = Vec::with_capacity(rec.num_images());
     for i in 0..rec.num_images() {
-        images.push(rec.decode_image_with(i, g, scratch).ok()?);
+        images.push(rec.decode_image_segmented(i, g, scratch, segment_workers).ok()?);
     }
     Some(images)
 }
@@ -101,6 +130,17 @@ impl RecordSource for MetaDb {
         scratch: &mut RecordScratch,
     ) -> Option<Vec<ImageBuf>> {
         decode_pcr_prefix(bytes, scan_group, scratch)
+    }
+
+    fn decode_real_segmented(
+        &self,
+        _idx: usize,
+        bytes: &[u8],
+        scan_group: usize,
+        scratch: &mut RecordScratch,
+        segment_workers: usize,
+    ) -> Option<Vec<ImageBuf>> {
+        decode_pcr_prefix_segmented(bytes, scan_group, scratch, segment_workers)
     }
 }
 

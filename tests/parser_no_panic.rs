@@ -1,7 +1,9 @@
 //! The no-panic contract of every untrusted-bytes parser, checked the
 //! direct way: feed arbitrary, truncated, and bit-flipped bytes into
 //! `PcrRecord::parse`, `ShardIndex::parse`, `ContainerManifest::from_bytes`,
-//! and `PcrContainer::open` and require a `Result` back — never a panic.
+//! `PcrContainer::open`, and the restart-marker entropy paths
+//! (`split_restart_segments`, segment-parallel decode, per-group
+//! `segment_count`) and require a `Result` back — never a panic.
 //! This is the runtime twin of the `no-panic-in-hot-path` /
 //! `bounded-alloc` lint rules `pcr-analyze` enforces statically over the
 //! same modules.
@@ -134,6 +136,99 @@ fn container_open_survives_a_corrupted_manifest_on_disk() {
     std::fs::remove_file(&path).unwrap();
     assert!(PcrContainer::open(&dir).is_err());
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One real restart-marker progressive JPEG, encoded once and cached
+/// (each case mutates its own copy).
+fn restart_jpeg() -> Vec<u8> {
+    static CACHE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let mut data = Vec::new();
+            for y in 0..40u32 {
+                for x in 0..48u32 {
+                    data.push(((x * 5 + y * 11) % 256) as u8);
+                    data.push(((x + y * 3) % 256) as u8);
+                    data.push(((x * y) % 256) as u8);
+                }
+            }
+            let img = pcr::jpeg::ImageBuf::from_raw(48, 40, 3, data).unwrap();
+            let cfg = pcr::jpeg::EncodeConfig::progressive(85).with_restart_interval(2);
+            pcr::jpeg::encode(&img, &cfg).expect("encode")
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn restart_splitter_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(proptest::any::<u8>(), 0..512)
+    ) {
+        // The restart-segment splitter is the first thing untrusted
+        // entropy bytes hit on the parallel path: any input must yield
+        // in-bounds, non-overlapping, ordered segments — never a panic.
+        let segs = pcr::jpeg::bitio::split_restart_segments(&bytes);
+        let mut prev_end = 0usize;
+        for &(start, end) in &segs {
+            assert!(start >= prev_end, "segments ordered and disjoint");
+            assert!(start <= end, "non-negative length");
+            assert!(end <= bytes.len(), "in bounds");
+            prev_end = end;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn corrupted_restart_streams_never_panic(seed in proptest::any::<u64>()) {
+        // Bit-flip anywhere in a real restart-marker stream — including
+        // inside DRI payloads and RSTn markers — then decode both
+        // sequentially and with segment workers. Errors are fine;
+        // panics are not.
+        let mut jpeg = restart_jpeg();
+        let pos = (seed as usize) % jpeg.len();
+        jpeg[pos] ^= 1 << (seed % 8);
+        let _ = pcr::jpeg::decode(&jpeg);
+        let _ = pcr::jpeg::decode_coeffs_workers(&jpeg, &mut Vec::new(), 4);
+    }
+
+    #[test]
+    fn truncated_restart_streams_never_panic(cut_permille in 0u64..1000) {
+        let jpeg = restart_jpeg();
+        let cut = jpeg.len() * usize::try_from(cut_permille).unwrap() / 1000;
+        let _ = pcr::jpeg::decode(&jpeg[..cut]);
+        let _ = pcr::jpeg::decode_coeffs_workers(&jpeg[..cut], &mut Vec::new(), 4);
+    }
+}
+
+#[test]
+fn restart_record_truncations_never_panic() {
+    // A version-2 (restart-marker) record under truncation: parse,
+    // per-group segment counting, and image decode must all return
+    // Results at every cut point.
+    use pcr::core::{PcrRecordBuilder, SampleMeta};
+    let mut data = Vec::new();
+    for i in 0..(32 * 32 * 3) as u32 {
+        data.push((i % 251) as u8);
+    }
+    let img = pcr::jpeg::ImageBuf::from_raw(32, 32, 3, data).unwrap();
+    let mut b = PcrRecordBuilder::with_default_groups().with_restart_interval(1);
+    b.add_image(SampleMeta { label: 0, id: "r".into() }, &img, 85).unwrap();
+    let bytes = b.build().unwrap();
+    assert!(PcrRecord::parse(&bytes).is_ok());
+    for permille in (0..=1000).step_by(17) {
+        let cut = bytes.len() * permille / 1000;
+        if let Ok(rec) = PcrRecord::parse(&bytes[..cut]) {
+            for g in 1..=10usize {
+                let _ = rec.segment_count(0, g);
+                let _ = rec.decode_image(0, g);
+            }
+        }
+    }
 }
 
 #[test]

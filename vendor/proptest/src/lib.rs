@@ -214,6 +214,19 @@ pub mod prop {
     pub use crate::collection;
 }
 
+/// Resolves the per-property case count: the `PROPTEST_CASES`
+/// environment variable overrides the config's count when set (upstream
+/// proptest's knob — CI's nightly fuzz job raises it fleet-wide without
+/// touching every `proptest_config` block).
+pub fn resolved_cases(configured: u32) -> u32 {
+    if let Ok(s) = std::env::var("PROPTEST_CASES") {
+        if let Ok(v) = s.parse::<u32>() {
+            return v;
+        }
+    }
+    configured
+}
+
 /// Derives the deterministic per-test seed (overridable for replay via the
 /// `PROPTEST_SEED` environment variable).
 pub fn test_seed(test_name: &str) -> u64 {
@@ -273,7 +286,7 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $cfg;
-                for case in 0..config.cases {
+                for case in 0..$crate::resolved_cases(config.cases) {
                     let mut rng = $crate::case_rng(stringify!($name), case);
                     $(
                         let $pat = $crate::Strategy::sample_one(&($strat), &mut rng);
