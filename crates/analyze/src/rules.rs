@@ -72,6 +72,7 @@ const HOT_PANIC_FILES: &[&str] = &[
     "crates/core/src/wire.rs",
     "crates/core/src/record.rs",
     "crates/core/src/container.rs",
+    "crates/core/src/colfooter.rs",
 ];
 
 /// Files subject to `bounded-alloc` and `no-truncating-cast`: everything
@@ -80,6 +81,7 @@ const PARSE_FILES: &[&str] = &[
     "crates/core/src/wire.rs",
     "crates/core/src/record.rs",
     "crates/core/src/container.rs",
+    "crates/core/src/colfooter.rs",
 ];
 
 /// Path prefixes allowed to read the wall clock. `parallel.rs` *is* the

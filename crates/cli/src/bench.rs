@@ -94,7 +94,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let bytes = container.read_shard_verified(i).map_err(|e| e.to_string())?;
         shard_blobs.push((container.manifest.shards[i].file_name.clone(), bytes));
     }
-    let source = Arc::new(ShardedSource::from_container(&container));
+    let source = Arc::new(ShardedSource::from_container(&container).map_err(|e| e.to_string())?);
     let fresh_store = || {
         let store =
             Arc::new(ObjectStore::with_cache(store_cfg.profile.clone(), store_cfg.cache_bytes));

@@ -49,7 +49,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             record.parse().map_err(|_| format!("--record: not an index: {record}"))?;
         record_view(&container, j, args.flag("json"))?
     } else {
-        manifest_view(&container, args.flag("json"))
+        manifest_view(&container, args.flag("json"))?
     };
     if let Some(json) = doc {
         println!("{}", json.render());
@@ -57,18 +57,22 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
-/// Per-scan-group `(bytes, fraction of full)` rows.
-fn fidelity_rows(container: &PcrContainer) -> Vec<(usize, u64, f64)> {
+/// Per-scan-group `(bytes, fraction of full)` rows — answered from the
+/// manifest's zone-map stats for columnar containers, so no footer reads.
+fn fidelity_rows(container: &PcrContainer) -> Result<Vec<(usize, u64, f64)>, String> {
     let full = container.total_data_bytes().max(1);
     (0..=container.num_groups())
         .map(|g| {
-            let bytes = container.bytes_at_group(g);
-            (g, bytes, bytes as f64 / full as f64)
+            let bytes = container.bytes_at_group(g).map_err(|e| e.to_string())?;
+            Ok((g, bytes, bytes as f64 / full as f64))
         })
         .collect()
 }
 
-fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
+fn manifest_view(
+    container: &PcrContainer,
+    json: bool,
+) -> Result<Option<JsonValue>, String> {
     let m = &container.manifest;
     if json {
         let shards = m
@@ -84,7 +88,7 @@ fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
                 ])
             })
             .collect();
-        let fidelity = fidelity_rows(container)
+        let fidelity = fidelity_rows(container)?
             .into_iter()
             .map(|(g, bytes, frac)| {
                 JsonValue::object([
@@ -94,7 +98,7 @@ fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
                 ])
             })
             .collect();
-        return Some(JsonValue::object([
+        return Ok(Some(JsonValue::object([
             ("dir", JsonValue::str(container.dir.display().to_string())),
             ("version", JsonValue::U64(u64::from(m.version))),
             ("num_groups", JsonValue::U64(u64::from(m.num_groups))),
@@ -104,7 +108,7 @@ fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
             ("file_bytes", JsonValue::U64(m.total_file_bytes())),
             ("shards", JsonValue::Array(shards)),
             ("fidelity", JsonValue::Array(fidelity)),
-        ]));
+        ])));
     }
     println!("container {}", container.dir.display());
     println!(
@@ -129,7 +133,7 @@ fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
     }
     println!("\n  fidelity byte breakdown (one epoch of reads per scan group):");
     println!("  {:>5} {:>14} {:>10} {:>9}", "group", "bytes", "", "of full");
-    for (g, bytes, frac) in fidelity_rows(container) {
+    for (g, bytes, frac) in fidelity_rows(container)? {
         println!(
             "  {:>5} {:>14} {:>10} {:>8.1}%",
             g,
@@ -138,7 +142,7 @@ fn manifest_view(container: &PcrContainer, json: bool) -> Option<JsonValue> {
             frac * 100.0
         );
     }
-    None
+    Ok(None)
 }
 
 fn shard_view(
@@ -150,9 +154,12 @@ fn shard_view(
         "shard {i} out of range (container has {})",
         container.shards.len()
     ))?;
+    let entries = shard
+        .entries()
+        .collect::<Result<Vec<_>, _>>()
+        .map_err(|e| e.to_string())?;
     if json {
-        let records = shard
-            .records
+        let records = entries
             .iter()
             .map(|r| {
                 JsonValue::object([
@@ -181,7 +188,7 @@ fn shard_view(
         "  {:<20} {:>10} {:>10} {:>7} {:>11}  labels",
         "record", "offset", "bytes", "images", "crc32"
     );
-    for r in &shard.records {
+    for r in &entries {
         println!(
             "  {:<20} {:>10} {:>10} {:>7} {:>#11x}  {:?}",
             r.name,
@@ -200,9 +207,9 @@ fn record_view(
     j: usize,
     json: bool,
 ) -> Result<Option<JsonValue>, String> {
-    let (shard_idx, rec) = container
-        .record(j)
-        .ok_or(format!("record {j} out of range (container has {})", container.num_records()))?;
+    // Lazy entry resolution + a single ranged record read: bytes touched
+    // stay O(record), independent of how big the shard or catalog is.
+    let (shard_idx, rec) = container.entry(j).map_err(|e| e.to_string())?;
     let shard_file = &container.manifest.shards[shard_idx].file_name;
     let groups: Vec<(usize, u64, u64)> = (0..rec.group_offsets.len())
         .map(|g| {
@@ -211,13 +218,10 @@ fn record_view(
             (g, cumulative, delta)
         })
         .collect();
-    // Restart-entropy layout: parse the record bytes out of the shard and
-    // count segments per scan group (summed over the record's images).
-    let shard_bytes = container.read_shard(shard_idx).map_err(|e| e.to_string())?;
-    let rec_bytes = shard_bytes
-        .get(rec.offset as usize..(rec.offset + rec.len()) as usize)
-        .ok_or("record range out of shard bounds")?;
-    let parsed = pcr_core::PcrRecord::parse(rec_bytes).map_err(|e| e.to_string())?;
+    // Restart-entropy layout: parse the record bytes and count segments
+    // per scan group (summed over the record's images).
+    let rec_bytes = container.read_record(shard_idx, &rec).map_err(|e| e.to_string())?;
+    let parsed = pcr_core::PcrRecord::parse(&rec_bytes).map_err(|e| e.to_string())?;
     let restart_interval = parsed.restart_interval();
     let segment_counts: Vec<usize> = (1..=parsed.num_groups())
         .map(|g| {
@@ -321,5 +325,38 @@ mod tests {
             }
             std::fs::remove_dir_all(&dir).unwrap();
         }
+    }
+
+    #[test]
+    fn record_view_index_bytes_stay_o1_in_shard_size() {
+        let ds = SyntheticDataset::generate(&DatasetSpec::celebahq_smile_like(Scale::Tiny));
+        let mk = |tag: &str, records_per_shard: usize| {
+            let dir = std::env::temp_dir().join(format!(
+                "pcr-inspect-o1-{tag}-{}-{:?}",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            pack_to_container_restart(&ds, &dir, 2, records_per_shard, 0).unwrap();
+            let container = PcrContainer::open(&dir).unwrap();
+            (dir, container)
+        };
+        // Same records, one per shard vs all in one shard: resolving the
+        // last record must not read more index bytes in the big shard
+        // (modulo the extra 4-byte name_ends neighbor read for k > 0).
+        let (dir_many, many) = mk("many", 1);
+        let (dir_one, one) = mk("one", 1 << 20);
+        assert_eq!(one.shards.len(), 1);
+        let last = many.num_records() - 1;
+        record_view(&many, last, true).unwrap();
+        record_view(&one, last, true).unwrap();
+        let (r_many, r_one) = (many.index_bytes_read(), one.index_bytes_read());
+        assert!(r_many > 0, "columnar record view must resolve lazily");
+        assert!(
+            r_one <= r_many + 4,
+            "index bytes must not grow with shard size ({r_one} vs {r_many})"
+        );
+        std::fs::remove_dir_all(&dir_many).unwrap();
+        std::fs::remove_dir_all(&dir_one).unwrap();
     }
 }

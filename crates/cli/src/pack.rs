@@ -2,13 +2,15 @@
 
 use crate::args::{parse, ArgSpec};
 use crate::human_bytes;
-use pcr_core::container::{write_container, ContainerManifest};
-use pcr_core::{PcrDatasetBuilder, SampleMeta, DEFAULT_NUM_GROUPS};
-use pcr_datasets::{
-    pack_to_container_restart, DatasetSpec, Scale, SyntheticDataset, IMAGES_PER_RECORD,
-    RECORDS_PER_SHARD,
+use pcr_core::container::{write_container_versioned, ContainerManifest};
+use pcr_core::{
+    PcrDatasetBuilder, SampleMeta, CONTAINER_VERSION, CONTAINER_VERSION_ROWS, DEFAULT_NUM_GROUPS,
 };
+use pcr_datasets::{DatasetSpec, Scale, SyntheticDataset, IMAGES_PER_RECORD, RECORDS_PER_SHARD};
+use pcr_metrics::JsonValue;
+use std::io::Write;
 use std::path::Path;
+use std::time::Instant;
 
 pub const HELP: &str = "pcr pack — pack a dataset into a sharded PCR container
 
@@ -40,7 +42,15 @@ OPTIONS:
                             (rounded up per scan to MCU-row multiples),
                             so each image's entropy segments can decode
                             on multiple cores. 0 = none (default). Only
-                            affects images the packer encodes itself.";
+                            affects images the packer encodes itself.
+    --format <v>            Container format: v3 (columnar footers +
+                            manifest stats, O(1) open; default) or v1
+                            (row footers, readable by older tooling)
+    --json                  Print a machine-readable summary to stdout
+                            and suppress progress output
+
+Long packs report progress on stderr (images, records, MB/s, ETA),
+throttled to a few updates per second; --json silences it.";
 
 const SPEC: ArgSpec = ArgSpec {
     value_flags: &[
@@ -52,9 +62,56 @@ const SPEC: ArgSpec = ArgSpec {
         "records-per-shard",
         "quality",
         "restart-interval",
+        "format",
     ],
-    bool_flags: &[],
+    bool_flags: &["json"],
 };
+
+/// Throttled progress meter on stderr: images packed, records flushed,
+/// encode throughput, ETA. Inert when disabled (`--json`) so scripted
+/// output stays parseable.
+struct Progress {
+    total_images: usize,
+    start: Instant,
+    last: Instant,
+    enabled: bool,
+}
+
+impl Progress {
+    fn new(total_images: usize, enabled: bool) -> Self {
+        let now = Instant::now();
+        Self { total_images, start: now, last: now, enabled }
+    }
+
+    /// Reports after image `done` (1-based) was added; throttled to ~5
+    /// updates/sec except for the final image.
+    fn tick(&mut self, done: usize, builder: &PcrDatasetBuilder) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if done < self.total_images && now.duration_since(self.last).as_millis() < 200 {
+            return;
+        }
+        self.last = now;
+        let secs = now.duration_since(self.start).as_secs_f64().max(1e-9);
+        let mb_per_sec = builder.bytes_flushed() as f64 / (1024.0 * 1024.0) / secs;
+        let eta = secs * (self.total_images.saturating_sub(done)) as f64 / done.max(1) as f64;
+        eprint!(
+            "\rpacking: {done}/{} image(s), {} record(s), {mb_per_sec:.1} MB/s, ETA {eta:.0}s   ",
+            self.total_images,
+            builder.records_flushed(),
+        );
+        let _ = std::io::stderr().flush();
+    }
+
+    /// Ends the progress line (the meter draws with `\r`, not newlines).
+    fn done(&self) {
+        if self.enabled {
+            eprintln!();
+        }
+    }
+}
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = parse(argv, &SPEC)?;
@@ -63,27 +120,48 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let images_per_record = args.number("images-per-record", IMAGES_PER_RECORD)?.max(1);
     let records_per_shard = args.number("records-per-shard", RECORDS_PER_SHARD)?.max(1);
     let restart_interval: u16 = args.number("restart-interval", 0u16)?;
+    let json = args.flag("json");
+    let version = match args.value_or("format", "v3") {
+        "v1" | "rows" => CONTAINER_VERSION_ROWS,
+        "v3" | "columnar" => CONTAINER_VERSION,
+        other => return Err(format!("unknown --format {other:?} (v1 | v3)")),
+    };
 
+    let start = Instant::now();
     let manifest = match (args.value("dataset"), args.value("images")) {
         (Some(_), Some(_)) => return Err("--dataset and --images are mutually exclusive".into()),
         (None, None) => return Err("one of --dataset or --images is required".into()),
         (Some(name), None) => {
             let scale = parse_scale(args.value_or("scale", "tiny"))?;
             let spec = dataset_spec(name, scale)?;
-            println!(
-                "generating {} at {:?} scale ({} train images)...",
-                spec.name, scale, spec.train_images
-            );
+            if !json {
+                println!(
+                    "generating {} at {:?} scale ({} train images)...",
+                    spec.name, scale, spec.train_images
+                );
+            }
             let ds = SyntheticDataset::generate(&spec);
-            let (manifest, secs) = pack_to_container_restart(
-                &ds,
-                out,
-                images_per_record,
-                records_per_shard,
-                restart_interval,
-            )
-            .map_err(|e| e.to_string())?;
-            println!("packed in {secs:.1}s");
+            let mut builder = PcrDatasetBuilder::new(images_per_record, DEFAULT_NUM_GROUPS)
+                .with_name_prefix(&spec.name)
+                .with_restart_interval(restart_interval);
+            let mut progress = Progress::new(ds.train.len(), !json);
+            for (i, s) in ds.train.iter().enumerate() {
+                builder
+                    .add_image(
+                        SampleMeta { label: s.label, id: s.id.clone() },
+                        &s.image,
+                        spec.jpeg_quality,
+                    )
+                    .map_err(|e| e.to_string())?;
+                progress.tick(i + 1, &builder);
+            }
+            progress.done();
+            let dataset = builder.finish().map_err(|e| e.to_string())?;
+            let manifest = write_container_versioned(&dataset, out, records_per_shard, version)
+                .map_err(|e| e.to_string())?;
+            if !json {
+                println!("packed in {:.1}s", start.elapsed().as_secs_f64());
+            }
             manifest
         }
         (None, Some(srcdir)) => {
@@ -95,19 +173,34 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 records_per_shard,
                 quality,
                 restart_interval,
+                version,
+                json,
             )?
         }
     };
 
-    println!(
-        "wrote {} -> {} shard(s), {} record(s), {} image(s), {}",
-        out.display(),
-        manifest.shards.len(),
-        manifest.num_records(),
-        manifest.num_images(),
-        human_bytes(manifest.total_file_bytes()),
-    );
-    println!("next: pcr inspect {}", out.display());
+    if json {
+        let doc = JsonValue::object([
+            ("out", JsonValue::str(out.display().to_string())),
+            ("format_version", JsonValue::U64(u64::from(version))),
+            ("shards", JsonValue::U64(manifest.shards.len() as u64)),
+            ("records", JsonValue::U64(manifest.num_records() as u64)),
+            ("images", JsonValue::U64(manifest.num_images() as u64)),
+            ("file_bytes", JsonValue::U64(manifest.total_file_bytes())),
+            ("seconds", JsonValue::F64(start.elapsed().as_secs_f64())),
+        ]);
+        println!("{}", doc.render());
+    } else {
+        println!(
+            "wrote {} -> {} shard(s), {} record(s), {} image(s), {}",
+            out.display(),
+            manifest.shards.len(),
+            manifest.num_records(),
+            manifest.num_images(),
+            human_bytes(manifest.total_file_bytes()),
+        );
+        println!("next: pcr inspect {}", out.display());
+    }
     Ok(())
 }
 
@@ -134,6 +227,7 @@ fn dataset_spec(name: &str, scale: Scale) -> Result<DatasetSpec, String> {
 
 /// Packs a directory of JPEG files: `<srcdir>/*.jpg` at label 0 and
 /// `<srcdir>/<class>/*.jpg` labeled by sorted class-directory index.
+#[allow(clippy::too_many_arguments)]
 fn pack_image_dir(
     srcdir: &Path,
     out: &Path,
@@ -141,6 +235,8 @@ fn pack_image_dir(
     records_per_shard: usize,
     quality: u8,
     restart_interval: u16,
+    version: u16,
+    json: bool,
 ) -> Result<ContainerManifest, String> {
     let mut builder = PcrDatasetBuilder::new(images_per_record, DEFAULT_NUM_GROUPS)
         .with_name_prefix("pack")
@@ -183,6 +279,8 @@ fn pack_image_dir(
         ));
     }
 
+    let total = loose.len() + classes.iter().map(|(_, f)| f.len()).sum::<usize>();
+    let mut progress = Progress::new(total, !json);
     let mut add_file = |path: &Path, label: u32, builder: &mut PcrDatasetBuilder| {
         let Ok(bytes) = std::fs::read(path) else {
             skipped += 1;
@@ -209,20 +307,28 @@ fn pack_image_dir(
         }
     };
 
+    let mut seen = 0usize;
     for path in &loose {
         add_file(path, 0, &mut builder);
+        seen += 1;
+        progress.tick(seen, &builder);
     }
     for (label, (_, files)) in classes.iter().enumerate() {
         for path in files {
             add_file(path, label as u32, &mut builder);
+            seen += 1;
+            progress.tick(seen, &builder);
         }
     }
+    progress.done();
     if packed == 0 {
         return Err(format!("no packable JPEG files under {}", srcdir.display()));
     }
-    println!("packed {packed} image(s), skipped {skipped}");
+    if !json {
+        println!("packed {packed} image(s), skipped {skipped}");
+    }
     let dataset = builder.finish().map_err(|e| e.to_string())?;
-    write_container(&dataset, out, records_per_shard).map_err(|e| e.to_string())
+    write_container_versioned(&dataset, out, records_per_shard, version).map_err(|e| e.to_string())
 }
 
 fn is_jpeg_name(path: &Path) -> bool {

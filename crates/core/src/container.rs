@@ -22,6 +22,14 @@
 //! exactly what `pcr-loader`'s `ShardedSource` feeds the
 //! `ObjectStore`/`ByteView` read path.
 //!
+//! Two footer encodings exist. Version 1/2 shards store the index as
+//! variable-length rows, parsed eagerly at open. Version 3 — the default
+//! written by this crate — stores it as fixed-stride *columns*
+//! ([`crate::colfooter`]) plus zone-map stats in the manifest, so
+//! [`PcrContainer::open`] reads only each shard's header and a 52-byte
+//! tail and resolves record entries lazily by arithmetic
+//! ([`ShardIndex::entry`]) — O(1) open regardless of catalog size.
+//!
 //! The normative byte-level specification (with a worked hexdump) lives
 //! in `docs/FORMAT.md`; this module is its implementation. The older
 //! one-file-per-record layout in [`crate::fsdir`] remains for small
@@ -51,7 +59,8 @@
 //! std::fs::remove_dir_all(&dir).unwrap();
 //! ```
 
-use crate::dataset::PcrDataset;
+use crate::colfooter::{self, ColumnarIndex, COLUMNAR_VERSION};
+use crate::dataset::{PcrDataset, RecordMeta};
 use crate::error::{Error, Result};
 use crate::wire::{crc32, put_bytes, put_u16, put_u32, put_u64, Reader};
 use std::fs;
@@ -66,8 +75,12 @@ pub const FOOTER_MAGIC: &[u8; 4] = b"PCRF";
 pub const MANIFEST_MAGIC: &[u8; 4] = b"PCRM";
 /// File name of the manifest inside a container directory.
 pub const MANIFEST_FILE: &str = "manifest.pcrm";
-/// Container format version written by this crate.
-pub const CONTAINER_VERSION: u16 = 1;
+/// Container format version written by default: version 3, the columnar
+/// footer of [`crate::colfooter`] plus zone-map stats in the manifest.
+pub const CONTAINER_VERSION: u16 = COLUMNAR_VERSION;
+/// The original row-footer container version, still written on request
+/// ([`write_container_versioned`]) and always readable.
+pub const CONTAINER_VERSION_ROWS: u16 = 1;
 /// Size in bytes of a shard file's fixed header.
 pub const SHARD_HEADER_LEN: u64 = 12;
 /// Size in bytes of a shard file's fixed trailer.
@@ -116,15 +129,32 @@ impl ShardRecord {
     }
 }
 
-/// The parsed index of one shard: header fields plus the footer entries.
+/// How a [`ShardIndex`] holds its footer entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Backing {
+    /// Row footer (versions 1 and 2): every entry parsed eagerly.
+    Rows(Vec<ShardRecord>),
+    /// Columnar footer (version 3): entries resolved lazily by column
+    /// arithmetic — possibly straight off the open file.
+    Columnar(ColumnarIndex),
+}
+
+/// The parsed index of one shard: header fields plus a row or columnar
+/// view of the footer entries.
+///
+/// Entries are accessed through [`ShardIndex::entry`] /
+/// [`ShardIndex::entries`]; for a columnar shard opened lazily these
+/// perform a handful of small ranged reads per record, so resolving one
+/// record is O(1) in the shard's record count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardIndex {
     /// Shard file name (relative to the container directory).
     pub file_name: String,
     /// Number of scan groups per record.
     pub num_groups: u16,
-    /// Per-record entries in on-disk order.
-    pub records: Vec<ShardRecord>,
+    /// Shard header format version (1/2 = row footer, 3 = columnar).
+    pub version: u16,
+    backing: Backing,
     /// Total shard file length in bytes (header + records + footer +
     /// trailer).
     pub file_len: u64,
@@ -132,21 +162,93 @@ pub struct ShardIndex {
     pub footer_crc: u32,
 }
 
+/// Parses a version-1/2 row footer: length-prefixed name, offset, image
+/// count, group offsets, labels, and CRC per record, back to back.
+fn parse_row_footer(
+    footer: &[u8],
+    num_groups: u16,
+    record_count: usize,
+    footer_start: u64,
+) -> Result<Vec<ShardRecord>> {
+    // The header's record_count is not covered by any CRC: bound it by
+    // what the footer could possibly hold (each entry is at least a
+    // name length, offset, image count, G+1 offsets, and a CRC) before
+    // trusting it with an allocation.
+    let min_entry = 4 + 8 + 4 + (num_groups as usize + 1) * 8 + 4;
+    if record_count > footer.len() / min_entry {
+        return Err(Error::Malformed(format!(
+            "shard claims {record_count} records but its footer is {} bytes",
+            footer.len()
+        )));
+    }
+    let mut f = Reader::new(footer);
+    // pcr-lint: allow(bounded-alloc) — record_count <= footer.len()/min_entry, checked above
+    let mut records = Vec::with_capacity(record_count);
+    for _ in 0..record_count {
+        let name = String::from_utf8(f.prefixed_bytes("record name")?.to_vec())
+            .map_err(|_| Error::Malformed("record name not UTF-8".into()))?;
+        let offset = f.u64("record offset")?;
+        let num_images = f.u32("record image count")?;
+        // pcr-lint: allow(bounded-alloc) — num_groups is a u16, so at most 65536 entries
+        let mut group_offsets = Vec::with_capacity(num_groups as usize + 1);
+        for _ in 0..=num_groups {
+            group_offsets.push(f.u64("record group offset")?);
+        }
+        // Prefix lengths must be cumulative: a decreasing sequence
+        // would plan ranged reads past the record's end (or wrap the
+        // per-group deltas every consumer computes).
+        // pcr-lint: allow(no-panic-in-hot-path) — windows(2) yields exactly 2 elements
+        if group_offsets.windows(2).any(|w| w[0] > w[1]) {
+            return Err(Error::Malformed(
+                "record group offsets are not non-decreasing".into(),
+            ));
+        }
+        if num_images as usize > f.remaining() / 4 {
+            return Err(Error::Truncated { context: "record labels" });
+        }
+        // pcr-lint: allow(bounded-alloc) — num_images bounded by remaining/4 just above
+        let mut labels = Vec::with_capacity(num_images as usize);
+        for _ in 0..num_images {
+            labels.push(f.u32("record label")?);
+        }
+        let crc = f.u32("record crc")?;
+        let rec = ShardRecord { name, offset, num_images, group_offsets, labels, crc32: crc };
+        // Untrusted footer fields: checked add so a crafted offset
+        // cannot wrap past the bounds check and panic at slice time.
+        if rec.offset.checked_add(rec.len()).is_none_or(|end| end > footer_start) {
+            return Err(Error::Malformed(format!(
+                "record {} extends past the footer ({} + {} > {footer_start})",
+                rec.name,
+                rec.offset,
+                rec.len()
+            )));
+        }
+        records.push(rec);
+    }
+    if f.remaining() != 0 {
+        return Err(Error::Malformed("trailing bytes in shard footer".into()));
+    }
+    Ok(records)
+}
+
 impl ShardIndex {
     /// Parses a complete shard file (header, trailer, footer; record
     /// bytes are *not* checksummed here — see
-    /// [`PcrContainer::verify`]).
+    /// [`PcrContainer::verify`]). This is the strict path: the footer
+    /// CRC is always verified and every entry is validated, for row and
+    /// columnar footers alike. [`PcrContainer::open`] uses the lazy path
+    /// in [`crate::colfooter`] for columnar shards instead.
     pub fn parse(file_name: &str, bytes: &[u8]) -> Result<Self> {
         let mut r = Reader::new(bytes);
         if r.bytes(4, "shard magic")? != SHARD_MAGIC {
             return Err(Error::BadMagic);
         }
         let version = r.u16("shard version")?;
-        if version != CONTAINER_VERSION {
+        if !matches!(version, 1 | 2 | COLUMNAR_VERSION) {
             return Err(Error::BadVersion(version));
         }
         let num_groups = r.u16("shard group count")?;
-        let record_count = r.u32("shard record count")? as usize;
+        let record_count = r.u32("shard record count")?;
         let file_len = bytes.len() as u64;
         if file_len < SHARD_HEADER_LEN + SHARD_TRAILER_LEN {
             return Err(Error::Truncated { context: "shard trailer" });
@@ -172,80 +274,174 @@ impl ShardIndex {
         if crc32(footer) != footer_crc {
             return Err(Error::Corrupt(format!("{file_name}: shard footer CRC mismatch")));
         }
-        // The header's record_count is not covered by any CRC: bound it by
-        // what the footer could possibly hold (each entry is at least a
-        // name length, offset, image count, G+1 offsets, and a CRC) before
-        // trusting it with an allocation.
-        let min_entry = 4 + 8 + 4 + (num_groups as usize + 1) * 8 + 4;
-        if record_count > footer.len() / min_entry {
-            return Err(Error::Malformed(format!(
-                "shard claims {record_count} records but its footer is {} bytes",
-                footer.len()
-            )));
-        }
-        let mut f = Reader::new(footer);
-        // pcr-lint: allow(bounded-alloc) — record_count <= footer.len()/min_entry, checked above
-        let mut records = Vec::with_capacity(record_count);
-        for _ in 0..record_count {
-            let name = String::from_utf8(f.prefixed_bytes("record name")?.to_vec())
-                .map_err(|_| Error::Malformed("record name not UTF-8".into()))?;
-            let offset = f.u64("record offset")?;
-            let num_images = f.u32("record image count")?;
-            // pcr-lint: allow(bounded-alloc) — num_groups is a u16, so at most 65536 entries
-            let mut group_offsets = Vec::with_capacity(num_groups as usize + 1);
-            for _ in 0..=num_groups {
-                group_offsets.push(f.u64("record group offset")?);
-            }
-            // Prefix lengths must be cumulative: a decreasing sequence
-            // would plan ranged reads past the record's end (or wrap the
-            // per-group deltas every consumer computes).
-            // pcr-lint: allow(no-panic-in-hot-path) — windows(2) yields exactly 2 elements
-            if group_offsets.windows(2).any(|w| w[0] > w[1]) {
-                return Err(Error::Malformed(
-                    "record group offsets are not non-decreasing".into(),
-                ));
-            }
-            if num_images as usize > f.remaining() / 4 {
-                return Err(Error::Truncated { context: "record labels" });
-            }
-            // pcr-lint: allow(bounded-alloc) — num_images bounded by remaining/4 just above
-            let mut labels = Vec::with_capacity(num_images as usize);
-            for _ in 0..num_images {
-                labels.push(f.u32("record label")?);
-            }
-            let crc = f.u32("record crc")?;
-            let rec = ShardRecord { name, offset, num_images, group_offsets, labels, crc32: crc };
-            // Untrusted footer fields: checked add so a crafted offset
-            // cannot wrap past the bounds check and panic at slice time.
-            if rec.offset.checked_add(rec.len()).is_none_or(|end| end > footer_start) {
-                return Err(Error::Malformed(format!(
-                    "record {} extends past the footer ({} + {} > {footer_start})",
-                    rec.name,
-                    rec.offset,
-                    rec.len()
-                )));
-            }
-            records.push(rec);
-        }
-        if f.remaining() != 0 {
-            return Err(Error::Malformed("trailing bytes in shard footer".into()));
-        }
-        Ok(Self { file_name: file_name.to_string(), num_groups, records, file_len, footer_crc })
+        let backing = if version == COLUMNAR_VERSION {
+            Backing::Columnar(ColumnarIndex::from_footer(
+                num_groups,
+                record_count,
+                footer,
+                footer_start,
+                file_len,
+            )?)
+        } else {
+            Backing::Rows(parse_row_footer(
+                footer,
+                num_groups,
+                record_count as usize,
+                footer_start,
+            )?)
+        };
+        Ok(Self {
+            file_name: file_name.to_string(),
+            num_groups,
+            version,
+            backing,
+            file_len,
+            footer_crc,
+        })
     }
 
-    /// Total images across the shard's records.
+    /// Records in the shard.
+    pub fn len(&self) -> usize {
+        match &self.backing {
+            Backing::Rows(v) => v.len(),
+            Backing::Columnar(c) => c.len(),
+        }
+    }
+
+    /// True when the shard holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resolves record `k`'s index entry. O(1) in the shard's record
+    /// count for both backings; for a lazily-opened columnar shard this
+    /// issues a handful of small ranged reads.
+    pub fn entry(&self, k: usize) -> Result<ShardRecord> {
+        match &self.backing {
+            Backing::Rows(v) => v.get(k).cloned().ok_or_else(|| {
+                Error::BadInput(format!("record {k} out of range ({} records in shard)", v.len()))
+            }),
+            Backing::Columnar(c) => c.entry(k),
+        }
+    }
+
+    /// Iterates all entries in on-disk order.
+    pub fn entries(&self) -> impl Iterator<Item = Result<ShardRecord>> + '_ {
+        (0..self.len()).map(move |k| self.entry(k))
+    }
+
+    /// Total images across the shard's records — O(1) for columnar
+    /// shards (descriptor field).
     pub fn num_images(&self) -> usize {
-        self.records.iter().map(|r| r.num_images as usize).sum()
+        match &self.backing {
+            Backing::Rows(v) => v.iter().map(|r| r.num_images as usize).sum(),
+            Backing::Columnar(c) => c.num_images(),
+        }
     }
 
-    /// Total record-data bytes (excluding header, footer, and trailer).
+    /// Total record-data bytes (excluding header, footer, and trailer) —
+    /// O(1) for columnar shards (records are packed back to back).
     pub fn data_bytes(&self) -> u64 {
-        self.records.iter().map(|r| r.len()).sum()
+        match &self.backing {
+            Backing::Rows(v) => v.iter().map(|r| r.len()).sum(),
+            Backing::Columnar(c) => c.data_bytes(),
+        }
     }
 
     /// Record-data bytes a loader reads per epoch at scan group `g`.
-    pub fn bytes_at_group(&self, g: usize) -> u64 {
-        self.records.iter().map(|r| r.prefix_len(g)).sum()
+    /// Prefer the manifest's zone-map stats where present — for a lazy
+    /// columnar shard this reads the whole group-offset column.
+    pub fn bytes_at_group(&self, g: usize) -> Result<u64> {
+        match &self.backing {
+            Backing::Rows(v) => Ok(v.iter().map(|r| r.prefix_len(g)).sum()),
+            Backing::Columnar(c) => c.bytes_at_group(g),
+        }
+    }
+
+    /// Smallest and largest full record length in the shard — O(1) for
+    /// columnar shards (descriptor zone map), computed for row shards.
+    pub fn record_len_bounds(&self) -> (u64, u64) {
+        match &self.backing {
+            Backing::Rows(v) if v.is_empty() => (0, 0),
+            Backing::Rows(v) => v.iter().fold((u64::MAX, 0), |(lo, hi), r| {
+                (lo.min(r.len()), hi.max(r.len()))
+            }),
+            Backing::Columnar(c) => c.record_len_bounds(),
+        }
+    }
+
+    /// True when this shard uses the columnar (version 3) footer.
+    pub fn is_columnar(&self) -> bool {
+        matches!(self.backing, Backing::Columnar(_))
+    }
+
+    /// Footer bytes read by lazy entry resolution since open (always 0
+    /// for row shards, whose footer is parsed up front).
+    pub fn index_bytes_read(&self) -> u64 {
+        match &self.backing {
+            Backing::Rows(_) => 0,
+            Backing::Columnar(c) => c.index_bytes_read(),
+        }
+    }
+}
+
+/// Maximum distinct labels recorded in a shard's manifest histogram.
+/// Beyond this the histogram is truncated and marked incomplete.
+pub const LABEL_HIST_CAP: usize = 64;
+
+/// Per-shard zone-map statistics carried in a version-3 manifest, so a
+/// reader can answer byte-budget questions (`bytes_at_group`, totals)
+/// without touching any shard footer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Total record-data bytes in the shard.
+    pub data_bytes: u64,
+    /// Smallest full record length.
+    pub min_record_len: u64,
+    /// Largest full record length.
+    pub max_record_len: u64,
+    /// `bytes_at_group[g]` = record-data bytes an epoch reads at scan
+    /// group `g` (length `num_groups + 1`).
+    pub bytes_at_group: Vec<u64>,
+    /// `(label, count)` pairs, ascending by label, capped at
+    /// [`LABEL_HIST_CAP`] distinct labels.
+    pub label_hist: Vec<(u32, u64)>,
+    /// False when the shard had more distinct labels than the cap.
+    pub hist_complete: bool,
+}
+
+impl ShardStats {
+    /// Computes the stats for one shard's records at write time.
+    fn compute(num_groups: u16, metas: &[&RecordMeta]) -> Self {
+        // pcr-lint: allow(bounded-alloc) — writer side; u16 bounds it at 512KiB
+        let mut bytes_at_group = vec![0u64; num_groups as usize + 1];
+        let mut hist = std::collections::BTreeMap::new();
+        let (mut data_bytes, mut min_len, mut max_len) = (0u64, u64::MAX, 0u64);
+        for m in metas {
+            let len = m.total_len();
+            data_bytes += len;
+            min_len = min_len.min(len);
+            max_len = max_len.max(len);
+            for (g, slot) in bytes_at_group.iter_mut().enumerate() {
+                *slot += m.prefix_len(g);
+            }
+            for &label in &m.labels {
+                *hist.entry(label).or_insert(0u64) += 1;
+            }
+        }
+        if metas.is_empty() {
+            min_len = 0;
+        }
+        let hist_complete = hist.len() <= LABEL_HIST_CAP;
+        let label_hist = hist.into_iter().take(LABEL_HIST_CAP).collect();
+        Self {
+            data_bytes,
+            min_record_len: min_len,
+            max_record_len: max_len,
+            bytes_at_group,
+            label_hist,
+            hist_complete,
+        }
     }
 }
 
@@ -263,6 +459,8 @@ pub struct ShardSummary {
     /// Expected CRC-32 of the shard's footer — ties the manifest to the
     /// exact shard files it was written with.
     pub footer_crc: u32,
+    /// Zone-map statistics (version-3 manifests; `None` in version 1).
+    pub stats: Option<ShardStats>,
 }
 
 /// The container manifest: shard enumeration plus shared parameters.
@@ -293,6 +491,7 @@ impl ContainerManifest {
     }
 
     /// Serializes the manifest (ending in a CRC-32 of all prior bytes).
+    /// Version-3 manifests append each shard's zone-map stats block.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         out.extend_from_slice(MANIFEST_MAGIC);
@@ -308,13 +507,39 @@ impl ContainerManifest {
             put_u32(&mut out, s.records);
             put_u32(&mut out, s.images);
             put_u32(&mut out, s.footer_crc);
+            if self.version >= COLUMNAR_VERSION {
+                match &s.stats {
+                    None => out.push(0),
+                    Some(st) => {
+                        out.push(1);
+                        put_u64(&mut out, st.data_bytes);
+                        put_u64(&mut out, st.min_record_len);
+                        put_u64(&mut out, st.max_record_len);
+                        debug_assert!(st.bytes_at_group.len() <= u16::MAX as usize);
+                        // pcr-lint: allow(no-truncating-cast) — writer side; num_groups+1 fits u16, asserted above
+                        put_u16(&mut out, st.bytes_at_group.len() as u16);
+                        for &b in &st.bytes_at_group {
+                            put_u64(&mut out, b);
+                        }
+                        out.push(u8::from(st.hist_complete));
+                        debug_assert!(st.label_hist.len() <= LABEL_HIST_CAP);
+                        // pcr-lint: allow(no-truncating-cast) — writer side; capped at LABEL_HIST_CAP above
+                        put_u16(&mut out, st.label_hist.len() as u16);
+                        for &(label, count) in &st.label_hist {
+                            put_u32(&mut out, label);
+                            put_u64(&mut out, count);
+                        }
+                    }
+                }
+            }
         }
         let crc = crc32(&out);
         put_u32(&mut out, crc);
         out
     }
 
-    /// Parses a serialized manifest, verifying its checksum.
+    /// Parses a serialized manifest, verifying its checksum. Accepts
+    /// version 1 (no stats) and version 3 (zone-map stats per shard).
     pub fn from_bytes(data: &[u8]) -> Result<Self> {
         if data.len() < 4 {
             return Err(Error::Truncated { context: "manifest checksum" });
@@ -331,7 +556,7 @@ impl ContainerManifest {
             return Err(Error::BadMagic);
         }
         let version = r.u16("manifest version")?;
-        if version != CONTAINER_VERSION {
+        if !matches!(version, CONTAINER_VERSION_ROWS | COLUMNAR_VERSION) {
             return Err(Error::BadVersion(version));
         }
         let num_groups = r.u16("manifest group count")?;
@@ -352,7 +577,12 @@ impl ContainerManifest {
             let records = r.u32("shard record count")?;
             let images = r.u32("shard image count")?;
             let footer_crc = r.u32("shard footer crc")?;
-            shards.push(ShardSummary { file_name, file_len, records, images, footer_crc });
+            let stats = if version >= COLUMNAR_VERSION {
+                parse_shard_stats(&mut r)?
+            } else {
+                None
+            };
+            shards.push(ShardSummary { file_name, file_len, records, images, footer_crc, stats });
         }
         if r.remaining() != 0 {
             return Err(Error::Malformed("trailing bytes in manifest".into()));
@@ -361,15 +591,62 @@ impl ContainerManifest {
     }
 }
 
+/// Parses one shard's optional stats block from a version-3 manifest.
+fn parse_shard_stats(r: &mut Reader<'_>) -> Result<Option<ShardStats>> {
+    let present = r.bytes(1, "shard stats flag")?[0];
+    if present == 0 {
+        return Ok(None);
+    }
+    let data_bytes = r.u64("shard data bytes")?;
+    let min_record_len = r.u64("shard min record length")?;
+    let max_record_len = r.u64("shard max record length")?;
+    let glen = r.u16("shard group byte count")? as usize;
+    if glen > r.remaining() / 8 {
+        return Err(Error::Truncated { context: "shard group bytes" });
+    }
+    // pcr-lint: allow(bounded-alloc) — glen bounded by remaining/8 just above
+    let mut bytes_at_group = Vec::with_capacity(glen);
+    for _ in 0..glen {
+        bytes_at_group.push(r.u64("shard group bytes")?);
+    }
+    let hist_complete = r.bytes(1, "shard histogram flag")?[0] != 0;
+    let hist_len = r.u16("shard histogram length")? as usize;
+    if hist_len > LABEL_HIST_CAP || hist_len > r.remaining() / 12 {
+        return Err(Error::Malformed(format!(
+            "shard histogram claims {hist_len} entries"
+        )));
+    }
+    // pcr-lint: allow(bounded-alloc) — hist_len capped at LABEL_HIST_CAP just above
+    let mut label_hist = Vec::with_capacity(hist_len);
+    for _ in 0..hist_len {
+        let label = r.u32("shard histogram label")?;
+        let count = r.u64("shard histogram count")?;
+        label_hist.push((label, count));
+    }
+    Ok(Some(ShardStats {
+        data_bytes,
+        min_record_len,
+        max_record_len,
+        bytes_at_group,
+        label_hist,
+        hist_complete,
+    }))
+}
+
 /// Serializes one shard (header + records + footer + trailer) from record
 /// byte blobs and their metadata. `metas` must parallel `records`.
-fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]) -> Vec<u8> {
+/// `version` selects the footer encoding: rows (1) or columnar (3).
+fn build_shard(
+    num_groups: u16,
+    records: &[(&RecordMeta, &[u8])],
+    version: u16,
+) -> Vec<u8> {
     let data_len: usize = records.iter().map(|(_, b)| b.len()).sum();
     // pcr-lint: allow(bounded-alloc) — writer side: data_len is the sum of
     // in-memory record buffers already held by the caller.
     let mut out = Vec::with_capacity(SHARD_HEADER_LEN as usize + data_len);
     out.extend_from_slice(SHARD_MAGIC);
-    put_u16(&mut out, CONTAINER_VERSION);
+    put_u16(&mut out, version);
     put_u16(&mut out, num_groups);
     debug_assert!(records.len() <= u32::MAX as usize);
     // pcr-lint: allow(no-truncating-cast) — writer side; asserted above
@@ -380,19 +657,26 @@ fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]
         offsets.push(out.len() as u64);
         out.extend_from_slice(bytes);
     }
-    let mut footer = Vec::new();
-    for ((meta, bytes), offset) in records.iter().zip(offsets) {
-        put_bytes(&mut footer, meta.name.as_bytes());
-        put_u64(&mut footer, offset);
-        put_u32(&mut footer, meta.num_images);
-        for &o in &meta.group_offsets {
-            put_u64(&mut footer, o);
+    let footer = if version == COLUMNAR_VERSION {
+        let metas: Vec<&RecordMeta> = records.iter().map(|(m, _)| *m).collect();
+        let crcs: Vec<u32> = records.iter().map(|(_, b)| crc32(b)).collect();
+        colfooter::build_footer(num_groups, &metas, &offsets, &crcs, out.len() as u64)
+    } else {
+        let mut footer = Vec::new();
+        for ((meta, bytes), offset) in records.iter().zip(offsets) {
+            put_bytes(&mut footer, meta.name.as_bytes());
+            put_u64(&mut footer, offset);
+            put_u32(&mut footer, meta.num_images);
+            for &o in &meta.group_offsets {
+                put_u64(&mut footer, o);
+            }
+            for &l in &meta.labels {
+                put_u32(&mut footer, l);
+            }
+            put_u32(&mut footer, crc32(bytes));
         }
-        for &l in &meta.labels {
-            put_u32(&mut footer, l);
-        }
-        put_u32(&mut footer, crc32(bytes));
-    }
+        footer
+    };
     let footer_crc = crc32(&footer);
     debug_assert!(footer.len() <= u32::MAX as usize);
     // pcr-lint: allow(no-truncating-cast) — writer side; asserted above
@@ -405,14 +689,29 @@ fn build_shard(num_groups: u16, records: &[(&crate::dataset::RecordMeta, &[u8])]
 }
 
 /// Writes `dataset` as a sharded container under `dir` with
-/// `records_per_shard` records per shard file. Creates the directory if
-/// needed; refuses to overwrite an existing manifest. Returns the
-/// manifest that was written.
+/// `records_per_shard` records per shard file, in the default (columnar)
+/// format. Creates the directory if needed; refuses to overwrite an
+/// existing manifest. Returns the manifest that was written.
 pub fn write_container(
     dataset: &PcrDataset,
     dir: &Path,
     records_per_shard: usize,
 ) -> Result<ContainerManifest> {
+    write_container_versioned(dataset, dir, records_per_shard, CONTAINER_VERSION)
+}
+
+/// [`write_container`] with an explicit container format version:
+/// [`CONTAINER_VERSION_ROWS`] (1, row footers, no manifest stats) or
+/// [`crate::colfooter::COLUMNAR_VERSION`] (3, the default).
+pub fn write_container_versioned(
+    dataset: &PcrDataset,
+    dir: &Path,
+    records_per_shard: usize,
+    version: u16,
+) -> Result<ContainerManifest> {
+    if !matches!(version, CONTAINER_VERSION_ROWS | COLUMNAR_VERSION) {
+        return Err(Error::BadVersion(version));
+    }
     if dataset.records.is_empty() {
         return Err(Error::BadInput("container needs at least one record".into()));
     }
@@ -428,7 +727,7 @@ pub fn write_container(
     let num_groups = u16::try_from(dataset.db.num_groups())
         .map_err(|_| Error::BadInput("group count exceeds u16".into()))?;
     let mut shards = Vec::new();
-    let entries: Vec<(&crate::dataset::RecordMeta, &[u8])> = dataset
+    let entries: Vec<(&RecordMeta, &[u8])> = dataset
         .db
         .records
         .iter()
@@ -436,7 +735,7 @@ pub fn write_container(
         .collect();
     for (i, chunk) in entries.chunks(records_per_shard).enumerate() {
         let file_name = format!("shard-{i:05}.pcrshard");
-        let bytes = build_shard(num_groups, chunk);
+        let bytes = build_shard(num_groups, chunk, version);
         let index = ShardIndex::parse(&file_name, &bytes).map_err(|e| {
             Error::Malformed(format!("freshly written shard does not parse back: {e}"))
         })?;
@@ -445,15 +744,20 @@ pub fn write_container(
             .map_err(|_| Error::BadInput("too many records per shard".into()))?;
         let images = u32::try_from(index.num_images())
             .map_err(|_| Error::BadInput("too many images per shard".into()))?;
+        let stats = (version == COLUMNAR_VERSION).then(|| {
+            let metas: Vec<&RecordMeta> = chunk.iter().map(|(m, _)| *m).collect();
+            ShardStats::compute(num_groups, &metas)
+        });
         shards.push(ShardSummary {
             file_name,
             file_len: bytes.len() as u64,
             records,
             images,
             footer_crc: index.footer_crc,
+            stats,
         });
     }
-    let manifest = ContainerManifest { version: CONTAINER_VERSION, num_groups, shards };
+    let manifest = ContainerManifest { version, num_groups, shards };
     fs::write(manifest_path, manifest.to_bytes()).map_err(io_err("write manifest"))?;
     Ok(manifest)
 }
@@ -507,15 +811,35 @@ impl PcrContainer {
         self.manifest.num_images()
     }
 
-    /// Total record-data bytes at full quality.
+    /// Total record-data bytes at full quality — O(shards) for both
+    /// formats (columnar shards answer from descriptor arithmetic).
     pub fn total_data_bytes(&self) -> u64 {
         self.shards.iter().map(ShardIndex::data_bytes).sum()
     }
 
     /// Record-data bytes a loader reads per epoch at scan group `g` — the
-    /// fidelity byte breakdown `pcr inspect` prints.
-    pub fn bytes_at_group(&self, g: usize) -> u64 {
-        self.shards.iter().map(|s| s.bytes_at_group(g)).sum()
+    /// fidelity byte breakdown `pcr inspect` prints. Answered from the
+    /// manifest's zone-map stats where present (O(shards), no footer
+    /// reads); otherwise falls back to the shard indexes.
+    pub fn bytes_at_group(&self, g: usize) -> Result<u64> {
+        let mut total = 0u64;
+        for (summary, shard) in self.manifest.shards.iter().zip(&self.shards) {
+            total += match &summary.stats {
+                Some(st) if !st.bytes_at_group.is_empty() => {
+                    let last = st.bytes_at_group.len() - 1;
+                    // pcr-lint: allow(no-panic-in-hot-path) — index clamped to last just above
+                    st.bytes_at_group[g.min(last)]
+                }
+                _ => shard.bytes_at_group(g)?,
+            };
+        }
+        Ok(total)
+    }
+
+    /// Footer bytes read by lazy index resolution across all shards
+    /// since open (0 for row-format containers).
+    pub fn index_bytes_read(&self) -> u64 {
+        self.shards.iter().map(ShardIndex::index_bytes_read).sum()
     }
 
     /// Path of shard `i`.
@@ -528,17 +852,46 @@ impl PcrContainer {
     }
 
     /// Resolves a global record index (dataset order: shard by shard) to
-    /// `(shard index, record)`.
-    pub fn record(&self, global: usize) -> Option<(usize, &ShardRecord)> {
+    /// `(shard index, record entry)` — O(shards) arithmetic plus one
+    /// O(1) entry resolution, never a catalog walk.
+    pub fn entry(&self, global: usize) -> Result<(usize, ShardRecord)> {
         let mut idx = global;
         for (s, shard) in self.shards.iter().enumerate() {
-            if idx < shard.records.len() {
-                // pcr-lint: allow(no-panic-in-hot-path) — idx < len checked just above
-                return Some((s, &shard.records[idx]));
+            if idx < shard.len() {
+                return Ok((s, shard.entry(idx)?));
             }
-            idx -= shard.records.len();
+            idx -= shard.len();
         }
-        None
+        Err(Error::BadInput(format!(
+            "record {global} out of range ({} records in container)",
+            self.num_records()
+        )))
+    }
+
+    /// Like [`PcrContainer::entry`], with errors (out of range, I/O,
+    /// corrupt entry) collapsed to `None`.
+    pub fn record(&self, global: usize) -> Option<(usize, ShardRecord)> {
+        self.entry(global).ok()
+    }
+
+    /// Reads one record's bytes with a single ranged read and verifies
+    /// them against the entry's CRC-32 — O(record), not O(shard).
+    pub fn read_record(&self, shard: usize, rec: &ShardRecord) -> Result<Vec<u8>> {
+        let path = self.shard_path(shard);
+        let mut file = fs::File::open(&path).map_err(io_err("open shard"))?;
+        file.seek(SeekFrom::Start(rec.offset)).map_err(io_err("seek record"))?;
+        // pcr-lint: allow(bounded-alloc) — record length validated against
+        // the shard's data region when the entry was parsed.
+        let mut bytes = vec![0u8; rec.len() as usize];
+        file.read_exact(&mut bytes).map_err(io_err("read record"))?;
+        let actual = crc32(&bytes);
+        if actual != rec.crc32 {
+            return Err(Error::Corrupt(format!(
+                "record {} CRC mismatch (stored {:#010x}, computed {actual:#010x})",
+                rec.name, rec.crc32
+            )));
+        }
+        Ok(bytes)
     }
 
     /// Reads shard `i`'s full file from disk.
@@ -560,15 +913,26 @@ impl PcrContainer {
         Ok(bytes)
     }
 
-    /// Reads shard `i` and verifies every record's CRC-32 against the
-    /// footer index, rejecting corrupted data.
+    /// Reads shard `i` and verifies it in full: a strict re-parse of the
+    /// footer (including the footer CRC the lazy columnar open defers)
+    /// followed by every record's CRC-32 against the footer index,
+    /// rejecting corrupted data.
     ///
     /// # Panics
     /// Like slice indexing, panics when `i` is not a valid shard index.
     pub fn read_shard_verified(&self, i: usize) -> Result<Vec<u8>> {
         let bytes = self.read_shard(i)?;
         // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
-        for rec in &self.shards[i].records {
+        let file_name = &self.manifest.shards[i].file_name;
+        let index = ShardIndex::parse(file_name, &bytes)?;
+        // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
+        if index.footer_crc != self.shards[i].footer_crc {
+            return Err(Error::Corrupt(format!(
+                "{file_name}: footer CRC changed since open"
+            )));
+        }
+        for rec in index.entries() {
+            let rec = rec?;
             let start = rec.offset as usize;
             let end = start + rec.len() as usize;
             let stored = rec.crc32;
@@ -580,8 +944,6 @@ impl PcrContainer {
                 .ok_or_else(|| Error::Corrupt(format!("record {} out of shard bounds", rec.name)))?;
             let actual = crc32(data);
             if actual != stored {
-                // pcr-lint: allow(no-panic-in-hot-path) — same shard index as above
-                let file_name = &self.manifest.shards[i].file_name;
                 return Err(Error::Corrupt(format!(
                     "{file_name}: record {} CRC mismatch (stored {stored:#010x}, \
                      computed {actual:#010x})",
@@ -594,7 +956,9 @@ impl PcrContainer {
 
     /// Full integrity pass: re-reads every shard and verifies every
     /// record checksum. `Ok(())` means every byte of record data matches
-    /// the footers the manifest vouches for.
+    /// the footers the manifest vouches for. For columnar containers
+    /// this is where the footer CRC deferred by the O(1) open is
+    /// actually checked.
     pub fn verify(&self) -> Result<()> {
         for i in 0..self.shards.len() {
             self.read_shard_verified(i)?;
@@ -603,9 +967,11 @@ impl PcrContainer {
     }
 }
 
-/// Reads and parses one shard's index, reading only the header and the
-/// footer region (not the record data), and cross-checks it against the
-/// manifest summary.
+/// Reads and parses one shard's index, cross-checking it against the
+/// manifest summary. For columnar (version 3) shards this reads only the
+/// 12-byte header and the 52-byte descriptor + trailer tail and defers
+/// every entry to lazy column reads — O(1) in the shard's record count.
+/// Row shards (versions 1/2) still read and parse their whole footer.
 fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
     let mut file = fs::File::open(path).map_err(io_err("open shard"))?;
     let file_len = file.metadata().map_err(io_err("stat shard"))?.len();
@@ -619,16 +985,44 @@ fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
     if file_len < SHARD_HEADER_LEN + SHARD_TRAILER_LEN {
         return Err(Error::Truncated { context: "shard trailer" });
     }
-    // Tail read: trailer tells us how far back the footer starts.
+    let file_name =
+        path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
+    let mut head = [0u8; SHARD_HEADER_LEN as usize];
+    file.read_exact(&mut head).map_err(io_err("read shard header"))?;
+    let mut h = Reader::new(&head);
+    if h.bytes(4, "shard magic")? != SHARD_MAGIC {
+        return Err(Error::BadMagic);
+    }
+    let version = h.u16("shard version")?;
+    let num_groups = h.u16("shard group count")?;
+    let record_count = h.u32("shard record count")?;
+    if version == COLUMNAR_VERSION {
+        // O(1) open: descriptor + trailer only; the footer CRC is noted
+        // for verify() but not checked here (that would read the footer).
+        let (col, footer_crc) =
+            ColumnarIndex::open_lazy(file, num_groups, record_count, file_len)?;
+        if footer_crc != summary.footer_crc {
+            return Err(Error::Corrupt(format!(
+                "{}: footer CRC {footer_crc:#010x} does not match manifest {:#010x}",
+                path.display(),
+                summary.footer_crc
+            )));
+        }
+        return Ok(ShardIndex {
+            file_name,
+            num_groups,
+            version,
+            backing: Backing::Columnar(col),
+            file_len,
+            footer_crc,
+        });
+    }
+    // Row formats: tail read, then a sparse image for the strict parser.
     let mut trailer = [0u8; SHARD_TRAILER_LEN as usize];
     file.seek(SeekFrom::End(-(SHARD_TRAILER_LEN as i64))).map_err(io_err("seek shard"))?;
     file.read_exact(&mut trailer).map_err(io_err("read shard trailer"))?;
     let footer_len = u64::from(Reader::new(&trailer).u32("footer length")?);
     let tail_len = (SHARD_TRAILER_LEN + footer_len).min(file_len - SHARD_HEADER_LEN);
-    // Header + footer + trailer, skipping the record data in between.
-    let mut head = [0u8; SHARD_HEADER_LEN as usize];
-    file.seek(SeekFrom::Start(0)).map_err(io_err("seek shard"))?;
-    file.read_exact(&mut head).map_err(io_err("read shard header"))?;
     // pcr-lint: allow(bounded-alloc) — tail_len clamped to the on-disk file size just above
     let mut tail = vec![0u8; tail_len as usize];
     file.seek(SeekFrom::End(-(tail_len as i64))).map_err(io_err("seek shard"))?;
@@ -641,8 +1035,6 @@ fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
     image.extend_from_slice(&head);
     image.resize((file_len - tail_len) as usize, 0);
     image.extend_from_slice(&tail);
-    let file_name =
-        path.file_name().map(|n| n.to_string_lossy().into_owned()).unwrap_or_default();
     let index = ShardIndex::parse(&file_name, &image)?;
     if index.footer_crc != summary.footer_crc {
         return Err(Error::Corrupt(format!(
@@ -699,13 +1091,15 @@ mod tests {
         let ds = build(10, 2); // 5 records
         let manifest = write_container(&ds, &dir, 2).unwrap();
         assert_eq!(manifest.shards.len(), 3); // 2 + 2 + 1 records
+        assert_eq!(manifest.version, COLUMNAR_VERSION, "default format is columnar");
         let c = PcrContainer::open(&dir).unwrap();
+        assert!(c.shards.iter().all(ShardIndex::is_columnar));
         assert_eq!(c.num_records(), 5);
         assert_eq!(c.num_images(), 10);
         assert_eq!(c.num_groups(), 10);
         assert_eq!(c.total_data_bytes(), ds.db.total_bytes());
         for g in 0..=10 {
-            assert_eq!(c.bytes_at_group(g), ds.db.bytes_at_group(g), "group {g}");
+            assert_eq!(c.bytes_at_group(g).unwrap(), ds.db.bytes_at_group(g), "group {g}");
         }
         // Record names, labels, and group offsets survive byte-for-byte.
         for (i, meta) in ds.db.records.iter().enumerate() {
@@ -716,6 +1110,60 @@ mod tests {
         }
         c.verify().unwrap();
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn row_and_columnar_containers_agree() {
+        let dir_v1 = tmpdir("agree-v1");
+        let dir_v3 = tmpdir("agree-v3");
+        let ds = build(9, 3); // 3 records
+        write_container_versioned(&ds, &dir_v1, 2, CONTAINER_VERSION_ROWS).unwrap();
+        write_container_versioned(&ds, &dir_v3, 2, COLUMNAR_VERSION).unwrap();
+        let c1 = PcrContainer::open(&dir_v1).unwrap();
+        let c3 = PcrContainer::open(&dir_v3).unwrap();
+        assert!(!c1.shards[0].is_columnar());
+        assert!(c3.shards[0].is_columnar());
+        assert_eq!(c1.num_records(), c3.num_records());
+        assert_eq!(c1.total_data_bytes(), c3.total_data_bytes());
+        for g in 0..=10 {
+            assert_eq!(c1.bytes_at_group(g).unwrap(), c3.bytes_at_group(g).unwrap());
+        }
+        for shard in 0..c1.shards.len() {
+            assert_eq!(
+                c1.shards[shard].record_len_bounds(),
+                c3.shards[shard].record_len_bounds()
+            );
+            assert_eq!(c1.shards[shard].num_images(), c3.shards[shard].num_images());
+        }
+        for i in 0..c1.num_records() {
+            let (s1, r1) = c1.entry(i).unwrap();
+            let (s3, r3) = c3.entry(i).unwrap();
+            assert_eq!(s1, s3);
+            assert_eq!(r1, r3, "record {i} entries must agree across formats");
+        }
+        c1.verify().unwrap();
+        c3.verify().unwrap();
+        fs::remove_dir_all(&dir_v1).unwrap();
+        fs::remove_dir_all(&dir_v3).unwrap();
+    }
+
+    #[test]
+    fn lazy_entry_resolution_reads_o1_bytes() {
+        let dir_small = tmpdir("lazy-small");
+        let dir_big = tmpdir("lazy-big");
+        let small = build(4, 1); // 4 records
+        let big = build(40, 1); // 40 records
+        write_container(&small, &dir_small, 64).unwrap();
+        write_container(&big, &dir_big, 64).unwrap();
+        let cs = PcrContainer::open(&dir_small).unwrap();
+        let cb = PcrContainer::open(&dir_big).unwrap();
+        cs.entry(1).unwrap();
+        cb.entry(1).unwrap();
+        let (rs, rb) = (cs.index_bytes_read(), cb.index_bytes_read());
+        assert!(rs > 0, "lazy columnar entry must issue footer reads");
+        assert_eq!(rs, rb, "entry cost must not grow with shard size ({rs} vs {rb})");
+        fs::remove_dir_all(&dir_small).unwrap();
+        fs::remove_dir_all(&dir_big).unwrap();
     }
 
     #[test]
@@ -756,10 +1204,10 @@ mod tests {
     }
 
     #[test]
-    fn tampered_footer_is_rejected_at_open() {
-        let dir = tmpdir("footer");
+    fn tampered_row_footer_is_rejected_at_open() {
+        let dir = tmpdir("footer-v1");
         let ds = build(4, 2);
-        write_container(&ds, &dir, 2).unwrap();
+        write_container_versioned(&ds, &dir, 2, CONTAINER_VERSION_ROWS).unwrap();
         let c = PcrContainer::open(&dir).unwrap();
         let path = c.shard_path(0);
         let mut bytes = fs::read(&path).unwrap();
@@ -769,6 +1217,77 @@ mod tests {
         fs::write(&path, &bytes).unwrap();
         let err = PcrContainer::open(&dir).unwrap_err();
         assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_columnar_footer_is_caught_by_verify() {
+        let dir = tmpdir("footer-v3");
+        let ds = build(4, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Flip a byte at the very start of the footer (the name blob).
+        let n = bytes.len();
+        let footer_len =
+            u32::from_le_bytes(bytes[n - 12..n - 8].try_into().unwrap()) as usize;
+        let footer_start = n - 12 - footer_len;
+        bytes[footer_start] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        // The O(1) open never reads the tampered column, so it succeeds;
+        // the deferred footer CRC check in verify() catches it.
+        let c = PcrContainer::open(&dir).unwrap();
+        let err = c.verify().unwrap_err();
+        assert!(matches!(err, Error::Corrupt(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn tampered_columnar_descriptor_is_rejected_at_open() {
+        let dir = tmpdir("desc-v3");
+        let ds = build(4, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        // Corrupt the descriptor's record count: geometry no longer
+        // tiles the footer, which the O(1) open itself detects.
+        let n = bytes.len();
+        let desc = n - 12 - 40;
+        bytes[desc + 4..desc + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let err = PcrContainer::open(&dir).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)), "{err:?}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crafted_columnar_offset_is_malformed_at_entry() {
+        let dir = tmpdir("colcraft");
+        let ds = build(2, 2);
+        write_container(&ds, &dir, 2).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let path = c.shard_path(0);
+        let mut bytes = fs::read(&path).unwrap();
+        let n = bytes.len();
+        let footer_len =
+            u32::from_le_bytes(bytes[n - 12..n - 8].try_into().unwrap()) as usize;
+        let footer_start = n - 12 - footer_len;
+        // Offsets column follows name_blob + name_ends; patch record 0's
+        // offset to near-u64::MAX. The lazy open cannot see this (it
+        // reads no columns), but entry(0) must reject, not panic.
+        let desc = n - 12 - 40;
+        let name_blob_len =
+            u32::from_le_bytes(bytes[desc + 12..desc + 16].try_into().unwrap()) as usize;
+        let record_count =
+            u32::from_le_bytes(bytes[desc + 4..desc + 8].try_into().unwrap()) as usize;
+        let off_col = footer_start + name_blob_len + 4 * record_count;
+        bytes[off_col..off_col + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        fs::write(&path, &bytes).unwrap();
+        let c = PcrContainer::open(&dir).unwrap();
+        let err = c.shards[0].entry(0).unwrap_err();
+        assert!(matches!(err, Error::Malformed(_)), "{err:?}");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -789,7 +1308,7 @@ mod tests {
     fn crafted_offset_overflow_is_malformed_not_panic() {
         let dir = tmpdir("overflow");
         let ds = build(2, 2);
-        write_container(&ds, &dir, 2).unwrap();
+        write_container_versioned(&ds, &dir, 2, CONTAINER_VERSION_ROWS).unwrap();
         let c = PcrContainer::open(&dir).unwrap();
         let mut bytes = fs::read(c.shard_path(0)).unwrap();
         let n = bytes.len();
@@ -815,7 +1334,7 @@ mod tests {
     fn decreasing_group_offsets_are_malformed_not_panic() {
         let dir = tmpdir("monotone");
         let ds = build(2, 2);
-        write_container(&ds, &dir, 2).unwrap();
+        write_container_versioned(&ds, &dir, 2, CONTAINER_VERSION_ROWS).unwrap();
         let c = PcrContainer::open(&dir).unwrap();
         let mut bytes = fs::read(c.shard_path(0)).unwrap();
         let n = bytes.len();
@@ -841,7 +1360,7 @@ mod tests {
     fn oversized_record_count_is_malformed_not_abort() {
         let dir = tmpdir("count");
         let ds = build(2, 2);
-        write_container(&ds, &dir, 2).unwrap();
+        write_container_versioned(&ds, &dir, 2, CONTAINER_VERSION_ROWS).unwrap();
         let c = PcrContainer::open(&dir).unwrap();
         let mut bytes = fs::read(c.shard_path(0)).unwrap();
         // The header's record_count is not covered by any CRC; a flipped

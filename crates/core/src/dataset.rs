@@ -244,6 +244,18 @@ impl PcrDatasetBuilder {
         Ok(())
     }
 
+    /// Records flushed to the dataset so far (excludes the partial
+    /// record still accumulating). Progress-reporting hook for packers.
+    pub fn records_flushed(&self) -> usize {
+        self.dataset.records.len()
+    }
+
+    /// Encoded bytes flushed to the dataset so far (excludes the partial
+    /// record still accumulating). Progress-reporting hook for packers.
+    pub fn bytes_flushed(&self) -> u64 {
+        self.dataset.records.iter().map(|r| r.len() as u64).sum()
+    }
+
     /// Flushes any partial record and returns the dataset.
     pub fn finish(mut self) -> Result<PcrDataset> {
         self.flush()?;

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod colfooter;
 pub mod container;
 pub mod dataset;
 pub mod error;
@@ -45,8 +46,10 @@ pub mod record;
 pub mod wire;
 
 pub use baseline::{FilePerImageDataset, RecordFile, RecordFileBuilder};
+pub use colfooter::{ColumnarIndex, COLUMNAR_VERSION};
 pub use container::{
-    write_container, ContainerManifest, PcrContainer, ShardIndex, ShardRecord, ShardSummary,
+    write_container, write_container_versioned, ContainerManifest, PcrContainer, ShardIndex,
+    ShardRecord, ShardStats, ShardSummary, CONTAINER_VERSION, CONTAINER_VERSION_ROWS,
 };
 pub use dataset::{MetaDb, PcrDataset, PcrDatasetBuilder, RecordMeta};
 pub use error::{Error, Result};

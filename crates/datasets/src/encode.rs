@@ -212,7 +212,7 @@ mod tests {
         assert_eq!(container.num_images(), ds.train.len());
         let (pcr, _) = to_pcr_dataset(&ds, 4);
         assert_eq!(container.num_records(), pcr.num_records());
-        assert_eq!(container.bytes_at_group(2), pcr.db.bytes_at_group(2));
+        assert_eq!(container.bytes_at_group(2).unwrap(), pcr.db.bytes_at_group(2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

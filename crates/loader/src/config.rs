@@ -77,6 +77,13 @@ impl LoaderConfig {
     pub fn epoch_order(&self, n: usize, epoch: u64) -> Vec<usize> {
         crate::source::ReadPlanner::from_config(self).epoch_order(n, epoch)
     }
+
+    /// Streaming form of [`LoaderConfig::epoch_order`]: the same schedule
+    /// as a constant-size [`crate::order::EpochOrder`] bijection, with no
+    /// allocation proportional to `n`.
+    pub fn epoch_iter(&self, n: usize, epoch: u64) -> crate::order::EpochOrder {
+        crate::source::ReadPlanner::from_config(self).epoch_iter(n, epoch)
+    }
 }
 
 #[cfg(test)]

@@ -60,6 +60,7 @@ pub mod baseline_loader;
 pub mod config;
 pub mod fidelity;
 pub mod loader;
+pub mod order;
 pub mod parallel;
 pub mod pipeline;
 pub mod sharded;
@@ -72,6 +73,7 @@ pub use fidelity::{
     probe_group_scores, probe_source_scores, FidelityConfig, FidelityController, FidelityDecision,
 };
 pub use loader::{populate_store, run_virtual_epoch, EpochResult, LoadedRecord, PcrLoader};
+pub use order::EpochOrder;
 pub use parallel::{
     EpochStream, IoModel, Minibatch, ParallelConfig, ParallelLoader, ParallelStats, WallClockEpoch,
 };

@@ -137,13 +137,15 @@ pub fn run_virtual_epoch<S: RecordSource + ?Sized>(
     epoch: u64,
     start: f64,
 ) -> EpochResult {
-    let order = planner.epoch_order(source.num_records(), epoch);
+    // Streaming order: the Feistel bijection yields indices one at a
+    // time, so epoch start allocates nothing proportional to n.
+    let order = planner.epoch_iter(source.num_records(), epoch);
     let mut scratch = RecordScratch::new();
     let threads = config.threads.max(1);
     // Each worker's virtual "free at" time.
     let mut free_at = vec![start; threads];
-    let mut out: Vec<LoadedRecord> = Vec::with_capacity(order.len());
-    for (seq, &rec_idx) in order.iter().enumerate() {
+    let mut out: Vec<LoadedRecord> = Vec::with_capacity(order.num_records());
+    for (seq, rec_idx) in order.enumerate() {
         // Greedy: the earliest-free worker takes the next record.
         let worker = (0..threads)
             .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("no NaN"))

@@ -1,0 +1,222 @@
+//! Streaming epoch order: a seeded Feistel-network bijection over
+//! `[0, n)` that replaces the materialized Fisher–Yates permutation.
+//!
+//! The old `epoch_order` allocated a `Vec<usize>` of every record index
+//! and shuffled it — O(n) memory at the start of *every* epoch, which is
+//! exactly the cost the ROADMAP's "tens of millions of records" item
+//! forbids. An [`EpochOrder`] is instead a pure function: a four-round
+//! Feistel network over the smallest even-bit-width domain covering `n`,
+//! with round keys derived from `(seed, epoch)` by splitmix64, restricted
+//! to `[0, n)` by cycle-walking. The whole object is a few machine words
+//! — cloning it, sharing it across worker threads, or indexing it at
+//! random position `i` are all O(1).
+//!
+//! Properties the loaders rely on (proved by `tests/properties.rs`):
+//!
+//! * **Permutation**: for any `n` (including non-powers-of-two) every
+//!   index in `[0, n)` is produced exactly once per epoch.
+//! * **Determinism**: a fixed `(seed, epoch)` pair names the same order
+//!   for every loader, every scan group, and every worker count.
+//! * **Per-epoch variation**: different seeds or epochs give different
+//!   orders (for any `n` large enough that distinct permutations exist in
+//!   practice).
+//!
+//! Cycle-walking keeps the bijection exact on non-power-of-two domains:
+//! the Feistel network permutes `[0, 2^(2h))` where `2^(2h) >= n`; any
+//! output landing in `[n, 2^(2h))` is fed back through the network until
+//! it lands in `[0, n)`. Because the network is a bijection of the larger
+//! domain, the walk terminates and the restriction is itself a bijection
+//! of `[0, n)`; the domain is less than `4n`, so the expected walk length
+//! is under 4 steps.
+
+/// A streaming, allocation-free record permutation for one epoch.
+///
+/// Iterate it for the epoch order, or call [`EpochOrder::get`] for random
+/// access. The struct is a handful of words however large `n` is; clone
+/// it freely (each clone iterates independently from position 0).
+///
+/// ```
+/// use pcr_loader::EpochOrder;
+///
+/// let order = EpochOrder::shuffled(10, 7, 0);
+/// let mut seen: Vec<usize> = order.clone().collect();
+/// seen.sort_unstable();
+/// assert_eq!(seen, (0..10).collect::<Vec<_>>());
+/// assert_eq!(order.get(3), order.clone().nth(3).unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochOrder {
+    /// Domain size: indices produced are exactly `0..n`.
+    n: u64,
+    /// Bits per Feistel half; the network permutes `[0, 2^(2*half_bits))`.
+    half_bits: u32,
+    /// Per-round keys derived from `(seed, epoch)`; all zero + `identity`
+    /// never happens because identity orders skip the network entirely.
+    keys: [u64; FEISTEL_ROUNDS],
+    /// When set, `get(i) == i` (shuffle disabled).
+    identity: bool,
+    /// Iterator cursor (position in the *order*, not a record index).
+    next: u64,
+}
+
+/// Feistel rounds. Four rounds of a strong mixing function are the
+/// textbook minimum for statistical indistinguishability; the shuffle
+/// needs decorrelation, not cryptography.
+const FEISTEL_ROUNDS: usize = 4;
+
+/// splitmix64: the key-stream generator (public-domain constants from
+/// Steele et al., "Fast splittable pseudorandom number generators").
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The Feistel round function: mixes one half with the round key. Only
+/// the low `half_bits` of the result are used by the caller.
+fn round_fn(half: u64, key: u64) -> u64 {
+    let mut z = half ^ key;
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+impl EpochOrder {
+    /// The shuffled order for `epoch` over `n` records under `seed` — the
+    /// same schedule for every loader holding the same `(seed, epoch)`.
+    pub fn shuffled(n: usize, seed: u64, epoch: u64) -> Self {
+        let n = n as u64;
+        // Smallest even bit width whose domain covers n: the Feistel
+        // halves must be equal-width for the swap to stay a bijection.
+        let bits = u64::BITS - n.saturating_sub(1).leading_zeros();
+        let half_bits = bits.div_ceil(2).max(1);
+        // Distinct epochs must decorrelate even when `seed` is 0, so the
+        // key stream is seeded from an invertible mix of both.
+        let mut state = seed ^ epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut keys = [0u64; FEISTEL_ROUNDS];
+        for k in &mut keys {
+            *k = splitmix64(&mut state);
+        }
+        Self { n, half_bits, keys, identity: n <= 1, next: 0 }
+    }
+
+    /// The identity order `0, 1, .., n-1` (shuffle disabled).
+    pub fn identity(n: usize) -> Self {
+        Self { n: n as u64, half_bits: 1, keys: [0; FEISTEL_ROUNDS], identity: true, next: 0 }
+    }
+
+    /// Number of records in the epoch.
+    pub fn num_records(&self) -> usize {
+        self.n as usize
+    }
+
+    /// One pass of the Feistel network over the `2^(2*half_bits)` domain.
+    fn network(&self, x: u64) -> u64 {
+        let mask = (1u64 << self.half_bits) - 1;
+        let mut left = (x >> self.half_bits) & mask;
+        let mut right = x & mask;
+        for &key in &self.keys {
+            let (l, r) = (right, left ^ (round_fn(right, key) & mask));
+            left = l;
+            right = r;
+        }
+        (left << self.half_bits) | right
+    }
+
+    /// The record index at position `i` of the order.
+    ///
+    /// # Panics
+    /// Panics when `i >= self.num_records()` — positions, like slice
+    /// indexes, must be in range.
+    pub fn get(&self, i: usize) -> usize {
+        let i = i as u64;
+        assert!(i < self.n, "epoch-order position {i} out of range (n = {})", self.n);
+        if self.identity {
+            return i as usize;
+        }
+        // Cycle-walk: the network permutes the covering power-of-four
+        // domain; re-apply until the value lands in [0, n). The domain is
+        // < 4n, so this terminates in ~4 expected steps, and restricting
+        // a bijection this way is itself a bijection.
+        let mut x = self.network(i);
+        while x >= self.n {
+            x = self.network(x);
+        }
+        x as usize
+    }
+}
+
+impl Iterator for EpochOrder {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        if self.next >= self.n {
+            return None;
+        }
+        let i = self.next as usize;
+        self.next += 1;
+        Some(self.get(i))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.n - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for EpochOrder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn collect(order: EpochOrder) -> Vec<usize> {
+        order.collect()
+    }
+
+    #[test]
+    fn every_index_exactly_once_across_sizes() {
+        for n in [0usize, 1, 2, 3, 7, 16, 17, 100, 255, 256, 257, 1000] {
+            let mut seen = collect(EpochOrder::shuffled(n, 42, 3));
+            seen.sort_unstable();
+            assert_eq!(seen, (0..n).collect::<Vec<_>>(), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn deterministic_and_epoch_sensitive() {
+        let a = collect(EpochOrder::shuffled(100, 7, 5));
+        assert_eq!(a, collect(EpochOrder::shuffled(100, 7, 5)));
+        assert_ne!(a, collect(EpochOrder::shuffled(100, 7, 6)), "epochs differ");
+        assert_ne!(a, collect(EpochOrder::shuffled(100, 8, 5)), "seeds differ");
+        assert_ne!(a, (0..100).collect::<Vec<_>>(), "shuffle actually shuffles");
+    }
+
+    #[test]
+    fn random_access_matches_iteration() {
+        let order = EpochOrder::shuffled(37, 11, 2);
+        let seq = collect(order.clone());
+        for (i, &idx) in seq.iter().enumerate() {
+            assert_eq!(order.get(i), idx);
+        }
+        assert_eq!(order.len(), 37);
+    }
+
+    #[test]
+    fn identity_order_is_sequential() {
+        assert_eq!(collect(EpochOrder::identity(5)), vec![0, 1, 2, 3, 4]);
+        assert_eq!(EpochOrder::identity(0).next(), None);
+    }
+
+    #[test]
+    fn order_is_constant_size_in_n() {
+        // The whole point: epoch start allocates nothing proportional to n.
+        assert!(std::mem::size_of::<EpochOrder>() <= 64);
+        let big = EpochOrder::shuffled(10_000_000, 1, 1);
+        assert_eq!(big.num_records(), 10_000_000);
+        let first: Vec<usize> = big.take(4).collect();
+        assert_eq!(first.len(), 4);
+    }
+}

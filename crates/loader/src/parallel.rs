@@ -17,7 +17,7 @@
 //! Structure (paper Appendix A.1's loader, realized with OS threads):
 //!
 //! ```text
-//! work queue (record indices, epoch order)
+//! shared EpochOrder bijection + atomic cursor (no materialized order)
 //!   ├── worker 0 ─ read prefix ─ [emulate I/O] ─ decode ──┐
 //!   ├── worker 1 ─ ...                                    ├─ bounded record
 //!   └── worker W ─ ...                                    │  channel
@@ -33,12 +33,13 @@
 //! buffering (one batch being consumed, one staged).
 
 use crate::config::{DecodeMode, LoaderConfig};
+use crate::order::EpochOrder;
 use crate::source::{ReadPlanner, RecordSource};
-use crossbeam::channel::{bounded, unbounded, Receiver};
+use crossbeam::channel::{bounded, Receiver};
 use pcr_core::{MetaDb, RecordScratch};
 use pcr_jpeg::ImageBuf;
 use pcr_storage::{Clock, ObjectStore};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -294,12 +295,13 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         let stats = Arc::new(ParallelStats::default());
         let planner = ReadPlanner::from_config(&cfg.loader).at_group(scan_group);
 
-        // Work queue: record indices in the shared epoch order.
-        let (work_tx, work_rx) = unbounded::<usize>();
-        for idx in planner.epoch_order(self.source.num_records(), epoch) {
-            work_tx.send(idx).expect("queue open");
-        }
-        drop(work_tx);
+        // Work queue: the shared streaming epoch order plus an atomic
+        // cursor. Workers claim the next *position* with a fetch-add and
+        // resolve it to a record index through the Feistel bijection —
+        // no per-epoch Vec, no O(n) channel backlog, just a few words of
+        // state however many records the catalog holds.
+        let order = Arc::new(planner.epoch_iter(self.source.num_records(), epoch));
+        let cursor = Arc::new(AtomicUsize::new(0));
 
         // Worker → assembler channel (bounded: the prefetch queue).
         // Workers send the record *index* with the decoded images; the
@@ -309,7 +311,8 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         let threads = cfg.loader.threads.max(1);
         let mut workers = Vec::with_capacity(threads);
         for w in 0..threads {
-            let work_rx = work_rx.clone();
+            let order = Arc::clone(&order);
+            let cursor = Arc::clone(&cursor);
             let rec_tx = rec_tx.clone();
             let store = Arc::clone(&self.store);
             let source = Arc::clone(&self.source);
@@ -322,7 +325,8 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
                 .name(format!("pcr-parallel-{w}"))
                 .spawn(move || {
                     worker_loop(
-                        &work_rx,
+                        &order,
+                        &cursor,
                         &rec_tx,
                         &store,
                         &*source,
@@ -418,12 +422,15 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
     }
 }
 
-/// One worker: pull record indices, read planned prefixes through the
-/// clocked store path, realize I/O time, decode, push downstream. Returns
-/// when the work queue drains or the consumer disappears.
+/// One worker: claim epoch-order positions from the shared atomic
+/// cursor, resolve each to a record index through the streaming
+/// [`EpochOrder`] bijection, read planned prefixes through the clocked
+/// store path, realize I/O time, decode, push downstream. Returns when
+/// the order is exhausted or the consumer disappears.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<S: RecordSource + ?Sized>(
-    work_rx: &Receiver<usize>,
+    order: &EpochOrder,
+    cursor: &AtomicUsize,
     rec_tx: &crossbeam::channel::Sender<(Vec<ImageBuf>, usize)>,
     store: &ObjectStore,
     source: &S,
@@ -434,7 +441,12 @@ fn worker_loop<S: RecordSource + ?Sized>(
     segment_workers: usize,
 ) {
     let mut scratch = RecordScratch::new();
-    while let Ok(idx) = work_rx.recv() {
+    loop {
+        let pos = cursor.fetch_add(1, Ordering::Relaxed);
+        if pos >= order.num_records() {
+            return; // epoch drained
+        }
+        let idx = order.get(pos);
         let plan = planner.plan(source, idx);
         // The same clocked, cached, counted read path the virtual-time
         // loader uses: the page cache and device statistics see this

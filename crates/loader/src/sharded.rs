@@ -47,17 +47,19 @@ pub struct ShardedSource {
 }
 
 impl ShardedSource {
-    /// Builds a source from an opened container's shard indexes.
-    pub fn from_container(container: &PcrContainer) -> Self {
+    /// Builds a source from an opened container's shard indexes,
+    /// materializing every footer entry (for a lazily-opened columnar
+    /// container this is the one place the footer columns are read).
+    pub fn from_container(container: &PcrContainer) -> Result<Self> {
         let shard_names: Vec<String> =
             container.manifest.shards.iter().map(|s| s.file_name.clone()).collect();
         let mut records = Vec::with_capacity(container.num_records());
         for (si, shard) in container.shards.iter().enumerate() {
-            for rec in &shard.records {
-                records.push((si as u32, rec.clone()));
+            for rec in shard.entries() {
+                records.push((si as u32, rec?));
             }
         }
-        Self { shard_names, records, num_groups: container.num_groups() }
+        Ok(Self { shard_names, records, num_groups: container.num_groups() })
     }
 
     /// Scan groups per record.
@@ -196,7 +198,7 @@ pub fn open_container_store(dir: &Path, config: &ShardStoreConfig) -> Result<Ope
         };
         store.put(&container.manifest.shards[i].file_name, bytes);
     }
-    let source = Arc::new(ShardedSource::from_container(&container));
+    let source = Arc::new(ShardedSource::from_container(&container)?);
     Ok(OpenedContainer { container, store, source })
 }
 

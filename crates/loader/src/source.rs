@@ -11,11 +11,9 @@
 //! prefix online and every loader obeys without further plumbing.
 
 use crate::config::LoaderConfig;
+use crate::order::EpochOrder;
 use pcr_core::{MetaDb, PcrRecord, RecordScratch};
 use pcr_jpeg::ImageBuf;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// One planned read: which object, and which byte range of it.
 ///
@@ -207,17 +205,26 @@ impl ReadPlanner {
         self
     }
 
-    /// The record visitation order for `epoch` over `n` records. A fixed
-    /// `(seed, epoch)` pair names the same schedule for every loader and
-    /// every scan group, so modeled, measured, and fidelity-controlled
-    /// runs all visit identical data in identical order.
-    pub fn epoch_order(&self, n: usize, epoch: u64) -> Vec<usize> {
-        let mut order: Vec<usize> = (0..n).collect();
+    /// The record visitation order for `epoch` over `n` records as a
+    /// streaming [`EpochOrder`]: a seeded Feistel bijection over `[0, n)`
+    /// that allocates nothing proportional to `n`. A fixed `(seed, epoch)`
+    /// pair names the same schedule for every loader and every scan group,
+    /// so modeled, measured, and fidelity-controlled runs all visit
+    /// identical data in identical order.
+    pub fn epoch_iter(&self, n: usize, epoch: u64) -> EpochOrder {
         if self.shuffle {
-            let mut rng = StdRng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9E37));
-            order.shuffle(&mut rng);
+            EpochOrder::shuffled(n, self.seed, epoch)
+        } else {
+            EpochOrder::identity(n)
         }
-        order
+    }
+
+    /// [`ReadPlanner::epoch_iter`] collected into a `Vec` — for consumers
+    /// that genuinely need the whole order materialized (tests, small-n
+    /// analysis). Loader hot paths stream [`ReadPlanner::epoch_iter`]
+    /// instead; nothing on the epoch-start path allocates O(n).
+    pub fn epoch_order(&self, n: usize, epoch: u64) -> Vec<usize> {
+        self.epoch_iter(n, epoch).collect()
     }
 
     /// Plans the read for record `idx` of `source` at this planner's scan

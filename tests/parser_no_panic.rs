@@ -33,13 +33,35 @@ fn packed(tag: &str) -> PathBuf {
     dir
 }
 
-/// One valid serialized manifest and one valid shard file's bytes,
-/// packed once and cached (each proptest case mutates its own copy).
+/// One valid serialized manifest and one valid shard file's bytes in the
+/// default (columnar, v3) format, packed once and cached (each proptest
+/// case mutates its own copy).
 fn valid_bytes(tag: &str) -> (Vec<u8>, Vec<u8>) {
     static CACHE: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> = std::sync::OnceLock::new();
     CACHE
         .get_or_init(|| {
             let dir = packed(tag);
+            let manifest_bytes =
+                std::fs::read(dir.join("manifest.pcrm")).expect("manifest written");
+            let container = PcrContainer::open(&dir).expect("container reopens");
+            let shard_bytes = container.read_shard(0).expect("shard readable");
+            let _ = std::fs::remove_dir_all(&dir);
+            (manifest_bytes, shard_bytes)
+        })
+        .clone()
+}
+
+/// Same as [`valid_bytes`], but packed in the legacy row-footer (v1)
+/// format, so both footer parse paths stay under fuzz.
+fn valid_bytes_v1(tag: &str) -> (Vec<u8>, Vec<u8>) {
+    static CACHE: std::sync::OnceLock<(Vec<u8>, Vec<u8>)> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let ds = SyntheticDataset::generate(&DatasetSpec::ham10000_like(Scale::Tiny));
+            let (pcr, _) = to_pcr_dataset(&ds, 4);
+            let dir = tmpdir(tag);
+            pcr::core::write_container_versioned(&pcr, &dir, 4, pcr::core::CONTAINER_VERSION_ROWS)
+                .expect("pack v1");
             let manifest_bytes =
                 std::fs::read(dir.join("manifest.pcrm")).expect("manifest written");
             let container = PcrContainer::open(&dir).expect("container reopens");
@@ -82,30 +104,57 @@ proptest! {
 
     #[test]
     fn truncated_real_bytes_error_instead_of_panicking(cut_permille in 0u64..1000) {
-        let (manifest, shard) = valid_bytes("trunc");
-        let cut = |b: &[u8]| b.len() * usize::try_from(cut_permille).unwrap() / 1000;
-        let m = &manifest[..cut(&manifest)];
-        let s = &shard[..cut(&shard)];
-        assert!(ContainerManifest::from_bytes(m).is_err());
-        // A truncated shard must never index back into the full file.
-        let _ = ShardIndex::parse("trunc.pcrs", s);
+        for (manifest, shard) in [valid_bytes("trunc"), valid_bytes_v1("trunc-v1")] {
+            let cut = |b: &[u8]| b.len() * usize::try_from(cut_permille).unwrap() / 1000;
+            let m = &manifest[..cut(&manifest)];
+            let s = &shard[..cut(&shard)];
+            assert!(ContainerManifest::from_bytes(m).is_err());
+            // A truncated shard must never index back into the full file.
+            let _ = ShardIndex::parse("trunc.pcrs", s);
+        }
     }
 
     #[test]
     fn bit_flipped_real_bytes_never_panic(seed in proptest::any::<u64>()) {
-        let (mut manifest, mut shard) = valid_bytes("flip");
-        let flip = |b: &mut [u8], s: u64| {
-            if !b.is_empty() {
-                let pos = (s as usize) % b.len();
-                b[pos] ^= 1 << (s % 8);
+        for (mut manifest, mut shard) in [valid_bytes("flip"), valid_bytes_v1("flip-v1")] {
+            let flip = |b: &mut [u8], s: u64| {
+                if !b.is_empty() {
+                    let pos = (s as usize) % b.len();
+                    b[pos] ^= 1 << (s % 8);
+                }
+            };
+            flip(&mut manifest, seed);
+            flip(&mut shard, seed.rotate_left(17));
+            // Either outcome is fine (the checksum usually catches it); the
+            // contract is only that corruption cannot panic the parser.
+            let _ = ContainerManifest::from_bytes(&manifest);
+            let _ = ShardIndex::parse("flip.pcrs", &shard);
+        }
+    }
+
+    #[test]
+    fn corrupted_columnar_footers_never_panic_lazy_entry(seed in proptest::any::<u64>()) {
+        // The v3 lazy path reads footer columns *on demand*, after the
+        // geometry-only open checks — so corruption that slips past open
+        // must surface as an `Err` from `entry`/`read_record`, never as
+        // a panic or out-of-bounds read. Flip one byte anywhere in the
+        // first shard file and walk every entry.
+        let dir = packed(&format!("lazy-flip-{seed}"));
+        let container = PcrContainer::open(&dir).expect("open clean");
+        let path = container.shard_path(0);
+        let mut bytes = std::fs::read(&path).expect("shard bytes");
+        let pos = (seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << (seed % 8);
+        std::fs::write(&path, &bytes).expect("write corrupted shard");
+        if let Ok(reopened) = PcrContainer::open(&dir) {
+            for k in 0..reopened.num_records() {
+                if let Ok((shard, rec)) = reopened.entry(k) {
+                    let _ = reopened.read_record(shard, &rec);
+                }
             }
-        };
-        flip(&mut manifest, seed);
-        flip(&mut shard, seed.rotate_left(17));
-        // Either outcome is fine (the checksum usually catches it); the
-        // contract is only that corruption cannot panic the parser.
-        let _ = ContainerManifest::from_bytes(&manifest);
-        let _ = ShardIndex::parse("flip.pcrs", &shard);
+            let _ = reopened.verify();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }
 
