@@ -61,7 +61,7 @@ pub const RULES: &[RuleInfo] = &[
 
 /// Files subject to `no-panic-in-hot-path`: the innermost decode
 /// layers (including the entropy scan loops and the SIMD kernels they
-/// dispatch to) and the three wire-parse modules — the code that runs
+/// dispatch to) and the wire-parse modules — the code that runs
 /// per coefficient or consumes untrusted bytes.
 const HOT_PANIC_FILES: &[&str] = &[
     "crates/jpeg/src/bitio.rs",
@@ -73,6 +73,7 @@ const HOT_PANIC_FILES: &[&str] = &[
     "crates/core/src/record.rs",
     "crates/core/src/container.rs",
     "crates/core/src/colfooter.rs",
+    "crates/core/src/declog.rs",
 ];
 
 /// Files subject to `bounded-alloc` and `no-truncating-cast`: everything
@@ -82,6 +83,7 @@ const PARSE_FILES: &[&str] = &[
     "crates/core/src/record.rs",
     "crates/core/src/container.rs",
     "crates/core/src/colfooter.rs",
+    "crates/core/src/declog.rs",
 ];
 
 /// Path prefixes allowed to read the wall clock. `parallel.rs` *is* the

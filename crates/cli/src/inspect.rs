@@ -15,15 +15,28 @@ USAGE:
 OPTIONS:
     --shard <i>     Show shard i's record table instead of the manifest view
     --record <j>    Show global record j's per-scan-group byte layout
+    --trace         Show the container's fidelity decision log: one row
+                    per controller decision (trigger, scan group, probe
+                    scores, bytes saved vs fixed fidelity)
+    --epochs <r>    With --trace: only epochs in <r> — a single epoch
+                    (\"40\") or a half-open range (\"32..48\", \"..8\", \"40..\")
+    --trigger <t>   With --trace: only records with this trigger kind
+                    (start | hold | plateau | retune | fixed)
     --verify        Re-read every shard and verify all record checksums
+                    (and the decision-log CRC chain, when present)
     --json          Emit the selected view as JSON on stdout
 
 The default (manifest) view ends with the fidelity byte breakdown: for
 every scan group, the bytes one epoch reads and the fraction of the
-full-quality traffic they represent.";
+full-quality traffic they represent. The --trace view answers \"why did
+fidelity change at epoch N\" from the container alone: what the
+controller saw (probe scores, loss), why it acted (trigger kind), and
+what the decision cost or saved.";
 
-const SPEC: ArgSpec =
-    ArgSpec { value_flags: &["shard", "record"], bool_flags: &["verify", "json"] };
+const SPEC: ArgSpec = ArgSpec {
+    value_flags: &["shard", "record", "epochs", "trigger"],
+    bool_flags: &["verify", "json", "trace"],
+};
 
 pub fn run(argv: &[String]) -> Result<(), String> {
     let args = parse(argv, &SPEC)?;
@@ -41,7 +54,14 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         }
     }
 
-    let doc = if let Some(shard) = args.value("shard") {
+    if !args.flag("trace") && (args.value("epochs").is_some() || args.value("trigger").is_some())
+    {
+        return Err("--epochs/--trigger filter the decision log; add --trace".into());
+    }
+
+    let doc = if args.flag("trace") {
+        trace_view(&container, &args)?
+    } else if let Some(shard) = args.value("shard") {
         let i: usize = shard.parse().map_err(|_| format!("--shard: not an index: {shard}"))?;
         shard_view(&container, i, args.flag("json"))?
     } else if let Some(record) = args.value("record") {
@@ -55,6 +75,164 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         println!("{}", json.render());
     }
     Ok(())
+}
+
+/// Parses an `--epochs` filter: a single epoch (`"40"`) or a half-open
+/// range (`"32..48"`, `"..8"`, `"40.."`). Returns `(start, end)` with
+/// `start` inclusive and `end` exclusive.
+fn parse_epoch_range(s: &str) -> Result<(u64, u64), String> {
+    let bad = |part: &str| format!("--epochs: not an epoch index: {part:?}");
+    if let Some((a, b)) = s.split_once("..") {
+        let lo = if a.is_empty() { 0 } else { a.parse().map_err(|_| bad(a))? };
+        let hi = if b.is_empty() { u64::MAX } else { b.parse().map_err(|_| bad(b))? };
+        Ok((lo, hi))
+    } else {
+        let n: u64 = s.parse().map_err(|_| bad(s))?;
+        Ok((n, n.saturating_add(1)))
+    }
+}
+
+/// The `--trace` view: the container's durable fidelity decision log
+/// (FORMAT.md §7), optionally filtered by epoch range and trigger kind,
+/// with a bytes-saved-vs-fixed-fidelity rollup over the selection.
+fn trace_view(
+    container: &PcrContainer,
+    args: &crate::args::Parsed,
+) -> Result<Option<JsonValue>, String> {
+    use pcr_core::declog::DecisionLog;
+    use pcr_metrics::TriggerKind;
+
+    let json = args.flag("json");
+    let (lo, hi) = match args.value("epochs") {
+        Some(r) => parse_epoch_range(r)?,
+        None => (0, u64::MAX),
+    };
+    let trigger = match args.value("trigger") {
+        Some(t) => Some(TriggerKind::from_name(t).ok_or_else(|| {
+            format!("--trigger: unknown kind {t:?} (start | hold | plateau | retune | fixed)")
+        })?),
+        None => None,
+    };
+
+    let log: Option<DecisionLog> = container.decision_log().map_err(|e| e.to_string())?;
+    let Some(log) = log else {
+        if json {
+            return Ok(Some(JsonValue::object([("present", JsonValue::Bool(false))])));
+        }
+        println!(
+            "no decision log in {} — run `pcr train {} --dynamic` to record one",
+            container.dir.display(),
+            container.dir.display()
+        );
+        return Ok(None);
+    };
+    let chain = log.verify();
+    let selected: Vec<_> = log
+        .records()
+        .iter()
+        .filter(|r| (lo..hi).contains(&r.epoch) && trigger.is_none_or(|t| r.trigger == t))
+        .collect();
+    let (read, full): (u64, u64) =
+        selected.iter().fold((0, 0), |(r, f), rec| (r + rec.bytes_read, f + rec.bytes_full));
+    let saved = full.saturating_sub(read);
+    let saved_frac = if full > 0 { saved as f64 / full as f64 } else { 0.0 };
+
+    if json {
+        let records = selected
+            .iter()
+            .map(|r| {
+                let probes = r
+                    .probe_scores
+                    .iter()
+                    .map(|&(g, s)| {
+                        JsonValue::object([
+                            ("group", JsonValue::U64(u64::from(g))),
+                            ("score", JsonValue::F64(s)),
+                        ])
+                    })
+                    .collect();
+                JsonValue::object([
+                    ("epoch", JsonValue::U64(r.epoch)),
+                    ("trigger", JsonValue::str(r.trigger.name())),
+                    ("scan_group", JsonValue::U64(u64::from(r.scan_group))),
+                    ("probe_scores", JsonValue::Array(probes)),
+                    ("bytes_read", JsonValue::U64(r.bytes_read)),
+                    ("bytes_full", JsonValue::U64(r.bytes_full)),
+                    ("bytes_saved", JsonValue::U64(r.bytes_saved())),
+                    ("images", JsonValue::U64(r.images)),
+                    ("cache_hit_rate", JsonValue::F64(r.cache_hit_rate)),
+                    ("loss", JsonValue::F64(r.loss)),
+                ])
+            })
+            .collect();
+        return Ok(Some(JsonValue::object([
+            ("present", JsonValue::Bool(true)),
+            ("total_records", JsonValue::U64(log.len() as u64)),
+            ("chain_intact", JsonValue::Bool(chain.is_ok())),
+            ("records", JsonValue::Array(records)),
+            (
+                "rollup",
+                JsonValue::object([
+                    ("bytes_read", JsonValue::U64(read)),
+                    ("bytes_full", JsonValue::U64(full)),
+                    ("bytes_saved", JsonValue::U64(saved)),
+                    ("saved_fraction", JsonValue::F64(saved_frac)),
+                ]),
+            ),
+        ])));
+    }
+
+    match &chain {
+        Ok(()) => println!(
+            "decision log {}: {} record(s), chain intact",
+            container.decision_log_path().display(),
+            log.len()
+        ),
+        Err(e) => println!(
+            "decision log {}: {} record(s), CHAIN BROKEN: {e}",
+            container.decision_log_path().display(),
+            log.len()
+        ),
+    }
+    if selected.len() != log.len() {
+        println!("  showing {} of {} record(s) after filters", selected.len(), log.len());
+    }
+    println!(
+        "  {:>6} {:<8} {:>5} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "epoch", "trigger", "group", "bytes read", "bytes full", "saved", "hit rate", "loss"
+    );
+    let mut last_probes: Option<&[(u16, f64)]> = None;
+    for r in &selected {
+        // Probe scores repeat across epochs of one run; print them only
+        // when they change (a new run or a re-probe).
+        if !r.probe_scores.is_empty() && last_probes != Some(r.probe_scores.as_slice()) {
+            let rendered: Vec<String> =
+                r.probe_scores.iter().map(|(g, s)| format!("{g}:{s:.4}")).collect();
+            println!("  probes @ epoch {}: {}", r.epoch, rendered.join(" "));
+            last_probes = Some(r.probe_scores.as_slice());
+        }
+        println!(
+            "  {:>6} {:<8} {:>5} {:>12} {:>12} {:>12} {:>9.2} {:>9.4}",
+            r.epoch,
+            r.trigger.name(),
+            r.scan_group,
+            r.bytes_read,
+            r.bytes_full,
+            r.bytes_saved(),
+            r.cache_hit_rate,
+            r.loss
+        );
+    }
+    println!(
+        "\n  rollup: read {} ({}), fixed-fidelity {} ({}) — saved {} ({:.1}%)",
+        read,
+        human_bytes(read),
+        full,
+        human_bytes(full),
+        human_bytes(saved),
+        saved_frac * 100.0
+    );
+    Ok(None)
 }
 
 /// Per-scan-group `(bytes, fraction of full)` rows — answered from the

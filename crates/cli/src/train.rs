@@ -8,7 +8,8 @@ use pcr_loader::{
     open_container_store, probe_source_scores, DecodeMode, FidelityConfig, FidelityController,
     IoModel, LoaderConfig, ParallelConfig, ParallelLoader, RecordSource, ShardStoreConfig,
 };
-use pcr_metrics::{FidelityEpoch, FidelityTrace};
+use pcr_core::{DecisionLogWriter, DecisionRecord, DECISION_LOG_FILE};
+use pcr_metrics::{FidelityEpoch, FidelityTrace, TriggerKind};
 use pcr_nn::{Matrix, Mlp, ModelSpec, SgdMomentum};
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -33,15 +34,20 @@ OPTIONS:
     --io <mode>       instant | emulated (default instant)
     --seed <s>        Model init / shuffle seed (default 42)
     --json <path>     Write the per-epoch FidelityTrace as JSON
+    --no-declog       Do not append this run's decisions to the
+                      container's decisions.pcrd audit log
 
 Each epoch streams decoded minibatches from the packed shards through
 the wall-clock parallel loader and trains a small MLP on them; the loss
 the fidelity controller observes is the real training loss of that
-epoch. With PCR_BENCH_SMOKE=1 the run is clamped to at most 4 epochs.";
+epoch. Unless --no-declog is given, every epoch's fidelity decision is
+appended to the container's own decisions.pcrd audit log (inspect it
+with `pcr inspect <dir> --trace`). With PCR_BENCH_SMOKE=1 the run is
+clamped to at most 4 epochs.";
 
 const SPEC: ArgSpec = ArgSpec {
     value_flags: &["epochs", "group", "model", "threads", "batch", "lr", "io", "seed", "json"],
-    bool_flags: &["dynamic"],
+    bool_flags: &["dynamic", "no-declog"],
 };
 
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -120,10 +126,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         },
     );
 
+    // Audit plane: append this run's decisions to the container's own
+    // decision log so `pcr inspect --trace` can replay them later. A
+    // log that cannot be opened (read-only dir, corrupt chain) downgrades
+    // to a warning — training must not be blocked by its audit trail.
+    let mut declog = if args.flag("no-declog") {
+        None
+    } else {
+        let path = Path::new(dir).join(DECISION_LOG_FILE);
+        match DecisionLogWriter::open(&path) {
+            Ok(w) => Some((path, w)),
+            Err(e) => {
+                eprintln!("warning: decision log disabled: {e}");
+                None
+            }
+        }
+    };
+    let bytes_full = source.bytes_at_group(full_group);
+
     let mut model = Mlp::new(model_spec.clone(), num_classes, seed);
     let mut opt = SgdMomentum::new(0.9);
     let dim = model_spec.input_dim();
     let mut trace = FidelityTrace::new();
+    let mut trigger = if dynamic { TriggerKind::Start } else { TriggerKind::Fixed };
     println!(
         "\n{:>6} {:>6} {:>12} {:>8} {:>9} {:>9} {:>8}",
         "epoch", "group", "bytes", "img/s", "loss", "train acc", "hit rate"
@@ -157,15 +182,29 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         let loss = if seen > 0 { loss_sum / seen as f64 } else { f64::NAN };
         let acc = if seen > 0 { correct as f64 / seen as f64 } else { 0.0 };
         let images_per_sec = if wall > 0.0 { seen as f64 / wall } else { 0.0 };
-        trace.push(FidelityEpoch {
+        let entry = FidelityEpoch {
             epoch,
             scan_group: group,
+            trigger,
+            probe_scores: controller
+                .as_ref()
+                .map(FidelityController::probe_scores_wire)
+                .unwrap_or_default(),
             bytes_read: bytes,
             images: seen as u64,
             images_per_sec,
             cache_hit_rate: opened.store.cache_hit_rate(),
             loss,
-        });
+        };
+        if let Some((path, mut w)) = declog.take() {
+            match w.append(&DecisionRecord::from_epoch(&entry, bytes_full)) {
+                Ok(()) => declog = Some((path, w)),
+                Err(e) => {
+                    eprintln!("warning: decision log write failed ({}): {e}", path.display())
+                }
+            }
+        }
+        trace.push(entry);
         println!(
             "{:>6} {:>6} {:>12} {:>8.1} {:>9.4} {:>9.3} {:>8.2}",
             epoch,
@@ -177,9 +216,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             opened.store.cache_hit_rate()
         );
         if let Some(ctrl) = controller.as_mut() {
-            if let Some(next) = ctrl.observe_loss(loss) {
+            let switched = ctrl.observe_loss(loss);
+            if let Some(next) = switched {
                 println!("  -> fidelity controller drops to scan group {next} for the next epoch");
             }
+            trigger = ctrl.trigger_after(switched);
         }
     }
 
@@ -194,6 +235,15 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if let Some(ctrl) = &controller {
         println!("controller decisions: {:?}", ctrl.decisions());
         println!("scan groups used: {:?}", trace.groups_used());
+    }
+    if let Some((path, w)) = &declog {
+        println!(
+            "decision log: {} (+{} record(s), chain {:#010x}) — query with `pcr inspect {} --trace`",
+            path.display(),
+            w.records_written(),
+            w.chain(),
+            dir
+        );
     }
     if let Some(path) = args.value("json") {
         trace.write_json(path).map_err(|e| format!("{path}: {e}"))?;

@@ -955,7 +955,8 @@ impl PcrContainer {
     }
 
     /// Full integrity pass: re-reads every shard and verifies every
-    /// record checksum. `Ok(())` means every byte of record data matches
+    /// record checksum, then — when a decision log is present — checks
+    /// its CRC chain. `Ok(())` means every byte of record data matches
     /// the footers the manifest vouches for. For columnar containers
     /// this is where the footer CRC deferred by the O(1) open is
     /// actually checked.
@@ -963,7 +964,30 @@ impl PcrContainer {
         for i in 0..self.shards.len() {
             self.read_shard_verified(i)?;
         }
+        if let Some(log) = self.decision_log()? {
+            log.verify()?;
+        }
         Ok(())
+    }
+
+    /// Path of the container's append-only fidelity decision log
+    /// (FORMAT.md §7). The file exists only after a logged run.
+    pub fn decision_log_path(&self) -> PathBuf {
+        self.dir.join(crate::declog::DECISION_LOG_FILE)
+    }
+
+    /// Reads the container's fidelity decision log, if present.
+    /// `Ok(None)` for containers that never ran a logged training
+    /// session (every pre-audit-plane container). Parsing is lenient —
+    /// call [`DecisionLog::verify`](crate::declog::DecisionLog::verify)
+    /// (or [`PcrContainer::verify`]) for the strict chain check.
+    pub fn decision_log(&self) -> Result<Option<crate::declog::DecisionLog>> {
+        let path = self.decision_log_path();
+        match fs::read(&path) {
+            Ok(bytes) => Ok(Some(crate::declog::DecisionLog::parse(&bytes)?)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+            Err(e) => Err(Error::BadInput(format!("read decision log: {e}"))),
+        }
     }
 }
 

@@ -40,6 +40,7 @@ pub mod baseline;
 pub mod colfooter;
 pub mod container;
 pub mod dataset;
+pub mod declog;
 pub mod error;
 pub mod fsdir;
 pub mod record;
@@ -52,6 +53,9 @@ pub use container::{
     ShardRecord, ShardStats, ShardSummary, CONTAINER_VERSION, CONTAINER_VERSION_ROWS,
 };
 pub use dataset::{MetaDb, PcrDataset, PcrDatasetBuilder, RecordMeta};
+pub use declog::{
+    DecisionLog, DecisionLogWriter, DecisionRecord, DECISION_LOG_FILE, DECLOG_VERSION,
+};
 pub use error::{Error, Result};
 pub use record::{
     PcrRecord, PcrRecordBuilder, RecordScratch, SampleMeta, SampleMetaRef, DEFAULT_NUM_GROUPS,

@@ -13,8 +13,8 @@
 
 use crate::parallel::{ParallelLoader, WallClockEpoch};
 use pcr_autotune::{select_lowest_qualifying, PlateauDetector, DEFAULT_MSSIM_THRESHOLD};
-use pcr_core::{MetaDb, PcrRecord, RecordScratch};
-use pcr_metrics::{msssim, FidelityEpoch, FidelityTrace, Plane};
+use pcr_core::{DecisionLogWriter, DecisionRecord, MetaDb, PcrRecord, RecordScratch};
+use pcr_metrics::{msssim, FidelityEpoch, FidelityTrace, Plane, TriggerKind};
 use pcr_storage::{Clock, ObjectStore};
 
 /// Configuration of the online fidelity policy.
@@ -92,6 +92,28 @@ impl FidelityController {
     /// Every switch the controller has made, in order.
     pub fn decisions(&self) -> &[FidelityDecision] {
         &self.decisions
+    }
+
+    /// The candidate scores in the decision log's wire shape
+    /// (`(u16 group, MSSIM)`); groups beyond `u16::MAX` saturate.
+    pub fn probe_scores_wire(&self) -> Vec<(u16, f64)> {
+        self.scores
+            .iter()
+            .map(|&(g, s)| (u16::try_from(g).unwrap_or(u16::MAX), s))
+            .collect()
+    }
+
+    /// The trigger kind explaining the *next* epoch's scan group, given
+    /// what [`FidelityController::observe_loss`] just returned: a switch
+    /// is a [`TriggerKind::Plateau`] the first time and a
+    /// [`TriggerKind::Retune`] afterwards; no switch is a
+    /// [`TriggerKind::Hold`].
+    pub fn trigger_after(&self, switched: Option<usize>) -> TriggerKind {
+        match switched {
+            Some(_) if self.decisions.len() <= 1 => TriggerKind::Plateau,
+            Some(_) => TriggerKind::Retune,
+            None => TriggerKind::Hold,
+        }
     }
 
     /// Feeds one epoch's training loss. Returns `Some(group)` when the
@@ -205,28 +227,63 @@ impl<S: crate::source::RecordSource + ?Sized + 'static> ParallelLoader<S> {
         &self,
         epochs: u64,
         controller: &mut FidelityController,
-        mut loss_of: F,
+        loss_of: F,
     ) -> FidelityTrace
     where
         F: FnMut(u64, &WallClockEpoch) -> f64,
     {
+        self.run_dynamic_logged(epochs, controller, loss_of, None)
+            .expect("run_dynamic without a log sink cannot fail")
+    }
+
+    /// [`ParallelLoader::run_dynamic`] with the container's audit plane
+    /// attached: when `log` is given, every epoch's decision — trigger
+    /// kind, probe scores, scan group, bytes read vs a fixed full-quality
+    /// epoch, cache hit rate, loss — is appended to the durable decision
+    /// log (FORMAT.md §7) as it happens, so the trajectory survives in
+    /// the artifact. The returned trace carries the same schema (plus
+    /// wall-clock throughput, which the durable log deliberately omits
+    /// to stay byte-deterministic under seeded replay).
+    pub fn run_dynamic_logged<F>(
+        &self,
+        epochs: u64,
+        controller: &mut FidelityController,
+        mut loss_of: F,
+        mut log: Option<&mut DecisionLogWriter>,
+    ) -> pcr_core::Result<FidelityTrace>
+    where
+        F: FnMut(u64, &WallClockEpoch) -> f64,
+    {
+        // What a fixed full-quality epoch reads, for the bytes-saved
+        // rollup (a plan at usize::MAX clamps to the full record).
+        let source = self.source();
+        let bytes_full: u64 =
+            (0..source.num_records()).map(|i| source.plan(i, usize::MAX).len).sum();
         let mut trace = FidelityTrace::new();
+        let mut trigger = TriggerKind::Start;
         for epoch in 0..epochs {
             let scan_group = controller.group();
             let result = self.run_epoch_at(epoch, scan_group);
             let loss = loss_of(epoch, &result);
-            controller.observe_loss(loss);
-            trace.push(FidelityEpoch {
+            let switched = controller.observe_loss(loss);
+            let entry = FidelityEpoch {
                 epoch,
                 scan_group,
+                trigger,
+                probe_scores: controller.probe_scores_wire(),
                 bytes_read: result.bytes,
                 images: result.images as u64,
                 images_per_sec: result.images_per_sec(),
                 cache_hit_rate: self.store().cache_hit_rate(),
                 loss,
-            });
+            };
+            if let Some(w) = log.as_deref_mut() {
+                w.append(&DecisionRecord::from_epoch(&entry, bytes_full))?;
+            }
+            trace.push(entry);
+            trigger = controller.trigger_after(switched);
         }
-        trace
+        Ok(trace)
     }
 }
 

@@ -1,7 +1,13 @@
 //! Fidelity-trace export: the per-epoch trajectory of an online
-//! fidelity-controlled run — scan group chosen, bytes read, cache hit
+//! fidelity-controlled run — scan group chosen, why it was chosen
+//! ([`TriggerKind`] + per-group probe scores), bytes read, cache hit
 //! rate, throughput, loss — serialized as JSON so bench runs can record a
 //! `BENCH_*.json` file alongside their printed tables.
+//!
+//! The same schema backs the container's durable decision log
+//! (`pcr-core::declog`, FORMAT.md §7): one [`FidelityEpoch`] per
+//! controller decision, with the wall-clock-only `images_per_sec` field
+//! excluded from the durable form so replays stay byte-deterministic.
 //!
 //! Serialization goes through the workspace's hand-rolled
 //! [`JsonValue`] builder (the build is offline,
@@ -10,8 +16,74 @@
 //! keep the output valid JSON.
 
 use crate::json::JsonValue;
+use std::fmt;
 use std::io;
 use std::path::Path;
+
+/// Why an epoch ran at its scan group — the decision kind recorded per
+/// epoch in traces and in the container's durable decision log.
+///
+/// The `u8` wire values are normative (FORMAT.md §7) and must never be
+/// renumbered: committed decision logs encode them on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TriggerKind {
+    /// First epoch of a run: the controller starts at full quality.
+    Start = 0,
+    /// No plateau fired; the previous epoch's scan group carries over.
+    #[default]
+    Hold = 1,
+    /// The plateau detector tripped for the first time and the
+    /// controller tuned down to the cheapest qualifying group.
+    Plateau = 2,
+    /// A later plateau re-selected the group (`FidelityConfig::retune`).
+    Retune = 3,
+    /// No controller: a fixed scan group was requested for the run.
+    Fixed = 4,
+}
+
+impl TriggerKind {
+    /// Every kind, in wire order.
+    pub const ALL: [TriggerKind; 5] = [
+        TriggerKind::Start,
+        TriggerKind::Hold,
+        TriggerKind::Plateau,
+        TriggerKind::Retune,
+        TriggerKind::Fixed,
+    ];
+
+    /// The normative wire discriminant (FORMAT.md §7).
+    pub fn wire(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses a wire discriminant; `None` for unassigned values.
+    pub fn from_wire(b: u8) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.wire() == b)
+    }
+
+    /// Stable lowercase name, as printed by `pcr inspect --trace` and
+    /// accepted by its `--trigger` filter.
+    pub fn name(self) -> &'static str {
+        match self {
+            TriggerKind::Start => "start",
+            TriggerKind::Hold => "hold",
+            TriggerKind::Plateau => "plateau",
+            TriggerKind::Retune => "retune",
+            TriggerKind::Fixed => "fixed",
+        }
+    }
+
+    /// Inverse of [`TriggerKind::name`] (case-insensitive).
+    pub fn from_name(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for TriggerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
 
 /// One epoch of a fidelity-controlled run.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +92,11 @@ pub struct FidelityEpoch {
     pub epoch: u64,
     /// Scan group the controller chose for this epoch.
     pub scan_group: usize,
+    /// Why this epoch ran at `scan_group`.
+    pub trigger: TriggerKind,
+    /// `(group, MSSIM-vs-full)` probe scores the controller selects
+    /// from; empty when no probe ran (e.g. fixed-group runs).
+    pub probe_scores: Vec<(u16, f64)>,
     /// Compressed bytes delivered to workers this epoch.
     pub bytes_read: u64,
     /// Images delivered this epoch.
@@ -79,9 +156,21 @@ impl FidelityTrace {
             .epochs
             .iter()
             .map(|e| {
+                let probes = e
+                    .probe_scores
+                    .iter()
+                    .map(|&(g, s)| {
+                        JsonValue::object([
+                            ("group", JsonValue::U64(u64::from(g))),
+                            ("score", JsonValue::F64(s)),
+                        ])
+                    })
+                    .collect();
                 JsonValue::object([
                     ("epoch", JsonValue::U64(e.epoch)),
                     ("scan_group", JsonValue::U64(e.scan_group as u64)),
+                    ("trigger", JsonValue::str(e.trigger.name())),
+                    ("probe_scores", JsonValue::Array(probes)),
                     ("bytes_read", JsonValue::U64(e.bytes_read)),
                     ("images", JsonValue::U64(e.images)),
                     ("images_per_sec", JsonValue::F64(e.images_per_sec)),
@@ -113,6 +202,8 @@ mod tests {
         t.push(FidelityEpoch {
             epoch: 0,
             scan_group: 10,
+            trigger: TriggerKind::Start,
+            probe_scores: vec![(1, 0.62), (5, 0.96), (10, 1.0)],
             bytes_read: 1000,
             images: 32,
             images_per_sec: 128.5,
@@ -122,6 +213,8 @@ mod tests {
         t.push(FidelityEpoch {
             epoch: 1,
             scan_group: 5,
+            trigger: TriggerKind::Plateau,
+            probe_scores: vec![(1, 0.62), (5, 0.96), (10, 1.0)],
             bytes_read: 400,
             images: 32,
             images_per_sec: 200.0,
@@ -140,12 +233,40 @@ mod tests {
     }
 
     #[test]
+    fn trigger_wire_values_are_stable_and_round_trip() {
+        // Normative wire discriminants (FORMAT.md §7): renumbering any of
+        // these breaks committed decision logs.
+        let expected = [
+            (TriggerKind::Start, 0u8, "start"),
+            (TriggerKind::Hold, 1, "hold"),
+            (TriggerKind::Plateau, 2, "plateau"),
+            (TriggerKind::Retune, 3, "retune"),
+            (TriggerKind::Fixed, 4, "fixed"),
+        ];
+        assert_eq!(expected.len(), TriggerKind::ALL.len());
+        for (kind, wire, name) in expected {
+            assert_eq!(kind.wire(), wire);
+            assert_eq!(TriggerKind::from_wire(wire), Some(kind));
+            assert_eq!(kind.name(), name);
+            assert_eq!(kind.to_string(), name);
+            assert_eq!(TriggerKind::from_name(name), Some(kind));
+            assert_eq!(TriggerKind::from_name(&name.to_uppercase()), Some(kind));
+        }
+        assert_eq!(TriggerKind::from_wire(5), None);
+        assert_eq!(TriggerKind::from_wire(255), None);
+        assert_eq!(TriggerKind::from_name("bogus"), None);
+    }
+
+    #[test]
     fn json_contains_every_field() {
         let json = sample().to_json();
         for needle in [
             "{\"epochs\":[",
             "\"epoch\":0",
             "\"scan_group\":10",
+            "\"trigger\":\"start\"",
+            "\"trigger\":\"plateau\"",
+            "\"probe_scores\":[{\"group\":1,\"score\":0.62}",
             "\"bytes_read\":1000",
             "\"images\":32",
             "\"images_per_sec\":128.5",
@@ -165,6 +286,8 @@ mod tests {
         t.push(FidelityEpoch {
             epoch: 0,
             scan_group: 1,
+            trigger: TriggerKind::Hold,
+            probe_scores: Vec::new(),
             bytes_read: 0,
             images: 0,
             images_per_sec: f64::NAN,
@@ -174,6 +297,7 @@ mod tests {
         let json = t.to_json();
         assert!(json.contains("\"images_per_sec\":null"));
         assert!(json.contains("\"cache_hit_rate\":null"));
+        assert!(json.contains("\"probe_scores\":[]"));
         assert!(!json.contains("NaN") && !json.contains("inf"));
     }
 

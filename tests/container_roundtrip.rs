@@ -260,6 +260,13 @@ fn container_format_matrix_v1_v2_v3() {
         for shard in &container.shards {
             assert_eq!(shard.is_columnar(), columnar, "{tag}");
         }
+        // Format compat: containers packed without a decision log (every
+        // pre-audit-plane container) open, verify, and load unchanged,
+        // and report the log as absent rather than erroring.
+        assert!(
+            container.decision_log().expect("absent log is not an error").is_none(),
+            "{tag}: no decision log was written"
+        );
         // Lazy (v3) and eager (v1/v2) entry resolution see identical
         // metadata: both parse paths reproduce the builder's DB.
         for (i, meta) in pcr.db.records.iter().enumerate() {
@@ -294,6 +301,79 @@ fn container_format_matrix_v1_v2_v3() {
     // v2 and v3 pack byte-identical record encodings; the container
     // format must not change a single byte a loader reads.
     assert_eq!(streamed[1], streamed[2], "row vs columnar delivery");
+}
+
+#[test]
+fn decision_log_accumulates_across_runs_and_is_covered_by_verify() {
+    // The audit plane riding in the container: two dynamic sessions
+    // append to one decisions.pcrd, the CRC chain spans both, the
+    // container-level verify() covers it — and corrupting the log is
+    // caught by verify() while record delivery (both the log's and the
+    // shards') stays intact.
+    use pcr::core::declog::{DecisionLog, DecisionLogWriter};
+    use pcr::metrics::TriggerKind;
+    let (_, pcr) = dermatology();
+    let (dir, opened) = pack(&pcr, "declog", 3);
+    // plateau_window clamps to 2 and needs 2*window observations, so the
+    // tune-down lands on epoch 4 — run 5 so it is recorded.
+    let epochs = 5u64;
+    let scores = vec![(1, 0.90), (2, 0.96), (5, 0.99), (10, 1.0)];
+
+    let cfg = ParallelConfig {
+        loader: LoaderConfig { threads: 1, decode: DecodeMode::Skip, ..LoaderConfig::at_group(10) },
+        ..ParallelConfig::default()
+    };
+    let loader: ParallelLoader<dyn RecordSource> = ParallelLoader::new(
+        Arc::clone(&opened.store),
+        Arc::clone(&opened.source) as Arc<dyn RecordSource>,
+        cfg,
+    );
+    let log_path = dir.join(pcr::core::DECISION_LOG_FILE);
+    for session in 0..2u64 {
+        let fidelity = FidelityConfig { plateau_window: 1, ..FidelityConfig::default() };
+        let mut ctrl = FidelityController::new(fidelity, scores.clone());
+        let mut w = DecisionLogWriter::open(&log_path).expect("open log");
+        let trace = loader
+            .run_dynamic_logged(epochs, &mut ctrl, |e, _| if e == 0 { 1.0 } else { 0.5 }, Some(&mut w))
+            .expect("logged run");
+        assert_eq!(w.records_written(), epochs, "session {session}");
+        assert_eq!(trace.epochs.len(), epochs as usize);
+    }
+
+    // Reopen from the artifact alone: both sessions' decisions are
+    // there, the chain verifies, and the trace schema round-trips.
+    let container = PcrContainer::open(&dir).expect("reopen");
+    let log = container.decision_log().expect("read log").expect("log present");
+    log.verify().expect("chain spans both sessions");
+    container.verify().expect("container verify covers the log");
+    assert_eq!(log.len(), 2 * epochs as usize);
+    let triggers: Vec<TriggerKind> = log.records().iter().map(|r| r.trigger).collect();
+    assert_eq!(triggers[0], TriggerKind::Start, "each run starts at full quality");
+    assert_eq!(triggers[epochs as usize], TriggerKind::Start, "second session restarts");
+    assert!(triggers.contains(&TriggerKind::Plateau), "the tune-down is recorded");
+    // "Why did fidelity change at epoch 2?" — answerable from the log.
+    let tuned = log.records().iter().find(|r| r.trigger == TriggerKind::Plateau).unwrap();
+    assert_eq!(usize::from(tuned.scan_group), 2, "cheapest group clearing 0.95");
+    assert!(!tuned.probe_scores.is_empty(), "probe scores travel with the decision");
+    assert!(tuned.bytes_saved() > 0, "the tuned epoch read a shorter prefix");
+    assert_eq!(tuned.bytes_full, pcr.db.bytes_at_group(10));
+    assert_eq!(tuned.bytes_read, pcr.db.bytes_at_group(2));
+
+    // Corruption: flip one byte in a record body. The strict verify
+    // fails; lenient parsing still delivers every decision; and the
+    // loaders' own shard path is unaffected.
+    let mut bytes = std::fs::read(&log_path).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x10;
+    std::fs::write(&log_path, &bytes).unwrap();
+    let err = container.verify().unwrap_err();
+    assert!(matches!(err, pcr::core::Error::Corrupt(_)), "{err:?}");
+    let damaged = container.decision_log().expect("lenient parse").expect("present");
+    assert!(damaged.len() >= epochs as usize, "delivery survives corruption");
+    assert!(DecisionLog::parse(&bytes).unwrap().verify().is_err());
+    open_container_store(&dir, &ShardStoreConfig::default())
+        .expect("shard streaming ignores the audit log");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]

@@ -1,15 +1,17 @@
 //! The no-panic contract of every untrusted-bytes parser, checked the
 //! direct way: feed arbitrary, truncated, and bit-flipped bytes into
 //! `PcrRecord::parse`, `ShardIndex::parse`, `ContainerManifest::from_bytes`,
-//! `PcrContainer::open`, and the restart-marker entropy paths
-//! (`split_restart_segments`, segment-parallel decode, per-group
-//! `segment_count`) and require a `Result` back — never a panic.
-//! This is the runtime twin of the `no-panic-in-hot-path` /
+//! `PcrContainer::open`, `DecisionLog::parse`, and the restart-marker
+//! entropy paths (`split_restart_segments`, segment-parallel decode,
+//! per-group `segment_count`) and require a `Result` back — never a
+//! panic. This is the runtime twin of the `no-panic-in-hot-path` /
 //! `bounded-alloc` lint rules `pcr-analyze` enforces statically over the
 //! same modules.
 
 use pcr::core::container::{ContainerManifest, ShardIndex};
+use pcr::core::declog::{DecisionLog, DecisionRecord};
 use pcr::core::{write_container, PcrContainer, PcrRecord};
+use pcr::metrics::TriggerKind;
 use pcr::datasets::{to_pcr_dataset, DatasetSpec, Scale, SyntheticDataset};
 use proptest::{prop, proptest, ProptestConfig};
 use std::path::PathBuf;
@@ -278,6 +280,93 @@ fn restart_record_truncations_never_panic() {
             }
         }
     }
+}
+
+/// One valid serialized decision log (three records, mixed triggers,
+/// probe-score lists), built once and cached.
+fn valid_declog_bytes() -> Vec<u8> {
+    static CACHE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
+    CACHE
+        .get_or_init(|| {
+            let rec = |epoch: u64, trigger, group: u16| DecisionRecord {
+                epoch,
+                trigger,
+                scan_group: group,
+                bytes_read: 10_000 / u64::from(group).max(1),
+                bytes_full: 10_000,
+                images: 32,
+                cache_hit_rate: 0.5,
+                loss: 1.0 / (epoch + 1) as f64,
+                probe_scores: vec![(1, 0.62), (2, 0.88), (5, 0.96), (10, 1.0)],
+            };
+            DecisionLog::from_records(vec![
+                rec(0, TriggerKind::Start, 10),
+                rec(1, TriggerKind::Plateau, 5),
+                rec(2, TriggerKind::Hold, 5),
+            ])
+            .expect("encode")
+            .to_bytes()
+            .expect("serialize")
+        })
+        .clone()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn declog_parse_survives_arbitrary_bytes(
+        bytes in prop::collection::vec(proptest::any::<u8>(), 0..512)
+    ) {
+        if let Ok(log) = DecisionLog::parse(&bytes) {
+            let _ = log.verify();
+            let _ = log.bytes_saved();
+        }
+    }
+
+    #[test]
+    fn declog_parse_survives_truncation(cut_permille in 0u64..1000) {
+        let bytes = valid_declog_bytes();
+        let cut = bytes.len() * usize::try_from(cut_permille).unwrap() / 1000;
+        if let Ok(log) = DecisionLog::parse(&bytes[..cut]) {
+            // A truncated log delivers a prefix of the records; the cut
+            // can never invent records or pass the strict verify unless
+            // it happens to land exactly on a record boundary.
+            assert!(log.len() <= 3);
+            if log.undecoded_tail() > 0 {
+                assert!(log.verify().is_err());
+            }
+        }
+    }
+
+    #[test]
+    fn declog_parse_survives_bit_flips(seed in proptest::any::<u64>()) {
+        let mut bytes = valid_declog_bytes();
+        let pos = (seed as usize) % bytes.len();
+        bytes[pos] ^= 1 << (seed % 8);
+        // Either outcome is fine (header flips error, body flips are
+        // caught by verify); the contract is no panic either way.
+        if let Ok(log) = DecisionLog::parse(&bytes) {
+            let _ = log.verify();
+        }
+    }
+}
+
+#[test]
+fn declog_corrupted_chain_fails_verify_but_delivers_records() {
+    // The satellite contract verbatim: corrupt a chain CRC byte — the
+    // strict verify must fail, record delivery must not.
+    let clean = valid_declog_bytes();
+    let parsed_clean = DecisionLog::parse(&clean).unwrap();
+    parsed_clean.verify().expect("clean log verifies");
+    let n = parsed_clean.len();
+    let mut corrupt = clean.clone();
+    let last = corrupt.len() - 1; // final chain CRC byte
+    corrupt[last] ^= 0xFF;
+    let parsed = DecisionLog::parse(&corrupt).unwrap();
+    assert_eq!(parsed.len(), n, "corruption must not drop records");
+    assert_eq!(parsed.records(), parsed_clean.records());
+    assert!(parsed.verify().is_err(), "verify must catch the broken chain");
 }
 
 #[test]
