@@ -74,6 +74,8 @@ const HOT_PANIC_FILES: &[&str] = &[
     "crates/core/src/container.rs",
     "crates/core/src/colfooter.rs",
     "crates/core/src/declog.rs",
+    "crates/storage/src/fault.rs",
+    "crates/loader/src/retry.rs",
 ];
 
 /// Files subject to `bounded-alloc` and `no-truncating-cast`: everything
@@ -84,6 +86,7 @@ const PARSE_FILES: &[&str] = &[
     "crates/core/src/container.rs",
     "crates/core/src/colfooter.rs",
     "crates/core/src/declog.rs",
+    "crates/storage/src/fault.rs",
 ];
 
 /// Path prefixes allowed to read the wall clock. `parallel.rs` *is* the

@@ -28,6 +28,7 @@ fn bench_epoch_simulation(c: &mut Criterion) {
                     shuffle: true,
                     seed: 1,
                     decode: DecodeMode::Skip,
+                    retry: Default::default(),
                 };
                 PcrLoader::new(&store, &db, cfg).run_epoch(0, 0.0)
             })
@@ -50,6 +51,7 @@ fn bench_real_decode_epoch(c: &mut Criterion) {
                     shuffle: false,
                     seed: 0,
                     decode: DecodeMode::Real,
+                    retry: Default::default(),
                 };
                 PcrLoader::new(&store, &db, cfg).run_epoch(0, 0.0)
             })

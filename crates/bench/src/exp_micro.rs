@@ -82,6 +82,7 @@ pub fn fig18(ctx: &Ctx) {
             shuffle: false,
             seed: 0,
             decode: DecodeMode::Skip,
+            ..LoaderConfig::default()
         };
         PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0)
     };
@@ -152,7 +153,7 @@ pub fn ablate_layout(ctx: &Ctx) {
     for &g in &STANDARD_GROUPS {
         // PCR: one sequential prefix read per record.
         store.device().reset();
-        let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, seed: 0, decode: DecodeMode::Skip };
+        let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, decode: DecodeMode::Skip, ..LoaderConfig::default() };
         let pcr_epoch = PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0);
         println!("pcr,{},{:.4},{}", g, pcr_epoch.duration, store.device_stats().reads);
 
@@ -189,7 +190,7 @@ pub fn ablate_record_size(ctx: &Ctx) {
         let (pcr, _) = to_pcr_dataset(&ds, ipr);
         let store = ObjectStore::new(DeviceProfile::hdd_7200rpm());
         populate_store(&store, &pcr);
-        let cfg = LoaderConfig { threads: 8, scan_group: 10, shuffle: true, seed: 0, decode: DecodeMode::Skip };
+        let cfg = LoaderConfig { threads: 8, scan_group: 10, shuffle: true, decode: DecodeMode::Skip, ..LoaderConfig::default() };
         let epoch = PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0);
         println!("{},{:.0}", ipr, epoch.images_per_sec());
     }
@@ -206,7 +207,7 @@ pub fn lemma_check(ctx: &Ctx) {
     banner("lemma-check", &[("columns", "group,simulated_img_s,lemma_img_s,rel_err".into())]);
     for &g in &STANDARD_GROUPS {
         store.device().reset();
-        let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, seed: 0, decode: DecodeMode::Skip };
+        let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, decode: DecodeMode::Skip, ..LoaderConfig::default() };
         let epoch = PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0);
         let compute = ComputeUnit { images_per_sec: 1e12, batch_size: 16 };
         let t = run_pipeline(&epoch, &compute, 0.0);
@@ -233,7 +234,7 @@ mod tests {
         populate_store(&store, &pcr);
         let run = |g: usize| {
             store.device().reset();
-            let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, seed: 0, decode: DecodeMode::Skip };
+            let cfg = LoaderConfig { threads: 8, scan_group: g, shuffle: false, decode: DecodeMode::Skip, ..LoaderConfig::default() };
             PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0)
         };
         let full = run(10);

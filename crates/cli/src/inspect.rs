@@ -21,7 +21,7 @@ OPTIONS:
     --epochs <r>    With --trace: only epochs in <r> — a single epoch
                     (\"40\") or a half-open range (\"32..48\", \"..8\", \"40..\")
     --trigger <t>   With --trace: only records with this trigger kind
-                    (start | hold | plateau | retune | fixed)
+                    (start | hold | plateau | retune | fixed | degraded)
     --verify        Re-read every shard and verify all record checksums
                     (and the decision-log CRC chain, when present)
     --json          Emit the selected view as JSON on stdout
@@ -109,7 +109,10 @@ fn trace_view(
     };
     let trigger = match args.value("trigger") {
         Some(t) => Some(TriggerKind::from_name(t).ok_or_else(|| {
-            format!("--trigger: unknown kind {t:?} (start | hold | plateau | retune | fixed)")
+            format!(
+                "--trigger: unknown kind {t:?} \
+                 (start | hold | plateau | retune | fixed | degraded)"
+            )
         })?),
         None => None,
     };

@@ -9,7 +9,8 @@ use pcr_loader::{
     IoModel, LoaderConfig, ParallelConfig, ParallelLoader, RecordSource, ShardStoreConfig,
 };
 use pcr_core::{DecisionLogWriter, DecisionRecord, DECISION_LOG_FILE};
-use pcr_metrics::{FidelityEpoch, FidelityTrace, TriggerKind};
+use pcr_metrics::{EpochFaultCounters, FidelityEpoch, FidelityTrace, TriggerKind};
+use pcr_storage::FaultPlan;
 use pcr_nn::{Matrix, Mlp, ModelSpec, SgdMomentum};
 use std::path::Path;
 use std::sync::atomic::Ordering;
@@ -36,17 +37,38 @@ OPTIONS:
     --json <path>     Write the per-epoch FidelityTrace as JSON
     --no-declog       Do not append this run's decisions to the
                       container's decisions.pcrd audit log
+    --fault-plan <s>  Arm deterministic storage-fault injection, e.g.
+                      \"seed=7,transient=0.05,torn=0.02,latency=0.1\"
+                      (see pcr-storage FaultPlan::parse_spec for keys)
+    --max-retries <n> Read retry attempts before degrading (default 3)
+    --read-deadline-ms <ms>
+                      Per-read service deadline; slower reads count as
+                      timeouts and are retried (default: off)
 
 Each epoch streams decoded minibatches from the packed shards through
 the wall-clock parallel loader and trains a small MLP on them; the loss
 the fidelity controller observes is the real training loss of that
 epoch. Unless --no-declog is given, every epoch's fidelity decision is
 appended to the container's own decisions.pcrd audit log (inspect it
-with `pcr inspect <dir> --trace`). With PCR_BENCH_SMOKE=1 the run is
+with `pcr inspect <dir> --trace`); epochs where storage faults degraded
+or quarantined records additionally log a `degraded` audit record. With PCR_BENCH_SMOKE=1 the run is
 clamped to at most 4 epochs.";
 
 const SPEC: ArgSpec = ArgSpec {
-    value_flags: &["epochs", "group", "model", "threads", "batch", "lr", "io", "seed", "json"],
+    value_flags: &[
+        "epochs",
+        "group",
+        "model",
+        "threads",
+        "batch",
+        "lr",
+        "io",
+        "seed",
+        "json",
+        "fault-plan",
+        "max-retries",
+        "read-deadline-ms",
+    ],
     bool_flags: &["dynamic", "no-declog"],
 };
 
@@ -76,6 +98,13 @@ pub fn run(argv: &[String]) -> Result<(), String> {
 
     let opened = open_container_store(Path::new(dir), &ShardStoreConfig::default())
         .map_err(|e| e.to_string())?;
+    if let Some(spec) = args.value("fault-plan") {
+        let plan = FaultPlan::parse_spec(spec).map_err(|e| format!("--fault-plan: {e}"))?;
+        opened.store.set_fault_plan(Some(plan));
+        println!("fault plan armed: {spec}");
+    }
+    let max_retries: u32 = args.number("max-retries", 3u32)?;
+    let read_deadline_ms: f64 = args.number("read-deadline-ms", 0.0f64)?;
     let source = Arc::clone(&opened.source);
     let full_group = source.num_groups().max(1);
     let fixed_group = args.number("group", full_group)?.clamp(1, full_group);
@@ -118,6 +147,11 @@ pub fn run(argv: &[String]) -> Result<(), String> {
                 threads,
                 decode: DecodeMode::Real,
                 seed,
+                retry: pcr_loader::RetryPolicy {
+                    max_retries,
+                    read_deadline_s: read_deadline_ms / 1000.0,
+                    ..pcr_loader::RetryPolicy::default()
+                },
                 ..LoaderConfig::at_group(full_group)
             },
             batch_size: batch,
@@ -148,6 +182,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     let mut opt = SgdMomentum::new(0.9);
     let dim = model_spec.input_dim();
     let mut trace = FidelityTrace::new();
+    let mut log_failed = false;
     let mut trigger = if dynamic { TriggerKind::Start } else { TriggerKind::Fixed };
     println!(
         "\n{:>6} {:>6} {:>12} {:>8} {:>9} {:>9} {:>8}",
@@ -179,6 +214,7 @@ pub fn run(argv: &[String]) -> Result<(), String> {
         stream.join();
         let wall = t0.elapsed().as_secs_f64();
         let bytes = stats.bytes_read.load(Ordering::Relaxed);
+        let faults = stats.fault_report();
         let loss = if seen > 0 { loss_sum / seen as f64 } else { f64::NAN };
         let acc = if seen > 0 { correct as f64 / seen as f64 } else { 0.0 };
         let images_per_sec = if wall > 0.0 { seen as f64 / wall } else { 0.0 };
@@ -195,14 +231,63 @@ pub fn run(argv: &[String]) -> Result<(), String> {
             images_per_sec,
             cache_hit_rate: opened.store.cache_hit_rate(),
             loss,
+            faults: EpochFaultCounters {
+                retries: faults.retries,
+                degraded_records: faults.degraded_records,
+                quarantined_records: faults.quarantined_records,
+                quarantined_images: faults.quarantined_images(),
+            },
         };
         if let Some((path, mut w)) = declog.take() {
+            // An append failure may leave a torn frame, so the writer is
+            // retired (open() recovers the tail next session); the run
+            // continues and every unpersisted decision is counted.
             match w.append(&DecisionRecord::from_epoch(&entry, bytes_full)) {
                 Ok(()) => declog = Some((path, w)),
                 Err(e) => {
-                    eprintln!("warning: decision log write failed ({}): {e}", path.display())
+                    trace.log_write_failures += 1;
+                    log_failed = true;
+                    eprintln!("warning: decision log write failed ({}): {e}", path.display());
                 }
             }
+        } else if log_failed {
+            trace.log_write_failures += 1;
+        }
+        // Additive audit record (FORMAT.md §7): epochs the storage plane
+        // degraded get a `degraded` entry — `images` carries the
+        // degraded-record count, `loss` the quarantined-record count.
+        if entry.faults.degraded_records > 0 || entry.faults.quarantined_records > 0 {
+            if let Some((path, mut w)) = declog.take() {
+                let rec = DecisionRecord {
+                    epoch,
+                    trigger: TriggerKind::Degraded,
+                    scan_group: u16::try_from(group).unwrap_or(u16::MAX),
+                    bytes_read: bytes,
+                    bytes_full,
+                    images: entry.faults.degraded_records,
+                    cache_hit_rate: opened.store.cache_hit_rate(),
+                    loss: entry.faults.quarantined_records as f64,
+                    probe_scores: Vec::new(),
+                };
+                match w.append(&rec) {
+                    Ok(()) => declog = Some((path, w)),
+                    Err(e) => {
+                        trace.log_write_failures += 1;
+                        log_failed = true;
+                        eprintln!(
+                            "warning: decision log write failed ({}): {e}",
+                            path.display()
+                        );
+                    }
+                }
+            }
+            println!(
+                "  !! faults: {} retried read(s), {} degraded, {} quarantined ({} image(s))",
+                entry.faults.retries,
+                entry.faults.degraded_records,
+                entry.faults.quarantined_records,
+                entry.faults.quarantined_images,
+            );
         }
         trace.push(entry);
         println!(
@@ -235,6 +320,33 @@ pub fn run(argv: &[String]) -> Result<(), String> {
     if let Some(ctrl) = &controller {
         println!("controller decisions: {:?}", ctrl.decisions());
         println!("scan groups used: {:?}", trace.groups_used());
+    }
+    let retries: u64 = trace.epochs.iter().map(|e| e.faults.retries).sum();
+    let degraded: u64 = trace.epochs.iter().map(|e| e.faults.degraded_records).sum();
+    let quarantined: u64 = trace.epochs.iter().map(|e| e.faults.quarantined_records).sum();
+    if retries + degraded + quarantined > 0 || opened.store.fault_plan().is_some() {
+        let injected = opened.store.fault_stats();
+        println!(
+            "fault summary: {} injected error(s) ({} transient, {} torn, {} corrupt, \
+             {} timeout(s)), {} bit flip(s), {} latency spike(s)",
+            injected.injected_errors(),
+            injected.transient,
+            injected.torn,
+            injected.corrupt,
+            injected.timeouts,
+            injected.bit_flips,
+            injected.latency_spikes,
+        );
+        println!(
+            "recovery: {retries} retried read(s), {degraded} degraded record(s), \
+             {quarantined} quarantined record(s)"
+        );
+    }
+    if trace.log_write_failures > 0 {
+        println!(
+            "decision log: {} record(s) FAILED to persist (see warnings above)",
+            trace.log_write_failures
+        );
     }
     if let Some((path, w)) = &declog {
         println!(

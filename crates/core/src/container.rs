@@ -272,7 +272,7 @@ impl ShardIndex {
         // above) and checked_sub proved footer_start + TRAILER <= file_len.
         let footer = &bytes[footer_start as usize..(file_len - SHARD_TRAILER_LEN) as usize];
         if crc32(footer) != footer_crc {
-            return Err(Error::Corrupt(format!("{file_name}: shard footer CRC mismatch")));
+            return Err(Error::corrupt_at(file_name, footer_start, "shard footer CRC mismatch"));
         }
         let backing = if version == COLUMNAR_VERSION {
             Backing::Columnar(ColumnarIndex::from_footer(
@@ -549,7 +549,7 @@ impl ContainerManifest {
             .map(u32::from_le_bytes)
             .map_err(|_| Error::Truncated { context: "manifest checksum" })?;
         if crc32(body) != stored {
-            return Err(Error::Corrupt("manifest CRC mismatch".into()));
+            return Err(Error::corrupt_at(MANIFEST_FILE, body.len() as u64, "CRC mismatch"));
         }
         let mut r = Reader::new(body);
         if r.bytes(4, "manifest magic")? != MANIFEST_MAGIC {
@@ -886,10 +886,14 @@ impl PcrContainer {
         file.read_exact(&mut bytes).map_err(io_err("read record"))?;
         let actual = crc32(&bytes);
         if actual != rec.crc32 {
-            return Err(Error::Corrupt(format!(
-                "record {} CRC mismatch (stored {:#010x}, computed {actual:#010x})",
-                rec.name, rec.crc32
-            )));
+            return Err(Error::corrupt_at(
+                path.display(),
+                rec.offset,
+                format!(
+                    "record {} CRC mismatch (stored {:#010x}, computed {actual:#010x})",
+                    rec.name, rec.crc32
+                ),
+            ));
         }
         Ok(bytes)
     }
@@ -927,9 +931,11 @@ impl PcrContainer {
         let index = ShardIndex::parse(file_name, &bytes)?;
         // pcr-lint: allow(no-panic-in-hot-path) — documented index contract
         if index.footer_crc != self.shards[i].footer_crc {
-            return Err(Error::Corrupt(format!(
-                "{file_name}: footer CRC changed since open"
-            )));
+            return Err(Error::corrupt_at(
+                file_name,
+                (bytes.len() as u64).saturating_sub(SHARD_TRAILER_LEN) + 4,
+                "footer CRC changed since open",
+            ));
         }
         for rec in index.entries() {
             let rec = rec?;
@@ -941,14 +947,24 @@ impl PcrContainer {
             // panic the integrity pass.
             let data = bytes
                 .get(start..end)
-                .ok_or_else(|| Error::Corrupt(format!("record {} out of shard bounds", rec.name)))?;
+                .ok_or_else(|| {
+                    Error::corrupt_at(
+                        file_name,
+                        rec.offset,
+                        format!("record {} out of shard bounds", rec.name),
+                    )
+                })?;
             let actual = crc32(data);
             if actual != stored {
-                return Err(Error::Corrupt(format!(
-                    "{file_name}: record {} CRC mismatch (stored {stored:#010x}, \
-                     computed {actual:#010x})",
-                    rec.name
-                )));
+                return Err(Error::corrupt_at(
+                    file_name,
+                    rec.offset,
+                    format!(
+                        "record {} CRC mismatch (stored {stored:#010x}, \
+                         computed {actual:#010x})",
+                        rec.name
+                    ),
+                ));
             }
         }
         Ok(bytes)
@@ -1026,11 +1042,14 @@ fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
         let (col, footer_crc) =
             ColumnarIndex::open_lazy(file, num_groups, record_count, file_len)?;
         if footer_crc != summary.footer_crc {
-            return Err(Error::Corrupt(format!(
-                "{}: footer CRC {footer_crc:#010x} does not match manifest {:#010x}",
+            return Err(Error::corrupt_at(
                 path.display(),
-                summary.footer_crc
-            )));
+                file_len.saturating_sub(SHARD_TRAILER_LEN) + 4,
+                format!(
+                    "footer CRC {footer_crc:#010x} does not match manifest {:#010x}",
+                    summary.footer_crc
+                ),
+            ));
         }
         return Ok(ShardIndex {
             file_name,
@@ -1061,12 +1080,14 @@ fn read_shard_index(path: &Path, summary: &ShardSummary) -> Result<ShardIndex> {
     image.extend_from_slice(&tail);
     let index = ShardIndex::parse(&file_name, &image)?;
     if index.footer_crc != summary.footer_crc {
-        return Err(Error::Corrupt(format!(
-            "{}: footer CRC {:#010x} does not match manifest {:#010x}",
+        return Err(Error::corrupt_at(
             path.display(),
-            index.footer_crc,
-            summary.footer_crc
-        )));
+            file_len.saturating_sub(SHARD_TRAILER_LEN) + 4,
+            format!(
+                "footer CRC {:#010x} does not match manifest {:#010x}",
+                index.footer_crc, summary.footer_crc
+            ),
+        ));
     }
     Ok(index)
 }

@@ -136,6 +136,9 @@ impl DecisionRecord {
             images_per_sec,
             cache_hit_rate: self.cache_hit_rate,
             loss: self.loss,
+            // Fault counters are trace-only observability; the durable
+            // record does not carry them (FORMAT.md §7).
+            faults: Default::default(),
         }
     }
 
@@ -232,6 +235,7 @@ pub struct DecisionLog {
     stored_chains: Vec<u32>,
     computed_chains: Vec<u32>,
     undecoded_tail: usize,
+    valid_len: usize,
 }
 
 impl DecisionLog {
@@ -252,6 +256,7 @@ impl DecisionLog {
             stored_chains: Vec::new(),
             computed_chains: Vec::new(),
             undecoded_tail: 0,
+            valid_len: HEADER_LEN,
         };
         let mut chain = crc32(header);
         let mut off = HEADER_LEN;
@@ -272,6 +277,7 @@ impl DecisionLog {
             // forged chain field flags itself and its successor.
             chain = stored;
             off = off.saturating_add(consumed);
+            log.valid_len = off;
         }
         Ok(log)
     }
@@ -290,6 +296,7 @@ impl DecisionLog {
             stored_chains: Vec::new(),
             computed_chains: Vec::new(),
             undecoded_tail: 0,
+            valid_len: HEADER_LEN,
         };
         let mut chain = genesis_chain();
         for rec in records {
@@ -299,6 +306,8 @@ impl DecisionLog {
             log.records.push(rec);
             log.stored_chains.push(chain);
             log.computed_chains.push(chain);
+            // Framing: length u32 + body + chain u32, matching to_bytes.
+            log.valid_len += 4 + body.len() + 4;
         }
         Ok(log)
     }
@@ -337,6 +346,15 @@ impl DecisionLog {
         self.undecoded_tail
     }
 
+    /// File length through the last fully decoded record (header plus
+    /// every complete frame). Truncating a torn file to this length
+    /// yields a clean log ending on a record boundary — the recovery
+    /// point [`DecisionLogWriter::open`] resumes from after a crash
+    /// mid-append.
+    pub fn valid_len(&self) -> usize {
+        self.valid_len
+    }
+
     /// The chain value an appender must continue from.
     pub fn last_chain(&self) -> u32 {
         self.stored_chains.last().copied().unwrap_or_else(genesis_chain)
@@ -345,6 +363,23 @@ impl DecisionLog {
     /// Strict integrity pass: every record's stored chain CRC must match
     /// the recomputed chain, and the file must end on a record boundary.
     pub fn verify(&self) -> Result<()> {
+        self.verify_chain()?;
+        if self.undecoded_tail > 0 {
+            return Err(Error::Corrupt(format!(
+                "decision log: {} undecodable byte(s) after record {}",
+                self.undecoded_tail,
+                self.records.len()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Chain-CRC check alone, ignoring any undecoded tail. This is the
+    /// non-negotiable half of [`DecisionLog::verify`]: a chain mismatch
+    /// means a decoded record was altered, while a torn tail is the
+    /// expected residue of a crash mid-append and is recoverable by
+    /// truncating to [`DecisionLog::valid_len`].
+    pub fn verify_chain(&self) -> Result<()> {
         for (i, (stored, computed)) in
             self.stored_chains.iter().zip(&self.computed_chains).enumerate()
         {
@@ -354,13 +389,6 @@ impl DecisionLog {
                      (stored {stored:#010x}, computed {computed:#010x})"
                 )));
             }
-        }
-        if self.undecoded_tail > 0 {
-            return Err(Error::Corrupt(format!(
-                "decision log: {} undecodable byte(s) after record {}",
-                self.undecoded_tail,
-                self.records.len()
-            )));
         }
         Ok(())
     }
@@ -493,14 +521,22 @@ fn diff_field<T: PartialEq + std::fmt::Display>(
 }
 
 /// Appends decision records to a log file, maintaining the CRC chain
-/// across sessions: opening an existing log parses and verifies it (a
-/// corrupt log is refused, never extended) and resumes from its last
-/// chain value; opening a fresh path writes the header first.
+/// across sessions: opening an existing log parses and verifies it and
+/// resumes from its last chain value; opening a fresh path writes the
+/// header first.
+///
+/// Crash recovery: a torn tail (the residue of a crash mid-append — the
+/// file ends inside a half-written frame) is truncated back to the last
+/// complete record and the chain resumes from there; the number of bytes
+/// discarded is reported by [`DecisionLogWriter::recovered_bytes`]. A
+/// chain-CRC mismatch on a *decoded* record is real corruption, not a
+/// torn write, and is refused — a damaged log is never extended.
 #[derive(Debug)]
 pub struct DecisionLogWriter {
     file: fs::File,
     chain: u32,
     written: u64,
+    recovered: u64,
 }
 
 impl DecisionLogWriter {
@@ -509,12 +545,24 @@ impl DecisionLogWriter {
         match fs::read(path) {
             Ok(bytes) => {
                 let log = DecisionLog::parse(&bytes)?;
-                log.verify()?;
+                log.verify_chain()?;
+                let torn = log.undecoded_tail() as u64;
+                if torn > 0 {
+                    // Crash mid-append: drop the incomplete frame so the
+                    // next append lands on a record boundary.
+                    let file = fs::OpenOptions::new()
+                        .write(true)
+                        .open(path)
+                        .map_err(|e| Error::BadInput(format!("open decision log: {e}")))?;
+                    file.set_len(log.valid_len() as u64).map_err(|e| {
+                        Error::BadInput(format!("truncate torn decision log: {e}"))
+                    })?;
+                }
                 let file = fs::OpenOptions::new()
                     .append(true)
                     .open(path)
                     .map_err(|e| Error::BadInput(format!("open decision log: {e}")))?;
-                Ok(Self { file, chain: log.last_chain(), written: 0 })
+                Ok(Self { file, chain: log.last_chain(), written: 0, recovered: torn })
             }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 let mut file = fs::OpenOptions::new()
@@ -524,7 +572,7 @@ impl DecisionLogWriter {
                     .map_err(|e| Error::BadInput(format!("create decision log: {e}")))?;
                 file.write_all(&header_bytes())
                     .map_err(|e| Error::BadInput(format!("write decision log header: {e}")))?;
-                Ok(Self { file, chain: genesis_chain(), written: 0 })
+                Ok(Self { file, chain: genesis_chain(), written: 0, recovered: 0 })
             }
             Err(e) => Err(Error::BadInput(format!("read decision log: {e}"))),
         }
@@ -551,6 +599,12 @@ impl DecisionLogWriter {
     /// Records appended through this writer (excludes pre-existing ones).
     pub fn records_written(&self) -> u64 {
         self.written
+    }
+
+    /// Torn-tail bytes discarded during [`DecisionLogWriter::open`]
+    /// crash recovery; 0 when the log was clean.
+    pub fn recovered_bytes(&self) -> u64 {
+        self.recovered
     }
 }
 
@@ -684,6 +738,55 @@ mod tests {
         std::fs::write(&path, &bytes).unwrap();
         assert!(DecisionLogWriter::open(&path).is_err());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_write_recovery_at_every_truncation_point() {
+        // Crash-mid-append recovery, exhaustively: write three records,
+        // then truncate the file at *every* byte position inside the
+        // last frame. Open must recover (drop the torn frame, resume the
+        // chain) — never panic — and a subsequent append must leave a
+        // fully verifiable log.
+        let full = sample_log().to_bytes().unwrap();
+        let two = DecisionLog::from_records(sample_log().records()[..2].to_vec()).unwrap();
+        let boundary = two.valid_len();
+        assert!(boundary > HEADER_LEN && boundary < full.len());
+        let dir = std::env::temp_dir().join(format!(
+            "pcr-declog-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(DECISION_LOG_FILE);
+        for cut in boundary..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let mut w = DecisionLogWriter::open(&path).expect("torn tail must recover");
+            assert_eq!(w.recovered_bytes(), (cut - boundary) as u64, "cut at {cut}");
+            w.append(&sample(9, TriggerKind::Hold, 3)).unwrap();
+            drop(w);
+            let log = DecisionLog::read(&path).unwrap();
+            log.verify().unwrap();
+            assert_eq!(log.len(), 3, "cut at {cut}");
+            assert_eq!(log.records()[2].epoch, 9);
+            std::fs::remove_file(&path).unwrap();
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn degraded_records_round_trip_through_the_log() {
+        // TriggerKind::Degraded (wire 5) is additive: it reuses the
+        // standard wire fields (images = degraded count, loss =
+        // quarantined count) and round-trips like any other record.
+        let mut rec = sample(4, TriggerKind::Degraded, 5);
+        rec.images = 7; // degraded records
+        rec.loss = 2.0; // quarantined records
+        rec.probe_scores = Vec::new();
+        let log = DecisionLog::from_records(vec![rec.clone()]).unwrap();
+        let back = DecisionLog::parse(&log.to_bytes().unwrap()).unwrap();
+        back.verify().unwrap();
+        assert_eq!(back.records(), &[rec]);
     }
 
     #[test]

@@ -32,6 +32,17 @@ pub enum Error {
     BadInput(String),
 }
 
+impl Error {
+    /// A [`Error::Corrupt`] that consistently names the damaged file and
+    /// the byte offset where verification failed — the two facts an
+    /// operator needs to locate the damage with a hexdump. Use this for
+    /// every corruption site that knows its position; offset-free
+    /// corruption (e.g. a poisoned lock) uses `Error::Corrupt` directly.
+    pub fn corrupt_at(file: impl fmt::Display, offset: u64, what: impl fmt::Display) -> Self {
+        Error::Corrupt(format!("{file} @ byte {offset}: {what}"))
+    }
+}
+
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -48,6 +48,10 @@ pub struct LoaderConfig {
     pub seed: u64,
     /// Decode cost accounting.
     pub decode: DecodeMode,
+    /// Retry/backoff policy around every read (see [`crate::retry`]).
+    /// With a clean store the policy is never exercised; under faults it
+    /// governs retries, deadlines, and the per-epoch retry budget.
+    pub retry: crate::retry::RetryPolicy,
 }
 
 impl Default for LoaderConfig {
@@ -58,6 +62,7 @@ impl Default for LoaderConfig {
             shuffle: true,
             seed: 0,
             decode: DecodeMode::modeled_progressive(),
+            retry: crate::retry::RetryPolicy::default(),
         }
     }
 }

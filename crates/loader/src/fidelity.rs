@@ -14,7 +14,7 @@
 use crate::parallel::{ParallelLoader, WallClockEpoch};
 use pcr_autotune::{select_lowest_qualifying, PlateauDetector, DEFAULT_MSSIM_THRESHOLD};
 use pcr_core::{DecisionLogWriter, DecisionRecord, MetaDb, PcrRecord, RecordScratch};
-use pcr_metrics::{msssim, FidelityEpoch, FidelityTrace, Plane, TriggerKind};
+use pcr_metrics::{msssim, EpochFaultCounters, FidelityEpoch, FidelityTrace, Plane, TriggerKind};
 use pcr_storage::{Clock, ObjectStore};
 
 /// Configuration of the online fidelity policy.
@@ -181,7 +181,7 @@ pub fn probe_source_scores<S: crate::source::RecordSource + ?Sized>(
     'records: for idx in 0..source.num_records() {
         // A plan at usize::MAX clamps to the full record for PCR sources.
         let plan = source.plan(idx, usize::MAX);
-        let Some(read) = store.read(Clock::Wall, plan.name, plan.offset, plan.len) else {
+        let Ok(read) = store.read(Clock::Wall, plan.name, plan.offset, plan.len) else {
             continue;
         };
         let Ok(rec) = PcrRecord::parse(&read.data) else { continue };
@@ -276,9 +276,33 @@ impl<S: crate::source::RecordSource + ?Sized + 'static> ParallelLoader<S> {
                 images_per_sec: result.images_per_sec(),
                 cache_hit_rate: self.store().cache_hit_rate(),
                 loss,
+                faults: EpochFaultCounters {
+                    retries: result.faults.retries,
+                    degraded_records: result.faults.degraded_records,
+                    quarantined_records: result.faults.quarantined_records,
+                    quarantined_images: result.faults.quarantined_images(),
+                },
             };
             if let Some(w) = log.as_deref_mut() {
                 w.append(&DecisionRecord::from_epoch(&entry, bytes_full))?;
+                // Additive audit record (FORMAT.md §7): only epochs the
+                // storage plane actually degraded get one, so zero-fault
+                // runs serialize byte-identically to pre-fault-plane
+                // builds. Field reuse: `images` = degraded records,
+                // `loss` = quarantined records.
+                if entry.faults.degraded_records > 0 || entry.faults.quarantined_records > 0 {
+                    w.append(&DecisionRecord {
+                        epoch,
+                        trigger: TriggerKind::Degraded,
+                        scan_group: u16::try_from(scan_group).unwrap_or(u16::MAX),
+                        bytes_read: result.bytes,
+                        bytes_full,
+                        images: entry.faults.degraded_records,
+                        cache_hit_rate: self.store().cache_hit_rate(),
+                        loss: entry.faults.quarantined_records as f64,
+                        probe_scores: Vec::new(),
+                    })?;
+                }
             }
             trace.push(entry);
             trigger = controller.trigger_after(switched);

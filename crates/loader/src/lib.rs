@@ -63,6 +63,7 @@ pub mod loader;
 pub mod order;
 pub mod parallel;
 pub mod pipeline;
+pub mod retry;
 pub mod sharded;
 pub mod source;
 pub mod timing;
@@ -78,5 +79,9 @@ pub use parallel::{
     EpochStream, IoModel, Minibatch, ParallelConfig, ParallelLoader, ParallelStats, WallClockEpoch,
 };
 pub use pipeline::{spawn_epoch, PipelineConfig, PipelineStats, RunningPipeline};
+pub use retry::{
+    deliver_with_degradation, read_with_retry, DecodeCheck, Delivery, FaultReport,
+    QuarantineEntry, RetryBudget, RetryOutcome, RetryPolicy, Timeline, QUARANTINE_DETAIL_CAP,
+};
 pub use sharded::{open_container_store, OpenedContainer, ShardStoreConfig, ShardedSource};
 pub use source::{ReadPlan, ReadPlanner, RecordSource};

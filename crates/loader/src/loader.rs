@@ -14,10 +14,14 @@
 //! per-epoch record order.
 
 use crate::config::{DecodeMode, LoaderConfig};
+use crate::retry::{
+    deliver_with_degradation, DecodeCheck, Delivery, FaultReport, RetryBudget, RetryOutcome,
+    Timeline,
+};
 use crate::source::{ReadPlanner, RecordSource};
 use pcr_core::{MetaDb, RecordScratch};
 use pcr_jpeg::ImageBuf;
-use pcr_storage::{Clock, ObjectStore};
+use pcr_storage::ObjectStore;
 
 /// Timing and contents of one loaded record.
 #[derive(Debug, Clone)]
@@ -40,6 +44,11 @@ pub struct LoadedRecord {
     pub labels: Vec<u32>,
     /// Decoded images (empty unless [`DecodeMode::Real`]).
     pub images: Vec<ImageBuf>,
+    /// Scan group actually delivered — equal to the planner's group
+    /// unless faults degraded this record to a shorter intact prefix.
+    pub delivered_group: usize,
+    /// True when faults degraded this record below the requested group.
+    pub degraded: bool,
 }
 
 /// Result of streaming one epoch.
@@ -62,6 +71,9 @@ pub struct EpochResult {
     pub bytes: u64,
     /// Virtual time at which the last record became ready.
     pub duration: f64,
+    /// Retry/degradation/quarantine accounting for the epoch. Clean runs
+    /// report [`FaultReport::is_clean`].
+    pub faults: FaultReport,
 }
 
 impl EpochResult {
@@ -123,7 +135,7 @@ impl<'a, S: RecordSource + ?Sized> PcrLoader<'a, S> {
 
 /// The virtual-time epoch engine every modeled loader runs on: a greedy
 /// closed system of `config.threads` workers over any [`RecordSource`],
-/// reading through the clocked store path ([`Clock::Virtual`]) and
+/// reading through the clocked store path ([`Clock::Virtual`](pcr_storage::Clock::Virtual)) and
 /// charging decode cost per [`DecodeMode`].
 ///
 /// [`PcrLoader`] and both [`crate::baseline_loader`] loaders are thin
@@ -142,6 +154,8 @@ pub fn run_virtual_epoch<S: RecordSource + ?Sized>(
     let order = planner.epoch_iter(source.num_records(), epoch);
     let mut scratch = RecordScratch::new();
     let threads = config.threads.max(1);
+    let budget = RetryBudget::new(config.retry.epoch_retry_budget_s);
+    let mut faults = FaultReport::default();
     // Each worker's virtual "free at" time.
     let mut free_at = vec![start; threads];
     let mut out: Vec<LoadedRecord> = Vec::with_capacity(order.num_records());
@@ -151,49 +165,76 @@ pub fn run_virtual_epoch<S: RecordSource + ?Sized>(
             .min_by(|&a, &b| free_at[a].partial_cmp(&free_at[b]).expect("no NaN"))
             .expect("threads >= 1");
         let issued = free_at[worker];
-        let plan = planner.plan(source, rec_idx);
-        let read = store
-            .read(Clock::Virtual(issued), plan.name, plan.offset, plan.len)
-            .expect("record present in store");
-        let (decode_time, images) = match config.decode {
-            DecodeMode::Skip => (0.0, Vec::new()),
-            DecodeMode::Modeled { seconds_per_byte } => {
-                (read.data.len() as f64 * seconds_per_byte, Vec::new())
-            }
+        // Decode cost accumulates across ladder attempts (failed decodes
+        // are charged too, matching the wall-clock workers' semantics).
+        let mut decode_cost = 0.0f64;
+        let mut decode_check = |read: &pcr_storage::ReadResult, _group: usize| match config.decode
+        {
+            DecodeMode::Skip | DecodeMode::Modeled { .. } => DecodeCheck::Accepted,
             DecodeMode::Real => {
                 let (decoded, elapsed) = crate::timing::measure(|| {
                     source.decode_real(rec_idx, &read.data, planner.scan_group, &mut scratch)
                 });
-                let Some(images) = decoded else {
-                    // Undecodable record: the worker spent the read and the
-                    // decode attempt but delivers nothing — the same skip
-                    // semantics as the wall-clock workers, so modeled and
-                    // measured runs agree on bad input too.
-                    free_at[worker] = read.finish + elapsed;
-                    continue;
-                };
-                (elapsed, images)
+                decode_cost += elapsed;
+                match decoded {
+                    Some(images) => DecodeCheck::Images(images),
+                    None => DecodeCheck::Failed,
+                }
             }
         };
-        let ready = read.finish + decode_time;
-        free_at[worker] = ready;
-        out.push(LoadedRecord {
-            seq,
-            record: rec_idx,
-            worker,
-            issued,
-            read_finish: read.finish,
-            ready,
-            bytes: read.data.len() as u64,
-            labels: source.labels(rec_idx).to_vec(),
-            images,
-        });
+        let mut outcome = RetryOutcome::default();
+        let delivery = deliver_with_degradation(
+            store,
+            source,
+            rec_idx,
+            planner.scan_group,
+            Timeline::Virtual { start: issued },
+            &config.retry,
+            &budget,
+            &mut |_| {}, // virtual: backoff is charged by issuing later
+            &mut decode_check,
+            &mut outcome,
+        );
+        faults.retries += u64::from(outcome.retries);
+        faults.backoff_s += outcome.backoff_s;
+        match delivery {
+            Delivery::Delivered { read, group, degraded, images } => {
+                if let DecodeMode::Modeled { seconds_per_byte } = config.decode {
+                    decode_cost = read.data.len() as f64 * seconds_per_byte;
+                }
+                if degraded {
+                    faults.degraded_records += 1;
+                }
+                let ready = read.finish + decode_cost;
+                free_at[worker] = ready;
+                out.push(LoadedRecord {
+                    seq,
+                    record: rec_idx,
+                    worker,
+                    issued,
+                    read_finish: read.finish,
+                    ready,
+                    bytes: read.data.len() as u64,
+                    labels: source.labels(rec_idx).to_vec(),
+                    images,
+                    delivered_group: group,
+                    degraded,
+                });
+            }
+            Delivery::Quarantined { reason } => {
+                // The worker spent its backoff and any decode attempts
+                // but delivers nothing; the record's labels are accounted
+                // in the quarantine multiset.
+                faults.note_quarantine(rec_idx, source.labels(rec_idx), reason);
+                free_at[worker] = issued + outcome.backoff_s + decode_cost;
+            }
+        }
     }
     out.sort_by(|a, b| a.ready.partial_cmp(&b.ready).expect("no NaN"));
     let images = out.iter().map(|r| r.labels.len()).sum();
     let bytes = out.iter().map(|r| r.bytes).sum();
     let duration = out.last().map_or(0.0, |r| r.ready - start);
-    EpochResult { records: out, images, bytes, duration }
+    EpochResult { records: out, images, bytes, duration, faults }
 }
 
 /// Loads every record of a PCR dataset into an object store under its DB

@@ -34,13 +34,17 @@
 
 use crate::config::{DecodeMode, LoaderConfig};
 use crate::order::EpochOrder;
+use crate::retry::{
+    deliver_with_degradation, DecodeCheck, Delivery, FaultReport, RetryBudget, RetryOutcome,
+    RetryPolicy, Timeline,
+};
 use crate::source::{ReadPlanner, RecordSource};
 use crossbeam::channel::{bounded, Receiver};
 use pcr_core::{MetaDb, RecordScratch};
 use pcr_jpeg::ImageBuf;
-use pcr_storage::{Clock, ObjectStore};
+use pcr_storage::ObjectStore;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// How the wall-clock pipeline realizes storage time.
@@ -51,7 +55,7 @@ pub enum IoModel {
     #[default]
     Instant,
     /// Sleep each read's modeled service time — the duration the clocked
-    /// store path returns for a [`Clock::Wall`] read — on the issuing
+    /// store path returns for a [`Clock::Wall`](pcr_storage::Clock::Wall) read — on the issuing
     /// worker thread. Cached bytes cost only request overhead, so a warm
     /// page cache speeds emulated I/O exactly as it would a real device.
     /// Requests to different records are assumed to hit independent
@@ -150,6 +154,17 @@ pub struct ParallelStats {
     pub decode_nanos: AtomicU64,
     /// Total emulated-I/O wait nanoseconds summed across workers.
     pub io_wait_nanos: AtomicU64,
+    /// Read attempts that were retried (faulted then re-issued).
+    pub retries: AtomicU64,
+    /// Records delivered below the requested scan group.
+    pub degraded_records: AtomicU64,
+    /// Records quarantined (no scan-group prefix deliverable).
+    pub quarantined_records: AtomicU64,
+    /// Total backoff microseconds slept across workers.
+    pub backoff_micros: AtomicU64,
+    /// Exact quarantine accounting (label multiset + bounded detail),
+    /// merged in by workers as records are quarantined.
+    pub quarantine: Mutex<FaultReport>,
 }
 
 impl ParallelStats {
@@ -162,6 +177,16 @@ impl ParallelStats {
         } else {
             0.0
         }
+    }
+
+    /// Consolidated fault accounting: the quarantine's exact label
+    /// multiset plus the live retry/degradation counters.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut r = self.quarantine.lock().map(|g| g.clone()).unwrap_or_default();
+        r.retries = self.retries.load(Ordering::Relaxed);
+        r.degraded_records = self.degraded_records.load(Ordering::Relaxed);
+        r.backoff_s = self.backoff_micros.load(Ordering::Relaxed) as f64 / 1e6;
+        r
     }
 }
 
@@ -209,6 +234,9 @@ pub struct WallClockEpoch {
     pub wall_seconds: f64,
     /// Summed worker decode seconds (CPU cost of the epoch).
     pub decode_cpu_seconds: f64,
+    /// Retry/degradation/quarantine accounting for the epoch. Clean runs
+    /// report [`FaultReport::is_clean`].
+    pub faults: FaultReport,
 }
 
 impl WallClockEpoch {
@@ -302,6 +330,8 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
         // state however many records the catalog holds.
         let order = Arc::new(planner.epoch_iter(self.source.num_records(), epoch));
         let cursor = Arc::new(AtomicUsize::new(0));
+        // One retry budget per epoch, shared by all workers.
+        let budget = Arc::new(RetryBudget::new(cfg.loader.retry.epoch_retry_budget_s));
 
         // Worker → assembler channel (bounded: the prefetch queue).
         // Workers send the record *index* with the decoded images; the
@@ -321,6 +351,8 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
             let planner = planner.clone();
             let io = cfg.io;
             let segment_workers = cfg.segment_workers.max(1);
+            let retry = cfg.loader.retry.clone();
+            let budget = Arc::clone(&budget);
             let handle = std::thread::Builder::new()
                 .name(format!("pcr-parallel-{w}"))
                 .spawn(move || {
@@ -335,6 +367,8 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
                         decode,
                         io,
                         segment_workers,
+                        &retry,
+                        &budget,
                     )
                 })
                 .expect("spawn worker");
@@ -418,6 +452,7 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
             bytes: stats.bytes_read.load(Ordering::Relaxed),
             wall_seconds,
             decode_cpu_seconds: stats.decode_nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            faults: stats.fault_report(),
         }
     }
 }
@@ -425,8 +460,9 @@ impl<S: RecordSource + ?Sized + 'static> ParallelLoader<S> {
 /// One worker: claim epoch-order positions from the shared atomic
 /// cursor, resolve each to a record index through the streaming
 /// [`EpochOrder`] bijection, read planned prefixes through the clocked
-/// store path, realize I/O time, decode, push downstream. Returns when
-/// the order is exhausted or the consumer disappears.
+/// store path — with retry/backoff and fidelity degradation on failure —
+/// realize I/O time, decode, push downstream. Returns when the order is
+/// exhausted or the consumer disappears.
 #[allow(clippy::too_many_arguments)]
 fn worker_loop<S: RecordSource + ?Sized>(
     order: &EpochOrder,
@@ -439,6 +475,8 @@ fn worker_loop<S: RecordSource + ?Sized>(
     decode: DecodeMode,
     io: IoModel,
     segment_workers: usize,
+    retry: &RetryPolicy,
+    budget: &RetryBudget,
 ) {
     let mut scratch = RecordScratch::new();
     loop {
@@ -447,34 +485,14 @@ fn worker_loop<S: RecordSource + ?Sized>(
             return; // epoch drained
         }
         let idx = order.get(pos);
-        let plan = planner.plan(source, idx);
         // The same clocked, cached, counted read path the virtual-time
-        // loader uses: the page cache and device statistics see this
-        // traffic, and `finish` carries the modeled service time (cache-
-        // aware) should the worker want to spend it.
-        let Some(read) = store.read(Clock::Wall, plan.name, plan.offset, plan.len) else {
-            continue; // missing object: skip record
-        };
-        let read_len = read.data.len() as u64;
-        stats.bytes_read.fetch_add(read_len, Ordering::Relaxed);
-        if io == IoModel::EmulatedLatency {
-            let service = read.finish - read.start;
-            let t0 = Instant::now();
-            std::thread::sleep(Duration::from_secs_f64(service.max(0.0)));
-            stats.io_wait_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-        }
-        // Labels travel as the record index — the assembler reads the
-        // slices out of the shared source, so the per-record
-        // `labels().to_vec()` allocation is gone from the hot loop.
-        let images = match decode {
-            DecodeMode::Skip => Vec::new(),
-            DecodeMode::Modeled { seconds_per_byte } => {
-                // Wall-clock realization of the modeled cost, so modeled
-                // and real runs remain comparable end to end.
-                let modeled = read_len as f64 * seconds_per_byte;
-                std::thread::sleep(Duration::from_secs_f64(modeled));
-                Vec::new()
-            }
+        // loader uses — wrapped in retry/backoff, with fidelity
+        // degradation stepping down the scan-group prefix when a range
+        // stays unreadable. Real decode doubles as the integrity check:
+        // silently flipped bits surface as decode failures and degrade
+        // instead of propagating corrupt pixels.
+        let mut decode_check = |read: &pcr_storage::ReadResult, _group: usize| match decode {
+            DecodeMode::Skip | DecodeMode::Modeled { .. } => DecodeCheck::Accepted,
             DecodeMode::Real => {
                 let t0 = Instant::now();
                 let decoded = source.decode_real_segmented(
@@ -485,13 +503,62 @@ fn worker_loop<S: RecordSource + ?Sized>(
                     segment_workers,
                 );
                 stats.decode_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
-                let Some(images) = decoded else {
-                    continue; // undecodable record: skip
-                };
-                stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
-                images
+                match decoded {
+                    Some(images) => DecodeCheck::Images(images),
+                    None => DecodeCheck::Failed,
+                }
             }
         };
+        let mut outcome = RetryOutcome::default();
+        let delivery = deliver_with_degradation(
+            store,
+            source,
+            idx,
+            planner.scan_group,
+            Timeline::Wall,
+            retry,
+            budget,
+            &mut |s| std::thread::sleep(Duration::from_secs_f64(s)),
+            &mut decode_check,
+            &mut outcome,
+        );
+        stats.retries.fetch_add(u64::from(outcome.retries), Ordering::Relaxed);
+        stats
+            .backoff_micros
+            .fetch_add((outcome.backoff_s * 1e6) as u64, Ordering::Relaxed);
+        let (read, images, degraded) = match delivery {
+            Delivery::Delivered { read, group: _, degraded, images } => (read, images, degraded),
+            Delivery::Quarantined { reason } => {
+                stats.quarantined_records.fetch_add(1, Ordering::Relaxed);
+                if let Ok(mut q) = stats.quarantine.lock() {
+                    q.note_quarantine(idx, source.labels(idx), reason);
+                }
+                continue;
+            }
+        };
+        if degraded {
+            stats.degraded_records.fetch_add(1, Ordering::Relaxed);
+        }
+        let read_len = read.data.len() as u64;
+        stats.bytes_read.fetch_add(read_len, Ordering::Relaxed);
+        if io == IoModel::EmulatedLatency {
+            let service = read.finish - read.start;
+            let t0 = Instant::now();
+            std::thread::sleep(Duration::from_secs_f64(service.max(0.0)));
+            stats.io_wait_nanos.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        }
+        if let DecodeMode::Modeled { seconds_per_byte } = decode {
+            // Wall-clock realization of the modeled cost, so modeled
+            // and real runs remain comparable end to end.
+            let modeled = read_len as f64 * seconds_per_byte;
+            std::thread::sleep(Duration::from_secs_f64(modeled));
+        }
+        if !images.is_empty() {
+            stats.images_decoded.fetch_add(images.len() as u64, Ordering::Relaxed);
+        }
+        // Labels travel as the record index — the assembler reads the
+        // slices out of the shared source, so the per-record
+        // `labels().to_vec()` allocation is gone from the hot loop.
         stats.records_loaded.fetch_add(1, Ordering::Relaxed);
         if rec_tx.send((images, idx)).is_err() {
             return; // consumer gone

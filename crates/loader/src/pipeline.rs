@@ -53,6 +53,7 @@ impl From<PipelineConfig> for ParallelConfig {
                 shuffle: c.shuffle_seed.is_some(),
                 seed: c.shuffle_seed.unwrap_or(0),
                 decode: DecodeMode::Real,
+                retry: crate::retry::RetryPolicy::default(),
             },
             batch_size: c.batch_size,
             prefetch_records: c.prefetch,

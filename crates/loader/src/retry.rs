@@ -1,0 +1,571 @@
+//! Retry, backoff, and fidelity degradation around the storage read path.
+//!
+//! Every loader read goes through [`read_with_retry`]: transient
+//! [`ReadError`]s are retried under a [`RetryPolicy`] — capped
+//! decorrelated-jitter backoff, a per-read deadline on modeled service
+//! time, and a shared per-epoch retry budget ([`RetryBudget`]) so a
+//! pathological store cannot stall an epoch forever.
+//!
+//! When retries are exhausted, [`deliver_with_degradation`] makes PCR's
+//! progressive structure the recovery mechanism: scan-group prefixes are
+//! nested, so if groups `k+1..=G` of a record are unreadable the loader
+//! steps the request down — `G, G-1, …, 1` — and delivers the record at
+//! the longest intact prefix instead of failing the epoch. Records whose
+//! shortest prefix is still unreadable (or undecodable — silent bit flips
+//! surface here as decode failures) go to a bounded quarantine with exact
+//! per-label accounting, so the delivered label multiset always equals
+//! the expected multiset minus the quarantined one.
+//!
+//! Backoff is deterministic: the jitter is a pure hash of
+//! `(policy seed, record, group, attempt)`, never a clock or RNG, so a
+//! seeded fault plan replays the identical recovery sequence on both the
+//! virtual and wall timelines.
+
+use crate::source::{ReadPlan, RecordSource};
+use pcr_jpeg::ImageBuf;
+use pcr_storage::{Clock, ObjectStore, ReadError, ReadResult};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How many quarantined records keep full detail (index + error text);
+/// past the cap only the exact counters and label counts grow.
+pub const QUARANTINE_DETAIL_CAP: usize = 64;
+
+/// Retry/backoff policy wrapped around every loader read.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries per read after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// First backoff delay in seconds.
+    pub base_backoff_s: f64,
+    /// Backoff cap in seconds.
+    pub max_backoff_s: f64,
+    /// Per-read deadline on *modeled service time* in seconds (0 = off):
+    /// a read whose device service exceeds it is treated as
+    /// [`ReadError::Timeout`] and retried — the knob that turns injected
+    /// latency spikes into recoverable faults.
+    pub read_deadline_s: f64,
+    /// Total backoff seconds one epoch may spend across all of its
+    /// workers; once exhausted, failures stop retrying and degrade (or
+    /// quarantine) immediately.
+    pub epoch_retry_budget_s: f64,
+    /// Seed for the deterministic backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            base_backoff_s: 1e-3,
+            max_backoff_s: 0.1,
+            read_deadline_s: 0.0,
+            epoch_retry_budget_s: 30.0,
+            seed: 0,
+        }
+    }
+}
+
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (reads fail fast into degradation).
+    pub fn none() -> Self {
+        Self { max_retries: 0, epoch_retry_budget_s: 0.0, ..Self::default() }
+    }
+
+    /// The next backoff delay after a delay of `prev` seconds:
+    /// decorrelated jitter (`sleep = min(cap, base + u * (prev*3 - base))`
+    /// with `u` a deterministic hash of `(seed, key, attempt)` in [0,1)),
+    /// so delays spread without a shared RNG and replay exactly.
+    pub fn backoff(&self, prev: f64, key: u64, attempt: u32) -> f64 {
+        let u = unit(mix(self.seed ^ mix(key) ^ u64::from(attempt)));
+        let span = (prev * 3.0 - self.base_backoff_s).max(0.0);
+        (self.base_backoff_s + u * span).min(self.max_backoff_s)
+    }
+}
+
+/// A shared per-epoch budget of backoff seconds, decremented by every
+/// retry on any worker. Stored as integer microseconds so concurrent
+/// spends stay exact.
+#[derive(Debug)]
+pub struct RetryBudget(AtomicU64);
+
+impl RetryBudget {
+    /// A budget of `seconds` (values beyond ~584k years saturate).
+    pub fn new(seconds: f64) -> Self {
+        let micros = if seconds.is_finite() && seconds >= 0.0 {
+            (seconds * 1e6).min(u64::MAX as f64) as u64
+        } else if seconds.is_infinite() && seconds > 0.0 {
+            u64::MAX
+        } else {
+            0
+        };
+        Self(AtomicU64::new(micros))
+    }
+
+    /// Attempts to reserve `seconds` from the budget; false when the
+    /// remaining budget is smaller (nothing is deducted then).
+    pub fn try_spend(&self, seconds: f64) -> bool {
+        let want = (seconds.max(0.0) * 1e6).min(u64::MAX as f64) as u64;
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            if cur < want {
+                return false;
+            }
+            match self.0.compare_exchange_weak(
+                cur,
+                cur - want,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Remaining budget in seconds.
+    pub fn remaining_s(&self) -> f64 {
+        self.0.load(Ordering::Relaxed) as f64 / 1e6
+    }
+}
+
+/// Which timeline a retried read runs on. Backoff on the wall timeline is
+/// slept by the caller-provided closure; on the virtual timeline it is
+/// charged by issuing each attempt later.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Timeline {
+    /// Real worker threads ([`Clock::Wall`]).
+    Wall,
+    /// The virtual-time engine: attempts issue at `start` plus the
+    /// backoff accumulated so far.
+    Virtual {
+        /// Virtual time of the first attempt.
+        start: f64,
+    },
+}
+
+/// Retries accumulated across one record's delivery attempt.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RetryOutcome {
+    /// Failed attempts that were retried.
+    pub retries: u32,
+    /// Backoff seconds spent (slept on the wall timeline, charged to the
+    /// virtual one).
+    pub backoff_s: f64,
+}
+
+/// Reads `plan` with retry/backoff under `policy`, spending from the
+/// epoch's shared `budget`. `key` seeds the jitter (callers pass a hash
+/// of record/group). `sleep` realizes backoff on the wall timeline (pass
+/// a no-op for [`Timeline::Virtual`] — the delay is charged by issuing
+/// later instead). Counters accumulate into `out` so ladder steps share
+/// one outcome.
+#[allow(clippy::too_many_arguments)] // the retry loop's full context; bundling would obscure call sites
+pub fn read_with_retry(
+    store: &ObjectStore,
+    plan: &ReadPlan<'_>,
+    timeline: Timeline,
+    policy: &RetryPolicy,
+    budget: &RetryBudget,
+    key: u64,
+    sleep: &mut dyn FnMut(f64),
+    out: &mut RetryOutcome,
+) -> Result<ReadResult, ReadError> {
+    let mut prev_delay = policy.base_backoff_s;
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let clock = match timeline {
+            Timeline::Wall => Clock::Wall,
+            Timeline::Virtual { start } => Clock::Virtual(start + out.backoff_s),
+        };
+        let failure = match store.read(clock, plan.name, plan.offset, plan.len) {
+            Ok(read) => {
+                let service = read.finish - read.start;
+                if policy.read_deadline_s > 0.0 && service > policy.read_deadline_s {
+                    ReadError::Timeout {
+                        object: plan.name.to_string(),
+                        offset: plan.offset,
+                        service_s: service,
+                    }
+                } else {
+                    return Ok(read);
+                }
+            }
+            Err(e) => e,
+        };
+        if !failure.is_retryable() || attempt > policy.max_retries {
+            return Err(failure);
+        }
+        let delay = policy.backoff(prev_delay, key, attempt);
+        if !budget.try_spend(delay) {
+            return Err(failure);
+        }
+        prev_delay = delay;
+        out.retries += 1;
+        out.backoff_s += delay;
+        sleep(delay);
+    }
+}
+
+/// What a decode-time integrity check concluded about delivered bytes.
+pub enum DecodeCheck {
+    /// Bytes accepted without decoding (`DecodeMode::Skip`/`Modeled` —
+    /// silent corruption cannot be observed in these modes).
+    Accepted,
+    /// Bytes decoded into images.
+    Images(Vec<ImageBuf>),
+    /// Bytes delivered but undecodable at this group — treated like a
+    /// corrupt range: the ladder steps down to a shorter prefix.
+    Failed,
+}
+
+/// The outcome of delivering one record through retry + degradation.
+#[derive(Debug)]
+pub enum Delivery {
+    /// The record was delivered, possibly at a lower scan group than
+    /// requested.
+    Delivered {
+        /// The successful read (of the delivered group's prefix).
+        read: ReadResult,
+        /// Scan group actually delivered.
+        group: usize,
+        /// True when `group` is lower than requested because of faults.
+        degraded: bool,
+        /// Decoded images (empty when the decode check ran in
+        /// [`DecodeCheck::Accepted`] mode).
+        images: Vec<ImageBuf>,
+    },
+    /// Every prefix down to group 1 was unreadable or undecodable.
+    Quarantined {
+        /// Human-readable reason (the last failure seen).
+        reason: String,
+    },
+}
+
+/// Delivers record `idx` at the longest intact scan-group prefix.
+///
+/// Tries `requested_group` first; on persistent read failure or a failed
+/// decode check, steps down one group at a time (skipping groups whose
+/// plan is byte-identical to the one that just failed) and quarantines
+/// only when group 1 itself cannot be delivered. `decode_check` is called
+/// once per successful read with the delivered bytes and the group; real
+/// decoding modes validate there, so silent bit flips degrade instead of
+/// propagating corrupt pixels.
+#[allow(clippy::too_many_arguments)]
+pub fn deliver_with_degradation<S: RecordSource + ?Sized>(
+    store: &ObjectStore,
+    source: &S,
+    idx: usize,
+    requested_group: usize,
+    timeline: Timeline,
+    policy: &RetryPolicy,
+    budget: &RetryBudget,
+    sleep: &mut dyn FnMut(f64),
+    decode_check: &mut dyn FnMut(&ReadResult, usize) -> DecodeCheck,
+    out: &mut RetryOutcome,
+) -> Delivery {
+    let requested = requested_group.max(1);
+    let mut last_failure = String::new();
+    let mut failed_plan: Option<(u64, u64)> = None;
+    for group in (1..=requested).rev() {
+        let plan = source.plan(idx, group);
+        // A lower group that plans the exact same bytes (clamped formats,
+        // baseline whole-object reads) cannot succeed where this one just
+        // failed — don't burn retries on it.
+        if failed_plan == Some((plan.offset, plan.len)) {
+            continue;
+        }
+        let key = mix((idx as u64) << 8 | group as u64);
+        match read_with_retry(store, &plan, timeline, policy, budget, key, sleep, out) {
+            Ok(read) => match decode_check(&read, group) {
+                DecodeCheck::Accepted => {
+                    return Delivery::Delivered {
+                        read,
+                        group,
+                        degraded: group < requested,
+                        images: Vec::new(),
+                    }
+                }
+                DecodeCheck::Images(images) => {
+                    return Delivery::Delivered {
+                        read,
+                        group,
+                        degraded: group < requested,
+                        images,
+                    }
+                }
+                DecodeCheck::Failed => {
+                    last_failure =
+                        format!("undecodable at group {group} ({} bytes)", read.data.len());
+                    failed_plan = Some((plan.offset, plan.len));
+                }
+            },
+            Err(e) => {
+                let not_found = matches!(e, ReadError::NotFound { .. });
+                last_failure = e.to_string();
+                failed_plan = Some((plan.offset, plan.len));
+                if not_found {
+                    // The object itself is gone; no prefix can help.
+                    break;
+                }
+            }
+        }
+    }
+    Delivery::Quarantined { reason: last_failure }
+}
+
+/// One quarantined record (detail kept for the first
+/// [`QUARANTINE_DETAIL_CAP`] records).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QuarantineEntry {
+    /// Record index in the source.
+    pub record: usize,
+    /// Why it could not be delivered.
+    pub reason: String,
+}
+
+/// Exact per-epoch fault accounting: retry totals, degradation counts,
+/// and the quarantined label multiset. The invariant the chaos harness
+/// checks: `delivered labels + quarantined_labels == expected labels`,
+/// as exact multisets.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultReport {
+    /// Read attempts that were retried.
+    pub retries: u64,
+    /// Backoff seconds spent (wall: slept; virtual: charged).
+    pub backoff_s: f64,
+    /// Records delivered below their requested scan group.
+    pub degraded_records: u64,
+    /// Records quarantined (no prefix deliverable).
+    pub quarantined_records: u64,
+    /// Exact label → count multiset of quarantined images.
+    pub quarantined_labels: BTreeMap<u32, u64>,
+    /// Per-record detail, capped at [`QUARANTINE_DETAIL_CAP`].
+    pub quarantine: Vec<QuarantineEntry>,
+}
+
+impl FaultReport {
+    /// True when the epoch saw no retries, degradations, or quarantines.
+    pub fn is_clean(&self) -> bool {
+        self.retries == 0 && self.degraded_records == 0 && self.quarantined_records == 0
+    }
+
+    /// Total quarantined images (labels).
+    pub fn quarantined_images(&self) -> u64 {
+        self.quarantined_labels.values().sum()
+    }
+
+    /// Records a quarantined record: exact counters always, detail only
+    /// under the cap.
+    pub fn note_quarantine(&mut self, record: usize, labels: &[u32], reason: String) {
+        self.quarantined_records += 1;
+        for &label in labels {
+            *self.quarantined_labels.entry(label).or_insert(0) += 1;
+        }
+        if self.quarantine.len() < QUARANTINE_DETAIL_CAP {
+            self.quarantine.push(QuarantineEntry { record, reason });
+        }
+    }
+
+    /// Folds another report into this one (used to merge per-worker
+    /// accounting into the epoch's).
+    pub fn merge(&mut self, other: &FaultReport) {
+        self.retries += other.retries;
+        self.backoff_s += other.backoff_s;
+        self.degraded_records += other.degraded_records;
+        self.quarantined_records += other.quarantined_records;
+        for (&label, &n) in &other.quarantined_labels {
+            *self.quarantined_labels.entry(label).or_insert(0) += n;
+        }
+        for e in &other.quarantine {
+            if self.quarantine.len() >= QUARANTINE_DETAIL_CAP {
+                break;
+            }
+            self.quarantine.push(e.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pcr_storage::{DeviceProfile, FaultPlan};
+
+    fn plan_of(name: &str) -> ReadPlan<'_> {
+        ReadPlan { name, offset: 0, len: 1024 }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_jittered() {
+        let p = RetryPolicy { base_backoff_s: 0.01, max_backoff_s: 0.05, ..RetryPolicy::default() };
+        let a = p.backoff(0.01, 7, 1);
+        assert_eq!(a, p.backoff(0.01, 7, 1), "same inputs, same delay");
+        assert!(a >= p.base_backoff_s && a <= p.max_backoff_s);
+        assert!(p.backoff(10.0, 7, 2) <= p.max_backoff_s, "cap holds");
+        assert_ne!(p.backoff(0.01, 7, 1), p.backoff(0.01, 8, 1), "keys decorrelate");
+    }
+
+    #[test]
+    fn budget_spends_exactly_and_refuses_overdraft() {
+        let b = RetryBudget::new(0.005);
+        assert!(b.try_spend(0.003));
+        assert!(!b.try_spend(0.003), "only 2ms left");
+        assert!(b.try_spend(0.002));
+        assert!(b.remaining_s() < 1e-9);
+        assert!(RetryBudget::new(f64::INFINITY).try_spend(1e9));
+        assert!(!RetryBudget::new(0.0).try_spend(1e-6));
+    }
+
+    #[test]
+    fn transient_faults_are_retried_to_success() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![9; 4096]);
+        store.set_fault_plan(Some(FaultPlan {
+            seed: 1,
+            transient: 1.0,
+            transient_repeats: 2,
+            ..FaultPlan::default()
+        }));
+        let policy = RetryPolicy { base_backoff_s: 1e-6, max_backoff_s: 1e-5, ..RetryPolicy::default() };
+        let budget = RetryBudget::new(1.0);
+        let mut out = RetryOutcome::default();
+        let mut slept = 0.0;
+        let read = read_with_retry(
+            &store,
+            &plan_of("rec"),
+            Timeline::Wall,
+            &policy,
+            &budget,
+            42,
+            &mut |s| slept += s,
+            &mut out,
+        )
+        .expect("third attempt succeeds");
+        assert_eq!(read.data.len(), 1024);
+        assert_eq!(out.retries, 2);
+        assert!((slept - out.backoff_s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corrupt_ranges_fail_fast_without_retries() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![9; 4096]);
+        store.set_fault_plan(Some(FaultPlan { seed: 1, corrupt: 1.0, ..FaultPlan::default() }));
+        let budget = RetryBudget::new(1.0);
+        let mut out = RetryOutcome::default();
+        let err = read_with_retry(
+            &store,
+            &plan_of("rec"),
+            Timeline::Wall,
+            &RetryPolicy::default(),
+            &budget,
+            0,
+            &mut |_| {},
+            &mut out,
+        )
+        .expect_err("corrupt is persistent");
+        assert!(matches!(err, pcr_storage::ReadError::CorruptRange { .. }));
+        assert_eq!(out.retries, 0, "non-retryable errors spend nothing");
+    }
+
+    #[test]
+    fn exhausted_budget_stops_retrying() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![9; 4096]);
+        store.set_fault_plan(Some(FaultPlan {
+            seed: 1,
+            transient: 1.0,
+            transient_repeats: 100,
+            ..FaultPlan::default()
+        }));
+        let policy =
+            RetryPolicy { max_retries: 50, base_backoff_s: 1e-3, ..RetryPolicy::default() };
+        let budget = RetryBudget::new(0.0);
+        let mut out = RetryOutcome::default();
+        let r = read_with_retry(
+            &store,
+            &plan_of("rec"),
+            Timeline::Wall,
+            &policy,
+            &budget,
+            0,
+            &mut |_| {},
+            &mut out,
+        );
+        assert!(r.is_err());
+        assert_eq!(out.retries, 0);
+    }
+
+    #[test]
+    fn virtual_timeline_charges_backoff_by_issuing_later() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![9; 4096]);
+        store.set_fault_plan(Some(FaultPlan {
+            seed: 4,
+            transient: 1.0,
+            transient_repeats: 1,
+            ..FaultPlan::default()
+        }));
+        let policy =
+            RetryPolicy { base_backoff_s: 0.25, max_backoff_s: 0.25, ..RetryPolicy::default() };
+        let budget = RetryBudget::new(10.0);
+        let mut out = RetryOutcome::default();
+        let read = read_with_retry(
+            &store,
+            &plan_of("rec"),
+            Timeline::Virtual { start: 1.0 },
+            &policy,
+            &budget,
+            0,
+            &mut |_| {},
+            &mut out,
+        )
+        .expect("retry succeeds");
+        assert_eq!(out.retries, 1);
+        assert!(
+            read.start >= 1.0 + 0.25 - 1e-9,
+            "second attempt issues after the backoff: start {}",
+            read.start
+        );
+    }
+
+    #[test]
+    fn fault_report_reconciles_label_multisets() {
+        let mut r = FaultReport::default();
+        r.note_quarantine(3, &[1, 1, 2], "corrupt".into());
+        r.note_quarantine(9, &[2], "torn".into());
+        assert_eq!(r.quarantined_records, 2);
+        assert_eq!(r.quarantined_images(), 4);
+        assert_eq!(r.quarantined_labels.get(&1), Some(&2));
+        assert_eq!(r.quarantined_labels.get(&2), Some(&2));
+        assert_eq!(r.quarantine.len(), 2);
+        let mut m = FaultReport::default();
+        m.merge(&r);
+        m.merge(&r);
+        assert_eq!(m.quarantined_images(), 8);
+        assert!(!m.is_clean());
+    }
+
+    #[test]
+    fn quarantine_detail_is_bounded() {
+        let mut r = FaultReport::default();
+        for i in 0..(QUARANTINE_DETAIL_CAP + 40) {
+            r.note_quarantine(i, &[0], "x".into());
+        }
+        assert_eq!(r.quarantine.len(), QUARANTINE_DETAIL_CAP);
+        assert_eq!(r.quarantined_records as usize, QUARANTINE_DETAIL_CAP + 40);
+        assert_eq!(r.quarantined_images() as usize, QUARANTINE_DETAIL_CAP + 40);
+    }
+}

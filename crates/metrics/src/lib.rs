@@ -45,4 +45,4 @@ pub use ssim::{msssim, msssim_u8, ssim, Plane};
 pub use stats::{
     cosine_similarity, cosine_similarity_f32, mean, mean_ci95, quantile, quartiles, std_dev,
 };
-pub use trace::{FidelityEpoch, FidelityTrace, TriggerKind};
+pub use trace::{EpochFaultCounters, FidelityEpoch, FidelityTrace, TriggerKind};

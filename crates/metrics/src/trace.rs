@@ -39,16 +39,23 @@ pub enum TriggerKind {
     Retune = 3,
     /// No controller: a fixed scan group was requested for the run.
     Fixed = 4,
+    /// Storage faults degraded or quarantined records this epoch. An
+    /// additive audit record appended *after* the epoch's controller
+    /// decision — never a controller decision itself. Its record reuses
+    /// the standard wire fields: `images` carries the degraded-record
+    /// count and `loss` the quarantined-record count (FORMAT.md §7).
+    Degraded = 5,
 }
 
 impl TriggerKind {
     /// Every kind, in wire order.
-    pub const ALL: [TriggerKind; 5] = [
+    pub const ALL: [TriggerKind; 6] = [
         TriggerKind::Start,
         TriggerKind::Hold,
         TriggerKind::Plateau,
         TriggerKind::Retune,
         TriggerKind::Fixed,
+        TriggerKind::Degraded,
     ];
 
     /// The normative wire discriminant (FORMAT.md §7).
@@ -70,6 +77,7 @@ impl TriggerKind {
             TriggerKind::Plateau => "plateau",
             TriggerKind::Retune => "retune",
             TriggerKind::Fixed => "fixed",
+            TriggerKind::Degraded => "degraded",
         }
     }
 
@@ -82,6 +90,30 @@ impl TriggerKind {
 impl fmt::Display for TriggerKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.name())
+    }
+}
+
+/// Fault-recovery counters for one epoch: what the retry/degradation
+/// machinery did while the epoch ran. Trace-only observability — these
+/// never enter the durable `DecisionRecord` wire form (a zero-fault run
+/// must stay byte-identical), though an epoch with any degradation or
+/// quarantine additionally logs a [`TriggerKind::Degraded`] record.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochFaultCounters {
+    /// Read attempts beyond the first, across all records.
+    pub retries: u64,
+    /// Records delivered at a lower scan group than requested.
+    pub degraded_records: u64,
+    /// Records dropped after the full degradation ladder failed.
+    pub quarantined_records: u64,
+    /// Images inside those quarantined records.
+    pub quarantined_images: u64,
+}
+
+impl EpochFaultCounters {
+    /// True when no fault machinery fired at all this epoch.
+    pub fn is_clean(&self) -> bool {
+        *self == Self::default()
     }
 }
 
@@ -107,6 +139,9 @@ pub struct FidelityEpoch {
     pub cache_hit_rate: f64,
     /// Training loss the controller observed for this epoch.
     pub loss: f64,
+    /// Retry/degradation counters for this epoch (all-zero when the
+    /// storage plane delivered every read cleanly).
+    pub faults: EpochFaultCounters,
 }
 
 /// The per-epoch trajectory of a fidelity-controlled run.
@@ -114,6 +149,9 @@ pub struct FidelityEpoch {
 pub struct FidelityTrace {
     /// Epoch entries in order.
     pub epochs: Vec<FidelityEpoch>,
+    /// Decision-log records that failed to persist during the run (the
+    /// run continues; the durable log is best-effort under disk faults).
+    pub log_write_failures: u64,
 }
 
 impl FidelityTrace {
@@ -176,10 +214,25 @@ impl FidelityTrace {
                     ("images_per_sec", JsonValue::F64(e.images_per_sec)),
                     ("cache_hit_rate", JsonValue::F64(e.cache_hit_rate)),
                     ("loss", JsonValue::F64(e.loss)),
+                    (
+                        "faults",
+                        JsonValue::object([
+                            ("retries", JsonValue::U64(e.faults.retries)),
+                            ("degraded_records", JsonValue::U64(e.faults.degraded_records)),
+                            (
+                                "quarantined_records",
+                                JsonValue::U64(e.faults.quarantined_records),
+                            ),
+                            ("quarantined_images", JsonValue::U64(e.faults.quarantined_images)),
+                        ]),
+                    ),
                 ])
             })
             .collect();
-        JsonValue::object([("epochs", JsonValue::Array(epochs))])
+        JsonValue::object([
+            ("epochs", JsonValue::Array(epochs)),
+            ("log_write_failures", JsonValue::U64(self.log_write_failures)),
+        ])
     }
 
     /// Serializes the trace as a JSON object `{"epochs": [...]}`.
@@ -209,6 +262,7 @@ mod tests {
             images_per_sec: 128.5,
             cache_hit_rate: 0.0,
             loss: 1.25,
+            faults: EpochFaultCounters::default(),
         });
         t.push(FidelityEpoch {
             epoch: 1,
@@ -220,6 +274,12 @@ mod tests {
             images_per_sec: 200.0,
             cache_hit_rate: 0.75,
             loss: 0.8,
+            faults: EpochFaultCounters {
+                retries: 3,
+                degraded_records: 2,
+                quarantined_records: 1,
+                quarantined_images: 4,
+            },
         });
         t
     }
@@ -242,6 +302,7 @@ mod tests {
             (TriggerKind::Plateau, 2, "plateau"),
             (TriggerKind::Retune, 3, "retune"),
             (TriggerKind::Fixed, 4, "fixed"),
+            (TriggerKind::Degraded, 5, "degraded"),
         ];
         assert_eq!(expected.len(), TriggerKind::ALL.len());
         for (kind, wire, name) in expected {
@@ -252,7 +313,7 @@ mod tests {
             assert_eq!(TriggerKind::from_name(name), Some(kind));
             assert_eq!(TriggerKind::from_name(&name.to_uppercase()), Some(kind));
         }
-        assert_eq!(TriggerKind::from_wire(5), None);
+        assert_eq!(TriggerKind::from_wire(6), None);
         assert_eq!(TriggerKind::from_wire(255), None);
         assert_eq!(TriggerKind::from_name("bogus"), None);
     }
@@ -272,12 +333,15 @@ mod tests {
             "\"images_per_sec\":128.5",
             "\"cache_hit_rate\":0.75",
             "\"loss\":0.8",
+            "\"faults\":{\"retries\":3,\"degraded_records\":2,\"quarantined_records\":1,\"quarantined_images\":4}",
+            "\"faults\":{\"retries\":0",
+            "\"log_write_failures\":0",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
         // Balanced and well-terminated.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert!(json.ends_with("]}"));
+        assert!(json.ends_with('}'));
     }
 
     #[test]
@@ -293,6 +357,7 @@ mod tests {
             images_per_sec: f64::NAN,
             cache_hit_rate: f64::INFINITY,
             loss: 0.0,
+            faults: EpochFaultCounters::default(),
         });
         let json = t.to_json();
         assert!(json.contains("\"images_per_sec\":null"));

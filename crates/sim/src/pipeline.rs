@@ -123,11 +123,19 @@ mod tests {
                 bytes: 1000,
                 labels: vec![0; images_per_record],
                 images: Vec::new(),
+                delivered_group: 10,
+                degraded: false,
             })
             .collect();
         let images = records.iter().map(|r| r.labels.len()).sum();
         let duration = record_ready.last().copied().unwrap_or(0.0);
-        EpochResult { records, images, bytes: 1000 * record_ready.len() as u64, duration }
+        EpochResult {
+            records,
+            images,
+            bytes: 1000 * record_ready.len() as u64,
+            duration,
+            faults: pcr_loader::FaultReport::default(),
+        }
     }
 
     #[test]

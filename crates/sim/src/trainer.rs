@@ -193,6 +193,7 @@ impl<'a> Trainer<'a> {
             shuffle: true,
             seed: self.cfg.seed ^ self.epoch as u64,
             decode: pcr_loader::DecodeMode::modeled_progressive(),
+            retry: pcr_loader::RetryPolicy::default(),
         };
         let loader = PcrLoader::new(&self.store, &self.db, loader_cfg);
         let epoch = loader.run_epoch(self.epoch as u64, 0.0);

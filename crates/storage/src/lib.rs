@@ -15,9 +15,14 @@
 //! [`Clock`]: virtual-time loaders queue against the simulated device
 //! ([`Clock::Virtual`]), wall-clock workers get the modeled service time
 //! back as a duration ([`Clock::Wall`]) — and *both* share the page cache,
-//! readahead, and device/cache statistics. Reads return [`ByteView`]s —
-//! zero-copy, reference-counted windows into the stored blobs — so loaders
-//! never duplicate record bytes:
+//! readahead, and device/cache statistics. Reads return
+//! `Result<ReadResult, ReadError>`: a missing object is
+//! [`ReadError::NotFound`], and an installed [`FaultPlan`]
+//! ([`ObjectStore::set_fault_plan`]) injects deterministic, seed-keyed
+//! failures — transient errors, torn reads, corrupt ranges, timeouts,
+//! silent bit flips, latency spikes — for chaos testing. Successful reads
+//! return [`ByteView`]s — zero-copy, reference-counted windows into the
+//! stored blobs — so loaders never duplicate record bytes:
 //!
 //! ```
 //! use pcr_storage::{Clock, DeviceProfile, ObjectStore};
@@ -42,11 +47,13 @@
 pub mod bytes;
 pub mod cache;
 pub mod device;
+pub mod fault;
 pub mod profile;
 pub mod store;
 
 pub use bytes::ByteView;
 pub use cache::{PageCache, PAGE_SIZE};
 pub use device::{DeviceStats, SharedDevice, SimDevice};
+pub use fault::{FaultDecision, FaultPlan, FaultStats, FaultStatsSnapshot, ReadError};
 pub use profile::DeviceProfile;
 pub use store::{Clock, ObjectStore, ReadResult};

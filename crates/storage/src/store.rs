@@ -12,10 +12,11 @@
 use crate::bytes::ByteView;
 use crate::cache::PageCache;
 use crate::device::{DeviceStats, SharedDevice};
+use crate::fault::{FaultDecision, FaultPlan, FaultStats, FaultStatsSnapshot, ReadError};
 use crate::profile::DeviceProfile;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Which timeline a read is issued on.
@@ -64,6 +65,15 @@ pub struct ObjectStore {
     /// Readahead granularity in bytes (0 = off): device reads are extended
     /// to the next multiple, so adjacent scan-group prefix reads coalesce.
     readahead: AtomicU64,
+    /// Installed fault schedule (None = never fault). Guarded by
+    /// `faults_on` so the zero-fault fast path is one relaxed load.
+    fault: Mutex<Option<FaultPlan>>,
+    faults_on: AtomicBool,
+    /// Per-site 1-based attempt counters, keyed by
+    /// `(name hash, offset, len)`, so error-once / error-N-times schedules
+    /// can clear. Reset whenever a new plan is installed.
+    attempts: Mutex<HashMap<(u64, u64, u64), u32>>,
+    fault_stats: FaultStats,
 }
 
 impl ObjectStore {
@@ -85,7 +95,32 @@ impl ObjectStore {
             }),
             next_id: Mutex::new(0),
             readahead: AtomicU64::new(0),
+            fault: Mutex::new(None),
+            faults_on: AtomicBool::new(false),
+            attempts: Mutex::new(HashMap::new()),
+            fault_stats: FaultStats::default(),
         }
+    }
+
+    /// Installs (or with `None` removes) a deterministic fault schedule.
+    /// Per-site attempt counters are reset, so re-installing the same plan
+    /// replays the same fault sequence. A quiet plan (all probabilities
+    /// zero) is treated as no plan: the read fast path stays untouched.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let plan = plan.filter(|p| !p.is_quiet());
+        self.faults_on.store(plan.is_some(), Ordering::Release);
+        *self.fault.lock() = plan;
+        self.attempts.lock().clear();
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<FaultPlan> {
+        self.fault.lock().clone()
+    }
+
+    /// Snapshot of injected-fault counters.
+    pub fn fault_stats(&self) -> FaultStatsSnapshot {
+        self.fault_stats.snapshot()
     }
 
     /// Sets the readahead granularity in bytes (0 disables readahead).
@@ -149,16 +184,51 @@ impl ObjectStore {
     ///   traffic is fully visible in [`ObjectStore::device_stats`] and
     ///   [`ObjectStore::cache_hit_rate`], and it warms the cache for
     ///   either timeline.
-    pub fn read(&self, clock: Clock, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
+    ///
+    /// # Failures
+    ///
+    /// A missing object returns [`ReadError::NotFound`]. With a
+    /// [`FaultPlan`] installed ([`ObjectStore::set_fault_plan`]), reads can
+    /// also fail with the plan's injected [`ReadError`]s; failed attempts
+    /// cost no modeled device time and leave cache/device statistics
+    /// untouched (the retry layer charges backoff instead). With no plan
+    /// installed the only possible error is `NotFound`.
+    pub fn read(
+        &self,
+        clock: Clock,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadResult, ReadError> {
         let (oid, data) = {
             let g = self.objects.lock();
-            let (oid, data) = g.get(name)?;
+            let (oid, data) = g
+                .get(name)
+                .ok_or_else(|| ReadError::NotFound { object: name.to_string() })?;
             (*oid, Arc::clone(data))
         };
         let size = data.len() as u64;
         let offset = offset.min(size);
         let end = offset.saturating_add(len).min(size);
         let len = end - offset;
+        // Fault injection: decided on the clamped site before any cache or
+        // device accounting, so injected failures are free of side effects
+        // and deterministic given (plan seed, site, attempt number).
+        let mut latency_factor = 1.0f64;
+        let mut flip: Option<(u64, u32)> = None;
+        if self.faults_on.load(Ordering::Acquire) {
+            if let Some(plan) = self.fault.lock().clone() {
+                self.apply_fault_plan(
+                    &plan,
+                    name,
+                    offset,
+                    len,
+                    size,
+                    &mut latency_factor,
+                    &mut flip,
+                )?;
+            }
+        }
         // Readahead: extend the cached/charged range (never the delivered
         // data) to the next boundary so adjacent prefix reads coalesce.
         let ra = self.readahead.load(Ordering::Relaxed);
@@ -173,7 +243,8 @@ impl ObjectStore {
                     // Fully cached: only request overhead.
                     (now, now + overhead)
                 } else {
-                    self.device.read_at(now, oid, offset, missed)
+                    let (s, f) = self.device.read_at(now, oid, offset, missed);
+                    (s, s + (f - s) * latency_factor)
                 }
             }
             Clock::Wall => {
@@ -182,27 +253,109 @@ impl ObjectStore {
                 } else {
                     self.device.service_wall(oid, offset, missed)
                 };
-                (0.0, service)
+                (0.0, service * latency_factor)
             }
         };
-        Some(ReadResult {
-            data: ByteView::from_shared(data, offset as usize, end as usize),
-            start,
-            finish,
-            cached_bytes: cached,
-        })
+        let view = match flip {
+            // A silent bit flip must never touch the shared backing store
+            // (other readers would see it): copy the delivered window and
+            // flip the bit in the owned copy.
+            Some((pos, bit)) => {
+                self.fault_stats.bit_flips.fetch_add(1, Ordering::Relaxed);
+                let mut owned = data
+                    .get(offset as usize..end as usize)
+                    .map(<[u8]>::to_vec)
+                    .unwrap_or_default();
+                if let Some(byte) = owned.get_mut((pos - offset) as usize) {
+                    *byte ^= 1u8 << bit;
+                }
+                ByteView::from_vec(owned)
+            }
+            None => ByteView::from_shared(data, offset as usize, end as usize),
+        };
+        Ok(ReadResult { data: view, start, finish, cached_bytes: cached })
+    }
+
+    /// Consults `plan` for the fate of one attempt at the clamped site
+    /// `(name, offset, len)`. Returns `Err` for injected failures; on
+    /// delivery fills in the latency multiplier and any silent bit flip
+    /// covered by the range.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_fault_plan(
+        &self,
+        plan: &FaultPlan,
+        name: &str,
+        offset: u64,
+        len: u64,
+        size: u64,
+        latency_factor: &mut f64,
+        flip: &mut Option<(u64, u32)>,
+    ) -> Result<(), ReadError> {
+        let attempt = {
+            let mut g = self.attempts.lock();
+            let n = g.entry((crate::fault::site_key(name), offset, len)).or_insert(0);
+            *n += 1;
+            *n
+        };
+        match plan.decide(name, offset, len, attempt) {
+            FaultDecision::Deliver { latency_factor: f } => {
+                if f > 1.0 {
+                    self.fault_stats.latency_spikes.fetch_add(1, Ordering::Relaxed);
+                }
+                *latency_factor = f;
+            }
+            FaultDecision::Transient => {
+                self.fault_stats.transient.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadError::Transient { object: name.to_string(), offset, attempt });
+            }
+            FaultDecision::Torn { delivered } => {
+                self.fault_stats.torn.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadError::ShortRead {
+                    object: name.to_string(),
+                    offset,
+                    requested: len,
+                    delivered,
+                });
+            }
+            FaultDecision::Corrupt => {
+                self.fault_stats.corrupt.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadError::CorruptRange { object: name.to_string(), offset, len });
+            }
+            FaultDecision::Timeout => {
+                self.fault_stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                return Err(ReadError::Timeout {
+                    object: name.to_string(),
+                    offset,
+                    service_s: f64::INFINITY,
+                });
+            }
+        }
+        if let Some((pos, bit)) = plan.flipped_bit(name, size) {
+            if pos >= offset && pos < offset.saturating_add(len) {
+                *flip = Some((pos, bit));
+            }
+        }
+        Ok(())
     }
 
     /// Reads `[offset, offset+len)` of `name` as a request issued at virtual
     /// time `now`. Convenience for [`ObjectStore::read`] with
     /// [`Clock::Virtual`].
-    pub fn read_at(&self, now: f64, name: &str, offset: u64, len: u64) -> Option<ReadResult> {
+    pub fn read_at(
+        &self,
+        now: f64,
+        name: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<ReadResult, ReadError> {
         self.read(Clock::Virtual(now), name, offset, len)
     }
 
     /// Convenience: reads a whole object at time `now`.
-    pub fn read_all_at(&self, now: f64, name: &str) -> Option<ReadResult> {
-        let len = self.len_of(name)?;
+    pub fn read_all_at(&self, now: f64, name: &str) -> Result<ReadResult, ReadError> {
+        let len = self
+            .len_of(name)
+            .ok_or_else(|| ReadError::NotFound { object: name.to_string() })?;
         self.read_at(now, name, 0, len)
     }
 
@@ -249,9 +402,13 @@ mod tests {
     }
 
     #[test]
-    fn missing_object_is_none() {
+    fn missing_object_is_not_found() {
         let store = ObjectStore::new(DeviceProfile::ram());
-        assert!(store.read_at(0.0, "nope", 0, 1).is_none());
+        match store.read_at(0.0, "nope", 0, 1) {
+            Err(ReadError::NotFound { object }) => assert_eq!(object, "nope"),
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        assert!(store.read_all_at(0.0, "nope").is_err());
     }
 
     #[test]
@@ -326,6 +483,91 @@ mod tests {
         let next = store.read(Clock::Wall, "rec", 0, 400_000).unwrap();
         assert_eq!(next.cached_bytes, 400_000);
         assert_eq!(store.device_stats().reads, 1, "no second device read");
+    }
+
+    #[test]
+    fn transient_fault_clears_after_repeats_and_costs_no_device_time() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![7; 4096]);
+        store.set_fault_plan(Some(FaultPlan {
+            seed: 1,
+            transient: 1.0,
+            transient_repeats: 2,
+            ..FaultPlan::default()
+        }));
+        for attempt in 1..=2u32 {
+            match store.read_at(0.0, "rec", 0, 1024) {
+                Err(ReadError::Transient { attempt: a, .. }) => assert_eq!(a, attempt),
+                other => panic!("expected transient, got {other:?}"),
+            }
+        }
+        assert_eq!(store.device_stats().reads, 0, "failed attempts are free");
+        let r = store.read_at(0.0, "rec", 0, 1024).unwrap();
+        assert_eq!(r.data.len(), 1024);
+        assert_eq!(store.fault_stats().transient, 2);
+        // Installing a fresh plan resets the attempt counters.
+        store.set_fault_plan(Some(FaultPlan {
+            seed: 1,
+            transient: 1.0,
+            transient_repeats: 2,
+            ..FaultPlan::default()
+        }));
+        assert!(store.read_at(0.0, "rec", 0, 1024).is_err());
+    }
+
+    #[test]
+    fn bit_flip_corrupts_the_delivered_copy_not_the_store() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        let original: Vec<u8> = (0..=255).cycle().take(4096).collect();
+        store.put("rec", original.clone());
+        store.set_fault_plan(Some(FaultPlan { seed: 3, bit_flip: 1.0, ..FaultPlan::default() }));
+        let plan = store.fault_plan().unwrap();
+        let (pos, _bit) = plan.flipped_bit("rec", 4096).unwrap();
+        // A read covering the flipped bit sees exactly one corrupt byte...
+        let full = store.read_at(0.0, "rec", 0, 4096).unwrap();
+        let diffs: Vec<usize> =
+            (0..4096).filter(|&i| full.data[i] != original[i]).collect();
+        assert_eq!(diffs, vec![pos as usize]);
+        // ...a prefix read that excludes it is byte-clean...
+        let prefix = store.read_at(0.0, "rec", 0, pos).unwrap();
+        assert_eq!(&prefix.data[..], &original[..pos as usize]);
+        // ...and the backing store itself is untouched.
+        store.set_fault_plan(None);
+        let clean = store.read_at(0.0, "rec", 0, 4096).unwrap();
+        assert_eq!(&clean.data[..], &original[..]);
+    }
+
+    #[test]
+    fn latency_spike_extends_service_time_on_both_clocks() {
+        let mk = || {
+            let s = ObjectStore::new(DeviceProfile::hdd_7200rpm());
+            s.put("a", vec![0; 4 << 20]);
+            s
+        };
+        let clean = mk();
+        let spiked = mk();
+        spiked.set_fault_plan(Some(FaultPlan {
+            seed: 2,
+            latency: 1.0,
+            latency_factor: 10.0,
+            ..FaultPlan::default()
+        }));
+        let c = clean.read(Clock::Wall, "a", 0, 4 << 20).unwrap();
+        let s = spiked.read(Clock::Wall, "a", 0, 4 << 20).unwrap();
+        assert!(s.finish > c.finish * 5.0, "wall spike {} vs clean {}", s.finish, c.finish);
+        let cv = clean.read_at(0.0, "a", 0, 4 << 20).unwrap();
+        let sv = spiked.read_at(0.0, "a", 0, 4 << 20).unwrap();
+        assert!(sv.finish - sv.start > (cv.finish - cv.start) * 5.0);
+        assert_eq!(spiked.fault_stats().latency_spikes, 2);
+    }
+
+    #[test]
+    fn quiet_plan_is_equivalent_to_no_plan() {
+        let store = ObjectStore::new(DeviceProfile::ram());
+        store.put("rec", vec![1; 64]);
+        store.set_fault_plan(Some(FaultPlan::quiet(99)));
+        assert!(store.fault_plan().is_none(), "quiet plans are dropped");
+        assert!(store.read_at(0.0, "rec", 0, 64).is_ok());
     }
 
     #[test]

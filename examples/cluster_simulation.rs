@@ -51,6 +51,7 @@ fn main() {
             shuffle: true,
             seed: 7,
             decode: DecodeMode::modeled_progressive(),
+            ..LoaderConfig::default()
         };
         let epoch = PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0);
         let trace = run_pipeline(&epoch, &compute, 0.0);

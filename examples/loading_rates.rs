@@ -34,6 +34,7 @@ fn main() {
             shuffle: false,
             seed: 0,
             decode: DecodeMode::Skip,
+            ..LoaderConfig::default()
         };
         PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0)
     };

@@ -26,6 +26,7 @@ fn db_byte_plan_matches_loader_reads_exactly() {
             shuffle: true,
             seed: 11,
             decode: DecodeMode::Skip,
+            ..LoaderConfig::default()
         };
         let epoch = PcrLoader::new(&store, &pcr_ds.db, cfg).run_epoch(0, 0.0);
         // The DB's plan and the loader's accounting and the device's
@@ -67,6 +68,7 @@ fn storage_bound_pipeline_tracks_lemma_a2() {
             shuffle: false,
             seed: 0,
             decode: DecodeMode::Skip,
+            ..LoaderConfig::default()
         };
         let epoch = PcrLoader::new(&store, &pcr_ds.db, cfg).run_epoch(0, 0.0);
         let pipe = run_pipeline(&epoch, &ComputeUnit { images_per_sec: 1e12, batch_size: 8 }, 0.0);

@@ -26,6 +26,7 @@ fn pipeline_delivers_decodable_images_at_every_group() {
             shuffle: true,
             seed: 3,
             decode: DecodeMode::Real,
+            ..LoaderConfig::default()
         };
         let epoch = PcrLoader::new(&store, &pcr.db, cfg).run_epoch(0, 0.0);
         let images: usize = epoch.records.iter().map(|r| r.images.len()).sum();
@@ -142,6 +143,7 @@ fn cache_pressure_drops_with_scan_group() {
             shuffle: false,
             seed: 0,
             decode: DecodeMode::Skip,
+            ..LoaderConfig::default()
         };
         let loader = PcrLoader::new(&store, &pcr.db, cfg);
         let mut t = 0.0;

@@ -214,6 +214,7 @@ fn loader_conserves_images_across_epochs_and_seeds() {
                 shuffle: true,
                 seed,
                 decode: DecodeMode::Skip,
+                ..LoaderConfig::default()
             };
             let r = PcrLoader::new(&store, &pcr_ds.db, cfg).run_epoch(epoch, 0.0);
             assert_eq!(r.images, ds.train.len());
